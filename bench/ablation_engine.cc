@@ -1,0 +1,62 @@
+// Experiment B7 - engine ablations for the design choices DESIGN.md calls
+// out: (a) chain acceleration on/off, (b) semi-naive vs naive evaluation.
+// Both variants must produce identical materializations; the ablation
+// quantifies the cost of turning each optimization off.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace dmtl;
+
+double RunWith(const WorkloadConfig& config, bool accel, bool naive,
+               EngineStats* stats) {
+  Session session = bench::Check(GenerateSession(config), "generate");
+  Program program = bench::Check(EthPerpProgram(), "program");
+  Database db = SessionToDatabase(session);
+  EngineOptions options = SessionEngineOptions(session);
+  options.enable_chain_acceleration = accel;
+  options.naive_evaluation = naive;
+  bench::Check(Materialize(program, &db, options, stats), "materialize");
+  return stats->wall_seconds;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== engine ablations (identical results, different cost) "
+              "===\n");
+  // Ablations run on a reduced session: the un-accelerated engine pays one
+  // fixpoint round per tick, which is exactly the point being measured.
+  WorkloadConfig config;
+  config.name = "ablation";
+  config.num_events = 40;
+  config.num_trades = 8;
+  config.duration_s = 600;
+  config.initial_skew = -500.0;
+  config.seed = 5;
+
+  EngineStats accel_stats;
+  double accel = RunWith(config, /*accel=*/true, /*naive=*/false,
+                         &accel_stats);
+  EngineStats plain_stats;
+  double plain = RunWith(config, /*accel=*/false, /*naive=*/false,
+                         &plain_stats);
+  EngineStats naive_stats;
+  double naive = RunWith(config, /*accel=*/false, /*naive=*/true,
+                         &naive_stats);
+
+  std::printf("%-32s %12s %10s %12s\n", "configuration", "runtime(s)",
+              "rounds", "rule evals");
+  std::printf("%-32s %12.3f %10zu %12zu\n", "semi-naive + chain accel",
+              accel, accel_stats.rounds, accel_stats.rule_evaluations);
+  std::printf("%-32s %12.3f %10zu %12zu\n", "semi-naive, no acceleration",
+              plain, plain_stats.rounds, plain_stats.rule_evaluations);
+  std::printf("%-32s %12.3f %10zu %12zu\n", "naive re-evaluation",
+              naive, naive_stats.rounds, naive_stats.rule_evaluations);
+  std::printf("\nspeedup from chain acceleration: %.1fx\n", plain / accel);
+  std::printf("speedup of semi-naive over naive: %.1fx\n", naive / plain);
+  return 0;
+}

@@ -1,0 +1,67 @@
+#ifndef DMTL_BENCH_BENCH_UTIL_H_
+#define DMTL_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/chain/replayer.h"
+#include "src/chain/subgraph.h"
+#include "src/chain/workload.h"
+#include "src/contracts/eth_perp_program.h"
+#include "src/contracts/trade_extractor.h"
+#include "src/engine/reasoner.h"
+#include "src/validation/compare.h"
+
+namespace dmtl {
+namespace bench {
+
+// Aborts the harness with a message when a Status is not OK.
+inline void Check(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+const T& Check(const Result<T>& result, const char* what) {
+  Check(result.status(), what);
+  return result.value();
+}
+
+// One fully-executed session: both the DatalogMTL materialization and the
+// reference run, with the extracted comparison artifacts.
+struct ExecutedSession {
+  Session session;
+  EngineStats stats;
+  std::vector<FrsPoint> frs_datalog;
+  std::vector<FrsPoint> frs_reference;
+  std::vector<TradeSettlement> trades_datalog;
+  std::vector<TradeSettlement> trades_reference;
+};
+
+inline ExecutedSession Execute(const WorkloadConfig& config,
+                               const MarketParams& params = {},
+                               const EngineOptions* engine_options = nullptr) {
+  ExecutedSession out;
+  out.session = Check(GenerateSession(config), "generate session");
+  Program program = Check(EthPerpProgram(params), "parse ETH-PERP program");
+  Database db = SessionToDatabase(out.session);
+  EngineOptions options = engine_options != nullptr
+                              ? *engine_options
+                              : SessionEngineOptions(out.session);
+  Check(Materialize(program, &db, options, &out.stats), "materialize");
+  Subgraph subgraph =
+      Check(Subgraph::Index(out.session, params), "reference run");
+  out.frs_reference = subgraph.FundingRateUpdates();
+  out.trades_reference = subgraph.FuturesTrades();
+  out.frs_datalog =
+      Check(ExtractFrsAt(db, out.session.EventTimes()), "extract frs");
+  out.trades_datalog = Check(ExtractTrades(db), "extract trades");
+  return out;
+}
+
+}  // namespace bench
+}  // namespace dmtl
+
+#endif  // DMTL_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,39 @@
+// Experiment E2 - the paper's Figure 2: the market metrics table, evaluated
+// on representative market states so the formulas are inspectable.
+
+#include <cstdio>
+
+#include "src/contracts/market_params.h"
+
+int main() {
+  using namespace dmtl;
+  MarketParams p;
+  std::printf("=== Figure 2: market metrics ===\n");
+  std::printf("Max Funding Rate        i_max = %.3f\n", p.max_funding_rate);
+  std::printf("Max Proportional Skew   W_max = %.0f / p_t\n",
+              p.skew_scale_usd);
+  std::printf("Epochs per day                  %.0f\n", p.seconds_per_day);
+  std::printf("Instantaneous rate      i_t = clamp(-K/W_max, -1, 1) "
+              "* i_max / %.0f\n\n",
+              p.seconds_per_day);
+
+  std::printf("%12s %10s %14s %16s\n", "skew K", "price p", "W_max",
+              "i_t (per sec)");
+  const double prices[] = {1200.0, 1300.0};
+  const double skews[] = {-2445.98, 0.0, 1302.88, 2502.85, 260000.0,
+                          -400000.0};
+  for (double price : prices) {
+    for (double skew : skews) {
+      std::printf("%12.2f %10.2f %14.2f %16.6e\n", skew, price,
+                  p.skew_scale_usd / price,
+                  p.InstantaneousRate(skew, price));
+    }
+  }
+  std::printf("\nFee rates: maker phi_m = %.4f, taker phi_t = %.4f "
+              "(convention: %s)\n",
+              p.maker_fee, p.taker_fee,
+              p.fee_convention == FeeConvention::kSection37Table
+                  ? "Section 3.7 table"
+                  : "printed rules");
+  return 0;
+}

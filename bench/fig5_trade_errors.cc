@@ -1,0 +1,52 @@
+// Experiment E5 - the paper's Figure 5: mean and standard deviation of the
+// errors between the metrics computed by the DatalogMTL program and the
+// reference values, per trade (Returns / Fee / Funding), pooled across the
+// three sessions exactly like the paper's table.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace dmtl;
+  std::printf("=== Figure 5: per-trade error statistics ===\n");
+  std::vector<TradeSettlement> all_ref;
+  std::vector<TradeSettlement> all_dmtl;
+  for (const WorkloadConfig& config : PaperSessions()) {
+    bench::ExecutedSession run = bench::Execute(config);
+    TradeErrorReport per_session = bench::Check(
+        CompareTrades(run.trades_reference, run.trades_datalog), "compare");
+    std::printf("\nsession %s (%zu trades):\n%s\n",
+                run.session.name.c_str(), run.trades_reference.size(),
+                per_session.ToString().c_str());
+    all_ref.insert(all_ref.end(), run.trades_reference.begin(),
+                   run.trades_reference.end());
+    all_dmtl.insert(all_dmtl.end(), run.trades_datalog.begin(),
+                    run.trades_datalog.end());
+  }
+  TradeErrorReport pooled =
+      bench::Check(CompareTrades(all_ref, all_dmtl), "pooled compare");
+  std::printf("\n--- pooled over all sessions (paper's Figure 5 layout) ---\n");
+  std::printf("%-10s %14s %14s %14s\n", "", "Returns", "Fee", "Funding");
+  std::printf("%-10s %14.6e %14.6e %14.6e\n", "Mean", pooled.returns.mean,
+              pooled.fee.mean, pooled.funding.mean);
+  std::printf("%-10s %14.6e %14.6e %14.6e\n", "Std. Dev.",
+              pooled.returns.stddev, pooled.fee.stddev,
+              pooled.funding.stddev);
+  std::printf("\npaper reference:\n");
+  std::printf("%-10s %14s %14s %14s\n", "", "Returns", "Fee", "Funding");
+  std::printf("%-10s %14s %14s %14s\n", "Mean", "3.55e-15", "-9.09e-17",
+              "-4.79e-15");
+  std::printf("%-10s %14s %14s %14s\n", "Std. Dev.", "5.57e-14", "3.77e-16",
+              "1.20e-13");
+  std::printf("\npaper-shape check (all |mean| and stddev < 1e-9): %s\n",
+              (std::abs(pooled.returns.mean) < 1e-9 &&
+               std::abs(pooled.fee.mean) < 1e-9 &&
+               std::abs(pooled.funding.mean) < 1e-9 &&
+               pooled.returns.stddev < 1e-9 && pooled.fee.stddev < 1e-9 &&
+               pooled.funding.stddev < 1e-9)
+                  ? "PASS"
+                  : "FAIL");
+  return 0;
+}

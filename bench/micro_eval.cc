@@ -1,0 +1,136 @@
+// Experiment B2 - microbenchmarks of rule evaluation: joins, negation,
+// temporal self-propagation, aggregation and full small-program
+// materialization.
+
+#include <benchmark/benchmark.h>
+
+#include "src/engine/reasoner.h"
+
+namespace dmtl {
+namespace {
+
+Database EdgeFacts(int n) {
+  Database db;
+  for (int i = 0; i < n; ++i) {
+    db.Insert("edge",
+              {Value::Int(i), Value::Int((i * 7 + 1) % n)},
+              Interval::Closed(Rational(i % 50), Rational(i % 50 + 20)));
+  }
+  return db;
+}
+
+void BM_NonRecursiveJoin(benchmark::State& state) {
+  Database db = EdgeFacts(static_cast<int>(state.range(0)));
+  auto program = Parser::ParseProgram(
+      "two(X, Z) :- edge(X, Y), edge(Y, Z) .");
+  for (auto _ : state) {
+    Database out = db;
+    benchmark::DoNotOptimize(Materialize(*program, &out));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NonRecursiveJoin)->Arg(64)->Arg(256);
+
+void BM_TransitiveClosure(benchmark::State& state) {
+  Database db = EdgeFacts(static_cast<int>(state.range(0)));
+  auto program = Parser::ParseProgram(
+      "reach(X, Y) :- edge(X, Y) .\n"
+      "reach(X, Z) :- reach(X, Y), edge(Y, Z) .");
+  for (auto _ : state) {
+    Database out = db;
+    benchmark::DoNotOptimize(Materialize(*program, &out));
+  }
+}
+BENCHMARK(BM_TransitiveClosure)->Arg(32)->Arg(128);
+
+void BM_NegationFilter(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Database db;
+  for (int i = 0; i < n; ++i) {
+    db.Insert("p", {Value::Int(i)},
+              Interval::Closed(Rational(0), Rational(100)));
+    if (i % 3 == 0) {
+      db.Insert("blocked", {Value::Int(i)},
+                Interval::Closed(Rational(20), Rational(40)));
+    }
+  }
+  auto program = Parser::ParseProgram("ok(X) :- p(X), not blocked(X) .");
+  for (auto _ : state) {
+    Database out = db;
+    benchmark::DoNotOptimize(Materialize(*program, &out));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_NegationFilter)->Arg(256)->Arg(1024);
+
+void BM_ChainPropagationAccelerated(benchmark::State& state) {
+  int ticks = static_cast<int>(state.range(0));
+  auto program = Parser::ParseProgram(
+      "open(A) :- deposit(A) .\n"
+      "open(A) :- boxminus open(A), not close(A) .");
+  Database db;
+  for (int a = 0; a < 8; ++a) {
+    db.Insert("deposit", {Value::Int(a)}, Interval::Point(Rational(a)));
+  }
+  EngineOptions options;
+  options.min_time = Rational(0);
+  options.max_time = Rational(ticks);
+  for (auto _ : state) {
+    Database out = db;
+    benchmark::DoNotOptimize(Materialize(*program, &out, options));
+  }
+  state.SetItemsProcessed(state.iterations() * ticks * 8);
+}
+BENCHMARK(BM_ChainPropagationAccelerated)->Arg(1024)->Arg(8192);
+
+void BM_ChainPropagationTickByTick(benchmark::State& state) {
+  int ticks = static_cast<int>(state.range(0));
+  auto program = Parser::ParseProgram(
+      "open(A) :- deposit(A) .\n"
+      "open(A) :- boxminus open(A), not close(A) .");
+  Database db;
+  for (int a = 0; a < 8; ++a) {
+    db.Insert("deposit", {Value::Int(a)}, Interval::Point(Rational(a)));
+  }
+  EngineOptions options;
+  options.min_time = Rational(0);
+  options.max_time = Rational(ticks);
+  options.enable_chain_acceleration = false;
+  for (auto _ : state) {
+    Database out = db;
+    benchmark::DoNotOptimize(Materialize(*program, &out, options));
+  }
+  state.SetItemsProcessed(state.iterations() * ticks * 8);
+}
+BENCHMARK(BM_ChainPropagationTickByTick)->Arg(1024);
+
+void BM_TemporalAggregation(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Database db;
+  for (int i = 0; i < n; ++i) {
+    db.Insert("c", {Value::Int(i), Value::Double(i * 0.5)},
+              Interval::Point(Rational(i % 64)));
+  }
+  auto program = Parser::ParseProgram("total(msum(S)) :- c(A, S) .");
+  for (auto _ : state) {
+    Database out = db;
+    benchmark::DoNotOptimize(Materialize(*program, &out));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_TemporalAggregation)->Arg(256)->Arg(2048);
+
+void BM_ParseEthPerpProgram(benchmark::State& state) {
+  for (auto _ : state) {
+    auto program = Parser::ParseProgram(
+        "isOpen(A) :- tranM(A, M) .\n"
+        "isOpen(A) :- boxminus isOpen(A), not withdraw(A) .\n"
+        "margin(A, M) :- tranM(A, M), not boxminus isOpen(A) .\n"
+        "event(msum(S)) :- eventContrib(A, S) .\n");
+    benchmark::DoNotOptimize(program);
+  }
+}
+BENCHMARK(BM_ParseEthPerpProgram);
+
+}  // namespace
+}  // namespace dmtl

@@ -1,0 +1,52 @@
+#include "src/analysis/dependency_graph.h"
+
+#include <algorithm>
+
+namespace dmtl {
+
+DependencyGraph DependencyGraph::Build(const Program& program) {
+  DependencyGraph graph;
+  std::set<std::tuple<PredicateId, PredicateId, EdgeKind>> seen;
+  for (const Rule& rule : program.rules()) {
+    PredicateId head = rule.head.predicate;
+    graph.nodes_.insert(head);
+    bool aggregated = rule.head.aggregate.has_value();
+    for (const BodyLiteral& lit : rule.body) {
+      if (lit.kind != BodyLiteral::Kind::kMetric) continue;
+      std::vector<const RelationalAtom*> atoms;
+      lit.metric.CollectRelationalAtoms(&atoms);
+      for (const RelationalAtom* atom : atoms) {
+        graph.nodes_.insert(atom->predicate);
+        EdgeKind kind = EdgeKind::kPositive;
+        if (lit.negated) kind = EdgeKind::kNegative;
+        if (aggregated) kind = EdgeKind::kAggregated;
+        if (seen.insert({atom->predicate, head, kind}).second) {
+          graph.edges_.push_back({atom->predicate, head, kind});
+          graph.adjacency_.emplace(atom->predicate,
+                                   std::make_pair(head, kind));
+        }
+      }
+    }
+  }
+  return graph;
+}
+
+std::string DependencyGraph::ToString() const {
+  std::vector<std::string> lines;
+  for (const Edge& e : edges_) {
+    const char* arrow = "->";
+    if (e.kind == EdgeKind::kNegative) arrow = "-!>";
+    if (e.kind == EdgeKind::kAggregated) arrow = "-agg>";
+    lines.push_back(PredicateName(e.from) + " " + arrow + " " +
+                    PredicateName(e.to));
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace dmtl

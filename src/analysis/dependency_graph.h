@@ -1,0 +1,49 @@
+#ifndef DMTL_ANALYSIS_DEPENDENCY_GRAPH_H_
+#define DMTL_ANALYSIS_DEPENDENCY_GRAPH_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/ast/program.h"
+
+namespace dmtl {
+
+// How a body predicate feeds a head predicate. Negative and aggregated
+// dependencies must point to strictly lower strata (stratified negation /
+// stratified aggregation).
+enum class EdgeKind : uint8_t { kPositive, kNegative, kAggregated };
+
+// The predicate dependency graph of a program (the paper's Figure 1):
+// an edge P -> H for every rule with head predicate H and P in the body.
+class DependencyGraph {
+ public:
+  struct Edge {
+    PredicateId from;
+    PredicateId to;
+    EdgeKind kind;
+  };
+
+  static DependencyGraph Build(const Program& program);
+
+  const std::vector<Edge>& edges() const { return edges_; }
+  const std::set<PredicateId>& nodes() const { return nodes_; }
+
+  // Outgoing adjacency: node -> (successor, kind) pairs.
+  const std::multimap<PredicateId, std::pair<PredicateId, EdgeKind>>&
+  adjacency() const {
+    return adjacency_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Edge> edges_;
+  std::set<PredicateId> nodes_;
+  std::multimap<PredicateId, std::pair<PredicateId, EdgeKind>> adjacency_;
+};
+
+}  // namespace dmtl
+
+#endif  // DMTL_ANALYSIS_DEPENDENCY_GRAPH_H_

@@ -1,0 +1,36 @@
+#include "src/analysis/dot_export.h"
+
+#include <algorithm>
+
+namespace dmtl {
+
+std::string ToDot(const DependencyGraph& graph, const std::string& title) {
+  std::string out = "digraph " + title + " {\n";
+  out += "  rankdir=LR;\n  node [shape=box, fontname=\"Helvetica\"];\n";
+  std::vector<std::string> lines;
+  for (PredicateId node : graph.nodes()) {
+    lines.push_back("  \"" + PredicateName(node) + "\";\n");
+  }
+  for (const DependencyGraph::Edge& e : graph.edges()) {
+    std::string style;
+    switch (e.kind) {
+      case EdgeKind::kPositive:
+        style = "";
+        break;
+      case EdgeKind::kNegative:
+        style = " [style=dashed, label=\"not\"]";
+        break;
+      case EdgeKind::kAggregated:
+        style = " [style=bold, label=\"agg\"]";
+        break;
+    }
+    lines.push_back("  \"" + PredicateName(e.from) + "\" -> \"" +
+                    PredicateName(e.to) + "\"" + style + ";\n");
+  }
+  std::sort(lines.begin(), lines.end());
+  for (const std::string& line : lines) out += line;
+  out += "}\n";
+  return out;
+}
+
+}  // namespace dmtl

@@ -1,0 +1,17 @@
+#ifndef DMTL_ANALYSIS_DOT_EXPORT_H_
+#define DMTL_ANALYSIS_DOT_EXPORT_H_
+
+#include <string>
+
+#include "src/analysis/dependency_graph.h"
+
+namespace dmtl {
+
+// Renders the dependency graph as Graphviz DOT (the paper's Figure 1).
+// Positive edges are solid, negated edges dashed, aggregated edges bold.
+std::string ToDot(const DependencyGraph& graph,
+                  const std::string& title = "dependency_graph");
+
+}  // namespace dmtl
+
+#endif  // DMTL_ANALYSIS_DOT_EXPORT_H_

@@ -1,0 +1,108 @@
+#include "src/analysis/safety.h"
+
+#include <set>
+
+namespace dmtl {
+
+namespace {
+
+std::string VarName(const Rule& rule, int var) {
+  if (var >= 0 && static_cast<size_t>(var) < rule.var_names.size()) {
+    return rule.var_names[var];
+  }
+  return "V" + std::to_string(var);
+}
+
+}  // namespace
+
+Status CheckSafety(const Rule& rule) {
+  std::set<int> bound;
+  // Positive relational atoms bind their variables.
+  for (const BodyLiteral& lit : rule.body) {
+    if (lit.kind == BodyLiteral::Kind::kMetric && !lit.negated) {
+      std::vector<int> vars;
+      lit.metric.CollectVars(&vars);
+      bound.insert(vars.begin(), vars.end());
+    }
+    if (lit.kind == BodyLiteral::Kind::kBuiltin &&
+        lit.builtin.kind == BuiltinAtom::Kind::kTimestamp) {
+      bound.insert(lit.builtin.var);
+    }
+  }
+  // Assignments bind their target once the RHS is bound; iterate to
+  // fixpoint so declaration order does not matter.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const BodyLiteral& lit : rule.body) {
+      if (lit.kind != BodyLiteral::Kind::kBuiltin) continue;
+      const BuiltinAtom& b = lit.builtin;
+      if (b.kind != BuiltinAtom::Kind::kAssign) continue;
+      if (bound.count(b.var)) continue;
+      std::vector<int> rhs_vars;
+      b.expr.CollectVars(&rhs_vars);
+      bool all_bound = true;
+      for (int v : rhs_vars) {
+        if (!bound.count(v)) {
+          all_bound = false;
+          break;
+        }
+      }
+      if (all_bound) {
+        bound.insert(b.var);
+        changed = true;
+      }
+    }
+  }
+
+  auto fail = [&](int var, const char* where) {
+    return Status::UnsafeRule("variable " + VarName(rule, var) + " in " +
+                              where + " is not bound by a positive atom: " +
+                              rule.ToString());
+  };
+
+  // Head variables.
+  for (const Term& term : rule.head.args) {
+    if (term.is_variable() && !bound.count(term.var())) {
+      return fail(term.var(), "head");
+    }
+  }
+  if (rule.head.aggregate.has_value() &&
+      rule.head.aggregate->term.is_variable() &&
+      !bound.count(rule.head.aggregate->term.var())) {
+    return fail(rule.head.aggregate->term.var(), "aggregate");
+  }
+  // Comparisons and unresolved assignments. Unbound variables in negated
+  // literals are deliberately allowed: they are evaluated existentially
+  // (e.g. the paper's `not order(A, _)` means "no order by A of any size").
+  for (const BodyLiteral& lit : rule.body) {
+    if (lit.kind == BodyLiteral::Kind::kBuiltin) {
+      const BuiltinAtom& b = lit.builtin;
+      if (b.kind == BuiltinAtom::Kind::kCompare) {
+        std::vector<int> vars;
+        b.lhs.CollectVars(&vars);
+        b.rhs.CollectVars(&vars);
+        for (int v : vars) {
+          if (!bound.count(v)) return fail(v, "comparison");
+        }
+      } else if (b.kind == BuiltinAtom::Kind::kAssign) {
+        std::vector<int> vars;
+        b.expr.CollectVars(&vars);
+        for (int v : vars) {
+          if (!bound.count(v)) return fail(v, "assignment");
+        }
+        if (!bound.count(b.var)) return fail(b.var, "assignment");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status CheckSafety(const Program& program) {
+  for (const Rule& rule : program.rules()) {
+    DMTL_RETURN_IF_ERROR(CheckSafety(rule));
+  }
+  return Status::Ok();
+}
+
+}  // namespace dmtl

@@ -1,0 +1,21 @@
+#ifndef DMTL_ANALYSIS_SAFETY_H_
+#define DMTL_ANALYSIS_SAFETY_H_
+
+#include "src/ast/program.h"
+#include "src/common/status.h"
+
+namespace dmtl {
+
+// Checks rule safety in the Vadalog-extended sense:
+//  - every variable in the head, in a negated literal, or in a comparison
+//    must be bound by a positive relational atom, a timestamp() builtin, or
+//    an assignment whose right-hand side is itself bound;
+//  - assignment chains must be resolvable in some order (no circular
+//    definitions such as X = Y + 1, Y = X + 1 with neither bound).
+// Returns kUnsafeRule naming the offending rule and variable.
+Status CheckSafety(const Rule& rule);
+Status CheckSafety(const Program& program);
+
+}  // namespace dmtl
+
+#endif  // DMTL_ANALYSIS_SAFETY_H_

@@ -1,0 +1,152 @@
+#include "src/analysis/stratifier.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace dmtl {
+
+namespace {
+
+// Iterative Tarjan SCC over the predicate graph.
+class SccFinder {
+ public:
+  explicit SccFinder(const DependencyGraph& graph) : graph_(graph) {
+    for (PredicateId node : graph.nodes()) {
+      if (!index_.count(node)) Visit(node);
+    }
+  }
+
+  // Component ids in reverse topological order of discovery: an edge from
+  // component A to component B (A != B) implies comp_id[A] > comp_id[B] is
+  // NOT guaranteed by Tarjan order alone, so callers should use the longest-
+  // path pass in Stratify() instead of relying on ids.
+  const std::map<PredicateId, int>& component_of() const {
+    return component_of_;
+  }
+  int num_components() const { return num_components_; }
+
+ private:
+  void Visit(PredicateId root) {
+    struct Frame {
+      PredicateId node;
+      std::vector<std::pair<PredicateId, EdgeKind>> succ;
+      size_t next = 0;
+    };
+    std::vector<Frame> stack;
+    auto open = [&](PredicateId node) {
+      index_[node] = lowlink_[node] = counter_++;
+      tarjan_stack_.push_back(node);
+      on_stack_.insert(node);
+      Frame f;
+      f.node = node;
+      auto range = graph_.adjacency().equal_range(node);
+      for (auto it = range.first; it != range.second; ++it) {
+        f.succ.push_back(it->second);
+      }
+      stack.push_back(std::move(f));
+    };
+    open(root);
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      if (frame.next < frame.succ.size()) {
+        PredicateId next = frame.succ[frame.next++].first;
+        if (!index_.count(next)) {
+          open(next);
+        } else if (on_stack_.count(next)) {
+          lowlink_[frame.node] =
+              std::min(lowlink_[frame.node], index_[next]);
+        }
+        continue;
+      }
+      // Close the frame.
+      if (lowlink_[frame.node] == index_[frame.node]) {
+        while (true) {
+          PredicateId member = tarjan_stack_.back();
+          tarjan_stack_.pop_back();
+          on_stack_.erase(member);
+          component_of_[member] = num_components_;
+          if (member == frame.node) break;
+        }
+        ++num_components_;
+      }
+      PredicateId done = frame.node;
+      stack.pop_back();
+      if (!stack.empty()) {
+        lowlink_[stack.back().node] =
+            std::min(lowlink_[stack.back().node], lowlink_[done]);
+      }
+    }
+  }
+
+  const DependencyGraph& graph_;
+  int counter_ = 0;
+  int num_components_ = 0;
+  std::map<PredicateId, int> index_;
+  std::map<PredicateId, int> lowlink_;
+  std::vector<PredicateId> tarjan_stack_;
+  std::set<PredicateId> on_stack_;
+  std::map<PredicateId, int> component_of_;
+};
+
+}  // namespace
+
+Result<Stratification> Stratify(const Program& program) {
+  DependencyGraph graph = DependencyGraph::Build(program);
+  SccFinder sccs(graph);
+  const auto& comp = sccs.component_of();
+
+  // Reject negative/aggregated edges inside a component.
+  for (const DependencyGraph::Edge& edge : graph.edges()) {
+    if (edge.kind == EdgeKind::kPositive) continue;
+    if (comp.at(edge.from) == comp.at(edge.to)) {
+      const char* what =
+          edge.kind == EdgeKind::kNegative ? "negation" : "aggregation";
+      return Status::NotStratifiable(
+          std::string(what) + " inside a recursive cycle through '" +
+          PredicateName(edge.from) + "' and '" + PredicateName(edge.to) +
+          "'");
+    }
+  }
+
+  // Longest-path layering over the condensation: positive cross-component
+  // edges require stratum(to) >= stratum(from); negative/aggregated edges
+  // require strictly greater. Iterate to fixpoint (the condensation is a
+  // DAG, so this terminates within num_components passes).
+  int n = sccs.num_components();
+  std::vector<int> stratum(n, 0);
+  bool changed = true;
+  int guard = 0;
+  while (changed) {
+    changed = false;
+    if (++guard > n + 2) {
+      return Status::Internal("stratification layering did not converge");
+    }
+    for (const DependencyGraph::Edge& edge : graph.edges()) {
+      int from = comp.at(edge.from);
+      int to = comp.at(edge.to);
+      if (from == to) continue;
+      int required = stratum[from] + (edge.kind == EdgeKind::kPositive ? 0 : 1);
+      if (stratum[to] < required) {
+        stratum[to] = required;
+        changed = true;
+      }
+    }
+  }
+
+  Stratification out;
+  int max_stratum = 0;
+  for (PredicateId node : graph.nodes()) {
+    int s = stratum[comp.at(node)];
+    out.predicate_stratum[node] = s;
+    max_stratum = std::max(max_stratum, s);
+  }
+  out.num_strata = max_stratum + 1;
+  out.rule_strata.assign(out.num_strata, {});
+  for (size_t i = 0; i < program.rules().size(); ++i) {
+    PredicateId head = program.rules()[i].head.predicate;
+    out.rule_strata[out.predicate_stratum.at(head)].push_back(i);
+  }
+  return out;
+}
+
+}  // namespace dmtl

@@ -1,0 +1,34 @@
+#ifndef DMTL_ANALYSIS_STRATIFIER_H_
+#define DMTL_ANALYSIS_STRATIFIER_H_
+
+#include <map>
+#include <vector>
+
+#include "src/analysis/dependency_graph.h"
+#include "src/ast/program.h"
+#include "src/common/status.h"
+
+namespace dmtl {
+
+// A stratification of a program: predicates are assigned to strata such
+// that positive dependencies never go down and negative/aggregated
+// dependencies go strictly up (sigma(P+) <= sigma(P), sigma(P-) < sigma(P)).
+// Rules are grouped by the stratum of their head predicate and evaluated
+// stratum by stratum.
+struct Stratification {
+  // Predicate -> stratum index (0-based; EDB-only predicates get 0).
+  std::map<PredicateId, int> predicate_stratum;
+  // rule_strata[s] = indices into program.rules() whose head is in stratum s.
+  std::vector<std::vector<size_t>> rule_strata;
+  int num_strata = 0;
+};
+
+// Computes a stratification via SCC condensation of the dependency graph.
+// Fails with kNotStratifiable when a negative or aggregated edge lies inside
+// a cycle (the condition the paper's Section 3.8 verifies by hand for the
+// ETH-PERP program).
+Result<Stratification> Stratify(const Program& program);
+
+}  // namespace dmtl
+
+#endif  // DMTL_ANALYSIS_STRATIFIER_H_

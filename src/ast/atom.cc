@@ -1,0 +1,151 @@
+#include "src/ast/atom.h"
+
+namespace dmtl {
+
+PredicateId InternPredicate(std::string_view name) {
+  return Value::Symbol(name).symbol_id();
+}
+
+const std::string& PredicateName(PredicateId id) {
+  return Value::SymbolFromId(id).AsSymbolName();
+}
+
+std::string RelationalAtom::ToString(
+    const std::vector<std::string>& var_names) const {
+  std::string out = PredicateName(predicate);
+  out += '(';
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += args[i].ToString(var_names);
+  }
+  out += ')';
+  return out;
+}
+
+const char* MtlOpToString(MtlOp op) {
+  switch (op) {
+    case MtlOp::kDiamondMinus:
+      return "diamondminus";
+    case MtlOp::kBoxMinus:
+      return "boxminus";
+    case MtlOp::kDiamondPlus:
+      return "diamondplus";
+    case MtlOp::kBoxPlus:
+      return "boxplus";
+    case MtlOp::kSince:
+      return "since";
+    case MtlOp::kUntil:
+      return "until";
+  }
+  return "?";
+}
+
+MetricAtom MetricAtom::Relational(RelationalAtom atom) {
+  MetricAtom m;
+  m.kind_ = Kind::kRelational;
+  m.atom_ = std::move(atom);
+  return m;
+}
+
+MetricAtom MetricAtom::Truth() {
+  MetricAtom m;
+  m.kind_ = Kind::kTruth;
+  return m;
+}
+
+MetricAtom MetricAtom::Falsity() {
+  MetricAtom m;
+  m.kind_ = Kind::kFalsity;
+  return m;
+}
+
+MetricAtom MetricAtom::Unary(MtlOp op, Interval range, MetricAtom child) {
+  MetricAtom m;
+  m.kind_ = Kind::kUnary;
+  m.op_ = op;
+  m.range_ = range;
+  m.left_ = std::make_unique<MetricAtom>(std::move(child));
+  return m;
+}
+
+MetricAtom MetricAtom::Binary(MtlOp op, Interval range, MetricAtom lhs,
+                              MetricAtom rhs) {
+  MetricAtom m;
+  m.kind_ = Kind::kBinary;
+  m.op_ = op;
+  m.range_ = range;
+  m.left_ = std::make_unique<MetricAtom>(std::move(lhs));
+  m.right_ = std::make_unique<MetricAtom>(std::move(rhs));
+  return m;
+}
+
+MetricAtom::MetricAtom(const MetricAtom& other)
+    : kind_(other.kind_),
+      atom_(other.atom_),
+      op_(other.op_),
+      range_(other.range_) {
+  if (other.left_) left_ = std::make_unique<MetricAtom>(*other.left_);
+  if (other.right_) right_ = std::make_unique<MetricAtom>(*other.right_);
+}
+
+MetricAtom& MetricAtom::operator=(const MetricAtom& other) {
+  if (this == &other) return *this;
+  kind_ = other.kind_;
+  atom_ = other.atom_;
+  op_ = other.op_;
+  range_ = other.range_;
+  left_ = other.left_ ? std::make_unique<MetricAtom>(*other.left_) : nullptr;
+  right_ =
+      other.right_ ? std::make_unique<MetricAtom>(*other.right_) : nullptr;
+  return *this;
+}
+
+void MetricAtom::CollectRelationalAtoms(
+    std::vector<const RelationalAtom*>* out) const {
+  switch (kind_) {
+    case Kind::kRelational:
+      out->push_back(&atom_);
+      return;
+    case Kind::kTruth:
+    case Kind::kFalsity:
+      return;
+    case Kind::kUnary:
+      left_->CollectRelationalAtoms(out);
+      return;
+    case Kind::kBinary:
+      left_->CollectRelationalAtoms(out);
+      right_->CollectRelationalAtoms(out);
+      return;
+  }
+}
+
+void MetricAtom::CollectVars(std::vector<int>* vars) const {
+  std::vector<const RelationalAtom*> atoms;
+  CollectRelationalAtoms(&atoms);
+  for (const RelationalAtom* a : atoms) {
+    for (const Term& t : a->args) {
+      if (t.is_variable()) vars->push_back(t.var());
+    }
+  }
+}
+
+std::string MetricAtom::ToString(
+    const std::vector<std::string>& var_names) const {
+  switch (kind_) {
+    case Kind::kRelational:
+      return atom_.ToString(var_names);
+    case Kind::kTruth:
+      return "top";
+    case Kind::kFalsity:
+      return "bottom";
+    case Kind::kUnary:
+      return std::string(MtlOpToString(op_)) + range_.ToString() + " " +
+             left_->ToString(var_names);
+    case Kind::kBinary:
+      return "(" + left_->ToString(var_names) + " " + MtlOpToString(op_) +
+             range_.ToString() + " " + right_->ToString(var_names) + ")";
+  }
+  return "?";
+}
+
+}  // namespace dmtl

@@ -1,0 +1,88 @@
+#ifndef DMTL_AST_ATOM_H_
+#define DMTL_AST_ATOM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ast/term.h"
+#include "src/temporal/interval.h"
+
+namespace dmtl {
+
+// Predicates are identified by their interned name; arity is validated to be
+// consistent program-wide by the analysis pass.
+using PredicateId = uint32_t;
+
+PredicateId InternPredicate(std::string_view name);
+const std::string& PredicateName(PredicateId id);
+
+// P(t1, ..., tn).
+struct RelationalAtom {
+  PredicateId predicate = 0;
+  std::vector<Term> args;
+
+  std::string ToString(const std::vector<std::string>& var_names) const;
+};
+
+// Metric Temporal Logic operators over past/future windows.
+enum class MtlOp : uint8_t {
+  kDiamondMinus,  // <->[rho]  held at some point in the window in the past
+  kBoxMinus,      // [-][rho]  held throughout the window in the past
+  kDiamondPlus,   // <+>[rho]  will hold at some point in the future window
+  kBoxPlus,       // [+][rho]  will hold throughout the future window
+  kSince,         // M1 since[rho] M2
+  kUntil,         // M1 until[rho] M2
+};
+
+const char* MtlOpToString(MtlOp op);
+
+// A metric atom per the DatalogMTL grammar:
+//   M ::= top | bottom | P(s) | <unary-op>[rho] M | M since[rho] M | ...
+// Recursive; owns its children. Copyable (deep copy) so rules stay regular
+// value types.
+class MetricAtom {
+ public:
+  enum class Kind : uint8_t { kRelational, kTruth, kFalsity, kUnary, kBinary };
+
+  MetricAtom() : kind_(Kind::kTruth) {}
+
+  static MetricAtom Relational(RelationalAtom atom);
+  static MetricAtom Truth();
+  static MetricAtom Falsity();
+  static MetricAtom Unary(MtlOp op, Interval range, MetricAtom child);
+  static MetricAtom Binary(MtlOp op, Interval range, MetricAtom lhs,
+                           MetricAtom rhs);
+
+  MetricAtom(const MetricAtom& other);
+  MetricAtom& operator=(const MetricAtom& other);
+  MetricAtom(MetricAtom&&) = default;
+  MetricAtom& operator=(MetricAtom&&) = default;
+
+  Kind kind() const { return kind_; }
+  const RelationalAtom& atom() const { return atom_; }
+  RelationalAtom& mutable_atom() { return atom_; }
+  MtlOp op() const { return op_; }
+  const Interval& range() const { return range_; }
+  const MetricAtom& left() const { return *left_; }
+  const MetricAtom& right() const { return *right_; }
+
+  // Appends every relational atom in the tree (both children of binaries).
+  void CollectRelationalAtoms(std::vector<const RelationalAtom*>* out) const;
+  // Appends every variable index in the tree.
+  void CollectVars(std::vector<int>* vars) const;
+
+  std::string ToString(const std::vector<std::string>& var_names) const;
+
+ private:
+  Kind kind_;
+  RelationalAtom atom_;                      // kRelational
+  MtlOp op_ = MtlOp::kDiamondMinus;          // kUnary / kBinary
+  Interval range_ = Interval::Point(Rational(0));
+  std::unique_ptr<MetricAtom> left_;         // kUnary child / kBinary lhs
+  std::unique_ptr<MetricAtom> right_;        // kBinary rhs
+};
+
+}  // namespace dmtl
+
+#endif  // DMTL_AST_ATOM_H_

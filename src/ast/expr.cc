@@ -1,0 +1,95 @@
+#include "src/ast/expr.h"
+
+namespace dmtl {
+
+Expr Expr::Const(Value v) {
+  Expr e;
+  e.op_ = Op::kConst;
+  e.constant_ = std::move(v);
+  return e;
+}
+
+Expr Expr::Var(int index) {
+  Expr e;
+  e.op_ = Op::kVar;
+  e.var_ = index;
+  return e;
+}
+
+Expr Expr::Unary(Op op, Expr child) {
+  Expr e;
+  e.op_ = op;
+  e.children_.push_back(std::move(child));
+  return e;
+}
+
+Expr Expr::Binary(Op op, Expr lhs, Expr rhs) {
+  Expr e;
+  e.op_ = op;
+  e.children_.push_back(std::move(lhs));
+  e.children_.push_back(std::move(rhs));
+  return e;
+}
+
+void Expr::CollectVars(std::vector<int>* vars) const {
+  if (op_ == Op::kVar) vars->push_back(var_);
+  for (const Expr& c : children_) c.CollectVars(vars);
+}
+
+std::string Expr::ToString(const std::vector<std::string>& var_names) const {
+  auto name = [&](int v) -> std::string {
+    if (v >= 0 && static_cast<size_t>(v) < var_names.size()) {
+      return var_names[v];
+    }
+    return "V" + std::to_string(v);
+  };
+  switch (op_) {
+    case Op::kConst:
+      return constant_.ToString();
+    case Op::kVar:
+      return name(var_);
+    case Op::kAdd:
+      return "(" + children_[0].ToString(var_names) + " + " +
+             children_[1].ToString(var_names) + ")";
+    case Op::kSub:
+      return "(" + children_[0].ToString(var_names) + " - " +
+             children_[1].ToString(var_names) + ")";
+    case Op::kMul:
+      return "(" + children_[0].ToString(var_names) + " * " +
+             children_[1].ToString(var_names) + ")";
+    case Op::kDiv:
+      return "(" + children_[0].ToString(var_names) + " / " +
+             children_[1].ToString(var_names) + ")";
+    case Op::kNeg:
+      return "(-" + children_[0].ToString(var_names) + ")";
+    case Op::kAbs:
+      return "abs(" + children_[0].ToString(var_names) + ")";
+    case Op::kMin:
+      return "min(" + children_[0].ToString(var_names) + ", " +
+             children_[1].ToString(var_names) + ")";
+    case Op::kMax:
+      return "max(" + children_[0].ToString(var_names) + ", " +
+             children_[1].ToString(var_names) + ")";
+  }
+  return "?";
+}
+
+const char* CmpOpToString(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "==";
+    case CmpOp::kNe:
+      return "!=";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+}  // namespace dmtl

@@ -1,0 +1,58 @@
+#ifndef DMTL_AST_EXPR_H_
+#define DMTL_AST_EXPR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/ast/value.h"
+
+namespace dmtl {
+
+// An arithmetic expression tree used in builtin body atoms: comparisons
+// (K > 0), assignments (M = X + Y), and the contract's fee/funding formulas.
+// Value semantics; children are stored inline.
+class Expr {
+ public:
+  enum class Op : uint8_t {
+    kConst,  // literal value
+    kVar,    // rule variable
+    kAdd,
+    kSub,
+    kMul,
+    kDiv,
+    kNeg,  // unary minus
+    kAbs,
+    kMin,
+    kMax,
+  };
+
+  static Expr Const(Value v);
+  static Expr Var(int index);
+  static Expr Unary(Op op, Expr child);
+  static Expr Binary(Op op, Expr lhs, Expr rhs);
+
+  Op op() const { return op_; }
+  const Value& constant() const { return constant_; }
+  int var() const { return var_; }
+  const std::vector<Expr>& children() const { return children_; }
+
+  // Appends all variable indices occurring in the tree.
+  void CollectVars(std::vector<int>* vars) const;
+
+  std::string ToString(const std::vector<std::string>& var_names) const;
+
+ private:
+  Op op_ = Op::kConst;
+  Value constant_;
+  int var_ = -1;
+  std::vector<Expr> children_;
+};
+
+// Comparison relations for builtin filter atoms.
+enum class CmpOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CmpOpToString(CmpOp op);
+
+}  // namespace dmtl
+
+#endif  // DMTL_AST_EXPR_H_

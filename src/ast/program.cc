@@ -1,0 +1,66 @@
+#include "src/ast/program.h"
+
+#include <map>
+
+namespace dmtl {
+
+std::set<PredicateId> Program::AllPredicates() const {
+  std::set<PredicateId> out = HeadPredicates();
+  for (const Rule& rule : rules_) {
+    for (const BodyLiteral& lit : rule.body) {
+      if (lit.kind != BodyLiteral::Kind::kMetric) continue;
+      std::vector<const RelationalAtom*> atoms;
+      lit.metric.CollectRelationalAtoms(&atoms);
+      for (const RelationalAtom* atom : atoms) out.insert(atom->predicate);
+    }
+  }
+  return out;
+}
+
+std::set<PredicateId> Program::HeadPredicates() const {
+  std::set<PredicateId> out;
+  for (const Rule& rule : rules_) out.insert(rule.head.predicate);
+  return out;
+}
+
+std::set<PredicateId> Program::EdbPredicates() const {
+  std::set<PredicateId> all = AllPredicates();
+  for (PredicateId head : HeadPredicates()) all.erase(head);
+  return all;
+}
+
+Status Program::CheckArities() const {
+  std::map<PredicateId, size_t> arities;
+  auto check = [&](PredicateId pred, size_t arity) -> Status {
+    auto [it, inserted] = arities.emplace(pred, arity);
+    if (!inserted && it->second != arity) {
+      return Status::InvalidArgument(
+          "predicate '" + PredicateName(pred) + "' used with arities " +
+          std::to_string(it->second) + " and " + std::to_string(arity));
+    }
+    return Status::Ok();
+  };
+  for (const Rule& rule : rules_) {
+    DMTL_RETURN_IF_ERROR(check(rule.head.predicate, rule.head.args.size()));
+    for (const BodyLiteral& lit : rule.body) {
+      if (lit.kind != BodyLiteral::Kind::kMetric) continue;
+      std::vector<const RelationalAtom*> atoms;
+      lit.metric.CollectRelationalAtoms(&atoms);
+      for (const RelationalAtom* atom : atoms) {
+        DMTL_RETURN_IF_ERROR(check(atom->predicate, atom->args.size()));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+std::string Program::ToString() const {
+  std::string out;
+  for (const Rule& rule : rules_) {
+    out += rule.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace dmtl

@@ -1,0 +1,46 @@
+#ifndef DMTL_AST_PROGRAM_H_
+#define DMTL_AST_PROGRAM_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/ast/rule.h"
+#include "src/common/status.h"
+
+namespace dmtl {
+
+// A DatalogMTL program: a finite set of rules. Construction-time checks
+// (arity consistency) live here; deeper analyses (safety, stratification)
+// live in src/analysis.
+class Program {
+ public:
+  Program() = default;
+
+  void AddRule(Rule rule) { rules_.push_back(std::move(rule)); }
+
+  const std::vector<Rule>& rules() const { return rules_; }
+  size_t size() const { return rules_.size(); }
+
+  // All predicates mentioned anywhere (heads and bodies).
+  std::set<PredicateId> AllPredicates() const;
+
+  // Predicates that appear in at least one rule head (the IDB).
+  std::set<PredicateId> HeadPredicates() const;
+
+  // Predicates that only ever appear in bodies (the EDB - expected to come
+  // from the input database).
+  std::set<PredicateId> EdbPredicates() const;
+
+  // Verifies that every predicate is used with a single arity everywhere.
+  Status CheckArities() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Rule> rules_;
+};
+
+}  // namespace dmtl
+
+#endif  // DMTL_AST_PROGRAM_H_

@@ -1,0 +1,100 @@
+#include "src/ast/rule.h"
+
+namespace dmtl {
+
+std::string BuiltinAtom::ToString(
+    const std::vector<std::string>& var_names) const {
+  auto name = [&](int v) -> std::string {
+    if (v >= 0 && static_cast<size_t>(v) < var_names.size()) {
+      return var_names[v];
+    }
+    return "V" + std::to_string(v);
+  };
+  switch (kind) {
+    case Kind::kCompare:
+      return lhs.ToString(var_names) + " " + CmpOpToString(cmp) + " " +
+             rhs.ToString(var_names);
+    case Kind::kAssign:
+      return name(var) + " = " + expr.ToString(var_names);
+    case Kind::kTimestamp:
+      return "timestamp(" + name(var) + ")";
+  }
+  return "?";
+}
+
+BodyLiteral BodyLiteral::Metric(MetricAtom atom, bool negated) {
+  BodyLiteral lit;
+  lit.kind = Kind::kMetric;
+  lit.negated = negated;
+  lit.metric = std::move(atom);
+  return lit;
+}
+
+BodyLiteral BodyLiteral::Builtin(BuiltinAtom atom) {
+  BodyLiteral lit;
+  lit.kind = Kind::kBuiltin;
+  lit.builtin = std::move(atom);
+  return lit;
+}
+
+std::string BodyLiteral::ToString(
+    const std::vector<std::string>& var_names) const {
+  if (kind == Kind::kBuiltin) return builtin.ToString(var_names);
+  std::string out = negated ? "not " : "";
+  return out + metric.ToString(var_names);
+}
+
+const char* AggKindToString(AggKind kind) {
+  switch (kind) {
+    case AggKind::kSum:
+      return "msum";
+    case AggKind::kCount:
+      return "mcount";
+    case AggKind::kMin:
+      return "mmin";
+    case AggKind::kMax:
+      return "mmax";
+    case AggKind::kAvg:
+      return "mavg";
+  }
+  return "?";
+}
+
+std::string HeadAtom::ToString(
+    const std::vector<std::string>& var_names) const {
+  std::string out;
+  for (const HeadOp& op : ops) {
+    out += MtlOpToString(op.op);
+    out += op.range.ToString();
+    out += ' ';
+  }
+  out += PredicateName(predicate);
+  out += '(';
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ", ";
+    if (aggregate.has_value() &&
+        aggregate->arg_index == static_cast<int>(i)) {
+      out += AggKindToString(aggregate->kind);
+      out += '(';
+      out += aggregate->term.ToString(var_names);
+      out += ')';
+    } else {
+      out += args[i].ToString(var_names);
+    }
+  }
+  out += ')';
+  return out;
+}
+
+std::string Rule::ToString() const {
+  std::string out = head.ToString(var_names);
+  out += " :- ";
+  for (size_t i = 0; i < body.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += body[i].ToString(var_names);
+  }
+  out += " .";
+  return out;
+}
+
+}  // namespace dmtl

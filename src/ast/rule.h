@@ -1,0 +1,93 @@
+#ifndef DMTL_AST_RULE_H_
+#define DMTL_AST_RULE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/ast/atom.h"
+#include "src/ast/expr.h"
+
+namespace dmtl {
+
+// A non-relational body atom: a comparison filter, a variable assignment, or
+// the `timestamp(T)` builtin (the paper's Vadalog `unix(t)` promotion, which
+// binds T to the punctual time point of the join result).
+struct BuiltinAtom {
+  enum class Kind : uint8_t { kCompare, kAssign, kTimestamp };
+
+  Kind kind = Kind::kCompare;
+  // kCompare: lhs cmp rhs.
+  CmpOp cmp = CmpOp::kEq;
+  Expr lhs;
+  Expr rhs;
+  // kAssign: var := expr. kTimestamp: var := current time point.
+  int var = -1;
+  Expr expr;
+
+  std::string ToString(const std::vector<std::string>& var_names) const;
+};
+
+// One conjunct of a rule body.
+struct BodyLiteral {
+  enum class Kind : uint8_t { kMetric, kBuiltin };
+
+  Kind kind = Kind::kMetric;
+  bool negated = false;  // only meaningful for kMetric
+  MetricAtom metric;
+  BuiltinAtom builtin;
+
+  static BodyLiteral Metric(MetricAtom atom, bool negated = false);
+  static BodyLiteral Builtin(BuiltinAtom atom);
+
+  std::string ToString(const std::vector<std::string>& var_names) const;
+};
+
+// Aggregation functions available in rule heads (stratified semantics,
+// grouped by the head's non-aggregated arguments and by time point).
+enum class AggKind : uint8_t { kSum, kCount, kMin, kMax, kAvg };
+
+const char* AggKindToString(AggKind kind);
+
+struct AggregateSpec {
+  AggKind kind = AggKind::kSum;
+  // Which head argument position carries the aggregate.
+  int arg_index = 0;
+  // The aggregated term (a variable or constant from the body).
+  Term term = Term::Constant(Value::Int(0));
+};
+
+// Rule head: an optional chain of boxminus/boxplus operators around a
+// relational atom (per the DatalogMTL head grammar M' ::= P(s) | boxminus M'
+// | boxplus M'), optionally with one aggregated argument.
+struct HeadAtom {
+  struct HeadOp {
+    MtlOp op;  // kBoxMinus or kBoxPlus only
+    Interval range;
+  };
+
+  std::vector<HeadOp> ops;  // outermost first
+  PredicateId predicate = 0;
+  std::vector<Term> args;
+  std::optional<AggregateSpec> aggregate;
+
+  std::string ToString(const std::vector<std::string>& var_names) const;
+};
+
+// A DatalogMTL rule: body literals -> head. Variables are rule-scoped
+// indices into `var_names`.
+struct Rule {
+  HeadAtom head;
+  std::vector<BodyLiteral> body;
+  std::vector<std::string> var_names;
+  // Optional label for diagnostics (e.g. "paper-rule-36-corrected").
+  std::string label;
+
+  int num_vars() const { return static_cast<int>(var_names.size()); }
+
+  std::string ToString() const;
+};
+
+}  // namespace dmtl
+
+#endif  // DMTL_AST_RULE_H_

@@ -1,0 +1,16 @@
+#include "src/ast/term.h"
+
+namespace dmtl {
+
+std::string Term::ToString(const std::vector<std::string>& var_names) const {
+  if (is_var_) {
+    if (var_ >= 0 && static_cast<size_t>(var_) < var_names.size()) {
+      return var_names[var_];
+    }
+    return "V" + std::to_string(var_);
+  }
+  if (value_.is_symbol()) return value_.AsSymbolName();
+  return value_.ToString();
+}
+
+}  // namespace dmtl

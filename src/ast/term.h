@@ -1,0 +1,54 @@
+#ifndef DMTL_AST_TERM_H_
+#define DMTL_AST_TERM_H_
+
+#include <string>
+#include <vector>
+
+#include "src/ast/value.h"
+
+namespace dmtl {
+
+// An argument position in an atom: a constant value or a rule-scoped
+// variable (an index into the owning rule's variable table). Anonymous
+// variables ("_") get a fresh index per occurrence at parse time.
+class Term {
+ public:
+  static Term Constant(Value v) {
+    Term t;
+    t.is_var_ = false;
+    t.value_ = std::move(v);
+    return t;
+  }
+
+  static Term Variable(int index) {
+    Term t;
+    t.is_var_ = true;
+    t.var_ = index;
+    return t;
+  }
+
+  bool is_variable() const { return is_var_; }
+  bool is_constant() const { return !is_var_; }
+
+  int var() const { return var_; }
+  const Value& value() const { return value_; }
+
+  // Renders the term with variable names from the owning rule.
+  std::string ToString(const std::vector<std::string>& var_names) const;
+
+  friend bool operator==(const Term& a, const Term& b) {
+    if (a.is_var_ != b.is_var_) return false;
+    return a.is_var_ ? a.var_ == b.var_ : a.value_ == b.value_;
+  }
+
+ private:
+  Term() : is_var_(false), var_(-1) {}
+
+  bool is_var_;
+  int var_;
+  Value value_;
+};
+
+}  // namespace dmtl
+
+#endif  // DMTL_AST_TERM_H_

@@ -1,0 +1,215 @@
+#include "src/ast/value.h"
+
+#include <cassert>
+#include <cmath>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+
+namespace dmtl {
+
+namespace {
+
+// Process-wide symbol interner. Uses the function-local-static-reference
+// pattern so it is never destroyed (safe at any shutdown order).
+class SymbolTable {
+ public:
+  static SymbolTable& Get() {
+    static SymbolTable& table = *new SymbolTable();
+    return table;
+  }
+
+  uint32_t Intern(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = ids_.find(std::string(name));
+    if (it != ids_.end()) return it->second;
+    uint32_t id = static_cast<uint32_t>(names_.size());
+    names_.push_back(std::string(name));
+    ids_.emplace(names_.back(), id);
+    return id;
+  }
+
+  const std::string& Name(uint32_t id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    assert(id < names_.size());
+    return names_[id];
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, uint32_t> ids_;
+};
+
+}  // namespace
+
+Value Value::Bool(bool b) {
+  Value v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+Value Value::Int(int64_t i) {
+  Value v;
+  v.kind_ = Kind::kInt;
+  v.int_ = i;
+  return v;
+}
+
+Value Value::Double(double d) {
+  Value v;
+  v.kind_ = Kind::kDouble;
+  v.double_ = d;
+  return v;
+}
+
+Value Value::Symbol(std::string_view name) {
+  return SymbolFromId(SymbolTable::Get().Intern(name));
+}
+
+Value Value::SymbolFromId(uint32_t id) {
+  Value v;
+  v.kind_ = Kind::kSymbol;
+  v.symbol_ = id;
+  return v;
+}
+
+bool Value::AsBool() const {
+  assert(is_bool());
+  return bool_;
+}
+
+int64_t Value::AsInt() const {
+  assert(is_int());
+  return int_;
+}
+
+double Value::AsDouble() const {
+  assert(is_numeric());
+  return is_int() ? static_cast<double>(int_) : double_;
+}
+
+uint32_t Value::symbol_id() const {
+  assert(is_symbol());
+  return symbol_;
+}
+
+const std::string& Value::AsSymbolName() const {
+  return SymbolTable::Get().Name(symbol_id());
+}
+
+int Value::NumericCompare(const Value& a, const Value& b) {
+  assert(a.is_numeric() && b.is_numeric());
+  if (a.is_int() && b.is_int()) {
+    if (a.int_ < b.int_) return -1;
+    if (b.int_ < a.int_) return 1;
+    return 0;
+  }
+  double x = a.AsDouble();
+  double y = b.AsDouble();
+  if (x < y) return -1;
+  if (y < x) return 1;
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (kind_) {
+    case Kind::kNull:
+      return "null";
+    case Kind::kBool:
+      return bool_ ? "true" : "false";
+    case Kind::kInt:
+      return std::to_string(int_);
+    case Kind::kDouble: {
+      std::ostringstream os;
+      os.precision(17);
+      os << double_;
+      return os.str();
+    }
+    case Kind::kSymbol:
+      return AsSymbolName();
+  }
+  return "?";
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.kind_ != b.kind_) return false;
+  switch (a.kind_) {
+    case Value::Kind::kNull:
+      return true;
+    case Value::Kind::kBool:
+      return a.bool_ == b.bool_;
+    case Value::Kind::kInt:
+      return a.int_ == b.int_;
+    case Value::Kind::kDouble:
+      return a.double_ == b.double_;
+    case Value::Kind::kSymbol:
+      return a.symbol_ == b.symbol_;
+  }
+  return false;
+}
+
+bool operator<(const Value& a, const Value& b) {
+  if (a.kind_ != b.kind_) return a.kind_ < b.kind_;
+  switch (a.kind_) {
+    case Value::Kind::kNull:
+      return false;
+    case Value::Kind::kBool:
+      return a.bool_ < b.bool_;
+    case Value::Kind::kInt:
+      return a.int_ < b.int_;
+    case Value::Kind::kDouble:
+      return a.double_ < b.double_;
+    case Value::Kind::kSymbol:
+      return a.AsSymbolName() < b.AsSymbolName();
+  }
+  return false;
+}
+
+size_t Value::Hash() const {
+  size_t h = static_cast<size_t>(kind_);
+  size_t payload = 0;
+  switch (kind_) {
+    case Kind::kNull:
+      payload = 0;
+      break;
+    case Kind::kBool:
+      payload = bool_ ? 1 : 0;
+      break;
+    case Kind::kInt:
+      payload = std::hash<int64_t>()(int_);
+      break;
+    case Kind::kDouble:
+      payload = std::hash<double>()(double_);
+      break;
+    case Kind::kSymbol:
+      payload = symbol_;
+      break;
+  }
+  return h * 0x9e3779b97f4a7c15ULL + payload;
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToString();
+}
+
+std::string TupleToString(const Tuple& tuple) {
+  std::string out = "(";
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += tuple[i].ToString();
+  }
+  out += ')';
+  return out;
+}
+
+size_t TupleHash::operator()(const Tuple& t) const {
+  size_t h = t.size();
+  for (const Value& v : t) {
+    h = h * 0x100000001b3ULL ^ v.Hash();
+  }
+  return h;
+}
+
+}  // namespace dmtl

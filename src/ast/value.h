@@ -1,0 +1,89 @@
+#ifndef DMTL_AST_VALUE_H_
+#define DMTL_AST_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dmtl {
+
+// A runtime constant in a fact or rule: null, boolean, 64-bit integer,
+// double, or an interned symbol (identifiers like account ids and strings).
+//
+// Identity (operator==, Hash) is structural: Int(1) != Double(1.0). Numeric
+// *comparison* for builtin predicates promotes int to double; see
+// NumericCompare().
+class Value {
+ public:
+  enum class Kind : uint8_t { kNull, kBool, kInt, kDouble, kSymbol };
+
+  Value() : kind_(Kind::kNull), int_(0) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool b);
+  static Value Int(int64_t i);
+  static Value Double(double d);
+  // Interns `name` in the process-wide symbol table.
+  static Value Symbol(std::string_view name);
+  static Value SymbolFromId(uint32_t id);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_int() const { return kind_ == Kind::kInt; }
+  bool is_double() const { return kind_ == Kind::kDouble; }
+  bool is_symbol() const { return kind_ == Kind::kSymbol; }
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  bool AsBool() const;
+  int64_t AsInt() const;
+  double AsDouble() const;  // int promotes to double
+  uint32_t symbol_id() const;
+  // The interned spelling; only valid for symbols.
+  const std::string& AsSymbolName() const;
+
+  // Three-way numeric comparison with int->double promotion; both values
+  // must be numeric (callers validate). Returns -1, 0, or 1.
+  static int NumericCompare(const Value& a, const Value& b);
+
+  std::string ToString() const;
+
+  friend bool operator==(const Value& a, const Value& b);
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+  // Total order usable for sorting tuples deterministically.
+  friend bool operator<(const Value& a, const Value& b);
+
+  size_t Hash() const;
+
+ private:
+  Kind kind_;
+  union {
+    bool bool_;
+    int64_t int_;
+    double double_;
+    uint32_t symbol_;
+  };
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+// A ground argument list.
+using Tuple = std::vector<Value>;
+
+std::string TupleToString(const Tuple& tuple);
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const;
+};
+
+}  // namespace dmtl
+
+template <>
+struct std::hash<dmtl::Value> {
+  size_t operator()(const dmtl::Value& v) const { return v.Hash(); }
+};
+
+#endif  // DMTL_AST_VALUE_H_

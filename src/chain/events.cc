@@ -1,0 +1,124 @@
+#include "src/chain/events.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace dmtl {
+
+const char* EventKindToString(EventKind kind) {
+  switch (kind) {
+    case EventKind::kTransferMargin:
+      return "tranM";
+    case EventKind::kWithdraw:
+      return "withdraw";
+    case EventKind::kModifyPosition:
+      return "modPos";
+    case EventKind::kClosePosition:
+      return "closePos";
+  }
+  return "?";
+}
+
+std::string MarketEvent::ToString() const {
+  std::ostringstream os;
+  os.precision(17);
+  os << EventKindToString(kind) << "(" << account;
+  if (kind == EventKind::kTransferMargin ||
+      kind == EventKind::kModifyPosition) {
+    os << ", " << amount;
+  }
+  os << ")@" << time;
+  return os.str();
+}
+
+size_t Session::NumTrades() const {
+  size_t n = 0;
+  for (const MarketEvent& e : events) {
+    if (e.kind == EventKind::kClosePosition) ++n;
+  }
+  return n;
+}
+
+std::vector<int64_t> Session::EventTimes() const {
+  std::set<int64_t> times;
+  for (const MarketEvent& e : events) times.insert(e.time);
+  return {times.begin(), times.end()};
+}
+
+double Session::PriceAt(int64_t t) const {
+  double p = prices.empty() ? 0 : prices.front().price;
+  for (const PricePoint& point : prices) {
+    if (point.time > t) break;
+    p = point.price;
+  }
+  return p;
+}
+
+bool Session::Validate(std::string* error) const {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  if (end_time <= start_time) return fail("empty window");
+  if (prices.empty() || prices.front().time > start_time) {
+    return fail("price feed must cover the window start");
+  }
+  for (size_t i = 1; i < prices.size(); ++i) {
+    if (prices[i].time <= prices[i - 1].time) {
+      return fail("price feed not strictly increasing in time");
+    }
+  }
+  // Per-account simulation of legality.
+  struct AccountSim {
+    bool open = false;
+    bool has_position = false;  // non-zero size
+    double size = 0;
+    int64_t last_time = -1;
+  };
+  std::map<std::string, AccountSim> sims;
+  int64_t prev_time = start_time;
+  for (const MarketEvent& e : events) {
+    if (e.time <= start_time || e.time >= end_time) {
+      return fail("event outside the open window: " + e.ToString());
+    }
+    if (e.time < prev_time) return fail("events not sorted by time");
+    prev_time = e.time;
+    AccountSim& sim = sims[e.account];
+    if (sim.last_time == e.time) {
+      return fail("two events for one account at one tick: " + e.ToString());
+    }
+    sim.last_time = e.time;
+    switch (e.kind) {
+      case EventKind::kTransferMargin:
+        if (e.amount <= 0 && !sim.open) {
+          return fail("opening deposit must be positive: " + e.ToString());
+        }
+        sim.open = true;
+        break;
+      case EventKind::kWithdraw:
+        if (!sim.open) return fail("withdraw on closed account");
+        if (sim.size != 0) return fail("withdraw with open position");
+        sim.open = false;
+        break;
+      case EventKind::kModifyPosition:
+        if (!sim.open) return fail("modPos on closed account");
+        if (e.amount == 0) return fail("zero-size order: " + e.ToString());
+        if (sim.size + e.amount == 0) {
+          return fail("modPos flattening to zero (use closePos): " +
+                      e.ToString());
+        }
+        sim.size += e.amount;
+        break;
+      case EventKind::kClosePosition:
+        if (!sim.open) return fail("closePos on closed account");
+        if (sim.size == 0) return fail("closePos with no position");
+        sim.size = 0;
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace dmtl

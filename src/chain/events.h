@@ -1,0 +1,64 @@
+#ifndef DMTL_CHAIN_EVENTS_H_
+#define DMTL_CHAIN_EVENTS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dmtl {
+
+// The four user-facing methods of the ETH-PERP smart contract (Section 3.2).
+enum class EventKind : uint8_t {
+  kTransferMargin,   // tranM(A, M)
+  kWithdraw,         // withdraw(A)
+  kModifyPosition,   // modPos(A, S)
+  kClosePosition,    // closePos(A)
+};
+
+const char* EventKindToString(EventKind kind);
+
+// One method call hitting the contract.
+struct MarketEvent {
+  int64_t time = 0;  // unix seconds
+  EventKind kind = EventKind::kTransferMargin;
+  std::string account;
+  // Dollars for kTransferMargin, signed ETH units for kModifyPosition,
+  // unused otherwise.
+  double amount = 0;
+
+  std::string ToString() const;
+};
+
+// One oracle price update: `price` holds from `time` until the next point.
+struct PricePoint {
+  int64_t time = 0;
+  double price = 0;
+};
+
+// A replayable trading window (the unit of the paper's evaluation: a
+// 2-hour interval with given initial conditions).
+struct Session {
+  std::string name;
+  int64_t start_time = 0;
+  int64_t end_time = 0;
+  double initial_skew = 0;
+  std::vector<PricePoint> prices;   // sorted by time; first at start_time
+  std::vector<MarketEvent> events;  // sorted by time
+
+  int64_t duration() const { return end_time - start_time; }
+  // Number of completed trades (closePos calls), the paper's "# trades".
+  size_t NumTrades() const;
+  // Sorted distinct event timestamps.
+  std::vector<int64_t> EventTimes() const;
+  // The oracle price in force at `t`.
+  double PriceAt(int64_t t) const;
+
+  // Internal consistency: ordering, price coverage, per-account
+  // single-action-per-tick, deposits before orders, flat before withdraw.
+  // Used by tests and asserted by the generators.
+  bool Validate(std::string* error = nullptr) const;
+};
+
+}  // namespace dmtl
+
+#endif  // DMTL_CHAIN_EVENTS_H_

@@ -1,0 +1,29 @@
+#include "src/chain/price_feed.h"
+
+#include <cmath>
+#include <random>
+
+namespace dmtl {
+
+std::vector<PricePoint> GeneratePricePath(const PriceFeedConfig& config,
+                                          int64_t start_time,
+                                          int64_t end_time) {
+  std::vector<PricePoint> out;
+  std::mt19937_64 rng(config.seed);
+  std::normal_distribution<double> normal(0.0, 1.0);
+  constexpr double kSecondsPerYear = 365.0 * 86400.0;
+  double dt = static_cast<double>(config.update_interval_s) / kSecondsPerYear;
+  double sigma = config.annual_volatility;
+  double mu = config.drift;
+  double price = config.initial_price;
+  for (int64_t t = start_time; t < end_time;
+       t += config.update_interval_s) {
+    out.push_back({t, price});
+    double z = normal(rng);
+    price *= std::exp((mu - 0.5 * sigma * sigma) * dt +
+                      sigma * std::sqrt(dt) * z);
+  }
+  return out;
+}
+
+}  // namespace dmtl

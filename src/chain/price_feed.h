@@ -1,0 +1,29 @@
+#ifndef DMTL_CHAIN_PRICE_FEED_H_
+#define DMTL_CHAIN_PRICE_FEED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/chain/events.h"
+
+namespace dmtl {
+
+// Synthetic ETH oracle substitute: a geometric-Brownian price path sampled
+// at a fixed oracle cadence (Chainlink-style heartbeats). Deterministic
+// under a seed.
+struct PriceFeedConfig {
+  double initial_price = 1310.0;    // ETH, autumn-2022 regime
+  double annual_volatility = 0.85;  // crypto-grade vol
+  double drift = 0.0;
+  int64_t update_interval_s = 15;   // oracle heartbeat
+  uint64_t seed = 1;
+};
+
+// Generates price points covering [start_time, end_time).
+std::vector<PricePoint> GeneratePricePath(const PriceFeedConfig& config,
+                                          int64_t start_time,
+                                          int64_t end_time);
+
+}  // namespace dmtl
+
+#endif  // DMTL_CHAIN_PRICE_FEED_H_

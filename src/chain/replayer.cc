@@ -1,0 +1,54 @@
+#include "src/chain/replayer.h"
+
+namespace dmtl {
+
+Database SessionToDatabase(const Session& session) {
+  Database db;
+  Rational start(session.start_time);
+  Rational end(session.end_time);
+
+  db.Insert("start", {}, Interval::Point(start));
+  db.Insert("marketEnd", {}, Interval::Point(end));
+  db.Insert("skew", {Value::Double(session.initial_skew)},
+            Interval::Point(start));
+  db.Insert("frs", {Value::Double(0.0)}, Interval::Point(start));
+
+  // Price step function: each point holds until the next oracle update.
+  for (size_t i = 0; i < session.prices.size(); ++i) {
+    Rational lo(session.prices[i].time);
+    bool last = i + 1 == session.prices.size();
+    Rational hi = last ? end : Rational(session.prices[i + 1].time);
+    Interval iv = last ? Interval::Closed(lo, hi)
+                       : Interval::ClosedOpen(lo, hi);
+    db.Insert("price", {Value::Double(session.prices[i].price)}, iv);
+  }
+
+  for (const MarketEvent& e : session.events) {
+    Interval at = Interval::Point(Rational(e.time));
+    Value account = Value::Symbol(e.account);
+    switch (e.kind) {
+      case EventKind::kTransferMargin:
+        db.Insert("tranM", {account, Value::Double(e.amount)}, at);
+        break;
+      case EventKind::kWithdraw:
+        db.Insert("withdraw", {account}, at);
+        break;
+      case EventKind::kModifyPosition:
+        db.Insert("modPos", {account, Value::Double(e.amount)}, at);
+        break;
+      case EventKind::kClosePosition:
+        db.Insert("closePos", {account}, at);
+        break;
+    }
+  }
+  return db;
+}
+
+EngineOptions SessionEngineOptions(const Session& session) {
+  EngineOptions options;
+  options.min_time = Rational(session.start_time);
+  options.max_time = Rational(session.end_time);
+  return options;
+}
+
+}  // namespace dmtl

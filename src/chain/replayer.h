@@ -1,0 +1,21 @@
+#ifndef DMTL_CHAIN_REPLAYER_H_
+#define DMTL_CHAIN_REPLAYER_H_
+
+#include "src/chain/events.h"
+#include "src/eval/seminaive.h"
+#include "src/storage/database.h"
+
+namespace dmtl {
+
+// Maps a trading session onto the ETH-PERP program's input database: one
+// temporal fact per method call (tranM / withdraw / modPos / closePos),
+// step-function price intervals, the start/marketEnd window marks and the
+// initial skew/frs state (Section 4.1's "Input Dataset" step).
+Database SessionToDatabase(const Session& session);
+
+// The matching engine horizon: derivations clamped to the session window.
+EngineOptions SessionEngineOptions(const Session& session);
+
+}  // namespace dmtl
+
+#endif  // DMTL_CHAIN_REPLAYER_H_

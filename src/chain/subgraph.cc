@@ -1,0 +1,26 @@
+#include "src/chain/subgraph.h"
+
+namespace dmtl {
+
+Result<Subgraph> Subgraph::Index(const Session& session,
+                                 MarketParams params) {
+  ReferencePerpEngine engine(params);
+  DMTL_RETURN_IF_ERROR(engine.Run(session));
+  Subgraph graph;
+  graph.frs_updates_ = engine.frs_series();
+  graph.trades_ = engine.trades();
+  graph.withdrawals_ = engine.withdrawals();
+  return graph;
+}
+
+std::vector<TradeSettlement> Subgraph::FuturesTrades(
+    const std::string& account) const {
+  if (account.empty()) return trades_;
+  std::vector<TradeSettlement> out;
+  for (const TradeSettlement& trade : trades_) {
+    if (trade.account == account) out.push_back(trade);
+  }
+  return out;
+}
+
+}  // namespace dmtl

@@ -1,0 +1,47 @@
+#ifndef DMTL_CHAIN_SUBGRAPH_H_
+#define DMTL_CHAIN_SUBGRAPH_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/chain/events.h"
+#include "src/common/status.h"
+#include "src/reference/perp_engine.h"
+
+namespace dmtl {
+
+// Offline stand-in for the Mainnet Subgraph the paper queries for its
+// validation dataset (Section 4.1): indexes a session by replaying it
+// through the reference contract and exposes the two query entities the
+// paper uses - funding rate updates and completed trades.
+class Subgraph {
+ public:
+  static Result<Subgraph> Index(const Session& session,
+                                MarketParams params = {});
+
+  // The funding rate sequence F(t_k), one entry per interaction tick.
+  const std::vector<FrsPoint>& FundingRateUpdates() const {
+    return frs_updates_;
+  }
+
+  // Completed trades, optionally filtered by account.
+  std::vector<TradeSettlement> FuturesTrades(
+      const std::string& account = "") const;
+
+  // Margin balances paid out at withdrawal.
+  const std::map<std::string, double>& Withdrawals() const {
+    return withdrawals_;
+  }
+
+ private:
+  Subgraph() = default;
+
+  std::vector<FrsPoint> frs_updates_;
+  std::vector<TradeSettlement> trades_;
+  std::map<std::string, double> withdrawals_;
+};
+
+}  // namespace dmtl
+
+#endif  // DMTL_CHAIN_SUBGRAPH_H_

@@ -1,0 +1,216 @@
+#include "src/chain/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <set>
+
+namespace dmtl {
+
+namespace {
+
+// One account's scripted lifecycle before time assignment.
+struct AccountScript {
+  std::string name;
+  // Number of modifications per trade (beyond the opening order).
+  std::vector<int> mods_per_trade;
+  // Mid-session top-up deposits (rule 8).
+  int extra_deposits = 0;
+};
+
+}  // namespace
+
+Result<Session> GenerateSession(const WorkloadConfig& config) {
+  if (config.duration_s < 600) {
+    return Status::InvalidArgument("window too short");
+  }
+  if (config.num_trades < 0 || config.num_events < 0) {
+    return Status::InvalidArgument("negative counts");
+  }
+  // Feasibility: each account costs a deposit + a withdrawal, each trade an
+  // opening order + a close.
+  if (config.num_events < 2 * config.num_trades + 2) {
+    return Status::InvalidArgument("num_events too small for num_trades");
+  }
+  int budget_after_trades = config.num_events - 2 * config.num_trades;
+  int num_accounts =
+      std::max(1, std::min({config.num_trades > 0 ? config.num_trades : 1,
+                            budget_after_trades / 3, 64}));
+  while (2 * num_accounts > budget_after_trades) --num_accounts;
+  int extra =
+      config.num_events - 2 * num_accounts - 2 * config.num_trades;
+  // Leftover budget splits between extra position modifications and
+  // mid-session top-up deposits (which exercise the paper's rule 8); with
+  // no trades to attach modifications to, everything becomes deposits.
+  int extra_deposits = config.num_trades == 0 ? extra : extra / 5;
+  int extra_mods = extra - extra_deposits;
+
+  std::mt19937_64 rng(config.seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  // Script the accounts.
+  std::vector<AccountScript> scripts(num_accounts);
+  for (int i = 0; i < num_accounts; ++i) {
+    scripts[i].name = "acc" + std::to_string(i + 1);
+  }
+  for (int t = 0; t < config.num_trades; ++t) {
+    scripts[t % num_accounts].mods_per_trade.push_back(0);
+  }
+  // Spread the extra deposits over accounts.
+  for (int d = 0; d < extra_deposits; ++d) {
+    scripts[d % num_accounts].extra_deposits++;
+  }
+  // Spread the extra modifications over trades.
+  int total_trades = config.num_trades;
+  for (int m = 0; m < extra_mods && total_trades > 0; ++m) {
+    int pick = static_cast<int>(unit(rng) * total_trades);
+    int seen = 0;
+    for (AccountScript& script : scripts) {
+      for (int& mods : script.mods_per_trade) {
+        if (seen++ == pick) {
+          ++mods;
+          break;
+        }
+      }
+    }
+  }
+
+  // Time phases inside the open window (events strictly inside).
+  int64_t w = config.duration_s;
+  int64_t deposit_lo = config.start_time + 1;
+  int64_t deposit_hi = config.start_time + std::max<int64_t>(w / 20, 2);
+  int64_t trade_lo = deposit_hi + 1;
+  int64_t trade_hi = config.start_time + w - std::max<int64_t>(w / 25, 3);
+  int64_t withdraw_lo = trade_hi + 1;
+  int64_t withdraw_hi = config.start_time + w - 1;
+
+  auto draw_time = [&](int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(unit(rng) * static_cast<double>(
+                                                      hi - lo + 1));
+  };
+
+  Session session;
+  session.name = config.name;
+  session.start_time = config.start_time;
+  session.end_time = config.start_time + config.duration_s;
+  session.initial_skew = config.initial_skew;
+  PriceFeedConfig price_config = config.price;
+  price_config.seed = config.seed * 7919 + 13;
+  session.prices =
+      GeneratePricePath(price_config, session.start_time, session.end_time);
+
+  auto size_magnitude = [&] {
+    // Log-uniform in [0.2, 30] ETH - the retail-to-whale range on Kwenta.
+    return std::exp(std::log(0.2) +
+                    unit(rng) * (std::log(30.0) - std::log(0.2)));
+  };
+
+  for (AccountScript& script : scripts) {
+    // Draw this account's distinct trading-phase timestamps: trade actions
+    // consume them in order; top-up deposits take a random subset first.
+    int actions = 0;
+    for (int mods : script.mods_per_trade) actions += 2 + mods;
+    std::set<int64_t> times;
+    while (static_cast<int>(times.size()) < actions + script.extra_deposits) {
+      times.insert(draw_time(trade_lo, trade_hi));
+    }
+    std::vector<int64_t> ordered(times.begin(), times.end());
+    for (int d = 0; d < script.extra_deposits; ++d) {
+      size_t pick = static_cast<size_t>(unit(rng) * ordered.size());
+      if (pick >= ordered.size()) pick = ordered.size() - 1;
+      MarketEvent topup;
+      topup.time = ordered[pick];
+      topup.kind = EventKind::kTransferMargin;
+      topup.account = script.name;
+      topup.amount = 100.0 + unit(rng) * 4900.0;
+      session.events.push_back(topup);
+      ordered.erase(ordered.begin() + static_cast<ptrdiff_t>(pick));
+    }
+
+    MarketEvent deposit;
+    deposit.time = draw_time(deposit_lo, deposit_hi);
+    deposit.kind = EventKind::kTransferMargin;
+    deposit.account = script.name;
+    deposit.amount = 1000.0 + unit(rng) * 49000.0;
+    session.events.push_back(deposit);
+
+    size_t cursor = 0;
+    double size = 0;
+    for (int mods : script.mods_per_trade) {
+      double open_size = size_magnitude() * (unit(rng) < 0.5 ? -1.0 : 1.0);
+      MarketEvent open;
+      open.time = ordered[cursor++];
+      open.kind = EventKind::kModifyPosition;
+      open.account = script.name;
+      open.amount = open_size;
+      session.events.push_back(open);
+      size = open_size;
+      for (int m = 0; m < mods; ++m) {
+        double delta = size * (unit(rng) - 0.5);  // +-50% adjustments
+        if (delta == 0 || size + delta == 0) delta += 0.01;
+        MarketEvent mod;
+        mod.time = ordered[cursor++];
+        mod.kind = EventKind::kModifyPosition;
+        mod.account = script.name;
+        mod.amount = delta;
+        session.events.push_back(mod);
+        size += delta;
+      }
+      MarketEvent close;
+      close.time = ordered[cursor++];
+      close.kind = EventKind::kClosePosition;
+      close.account = script.name;
+      session.events.push_back(close);
+      size = 0;
+    }
+
+    MarketEvent withdraw;
+    withdraw.time = draw_time(withdraw_lo, withdraw_hi);
+    withdraw.kind = EventKind::kWithdraw;
+    withdraw.account = script.name;
+    session.events.push_back(withdraw);
+  }
+
+  std::stable_sort(session.events.begin(), session.events.end(),
+                   [](const MarketEvent& a, const MarketEvent& b) {
+                     return a.time < b.time;
+                   });
+  std::string error;
+  if (!session.Validate(&error)) {
+    return Status::Internal("generated session invalid: " + error);
+  }
+  if (static_cast<int>(session.events.size()) != config.num_events) {
+    return Status::Internal("generated event count mismatch");
+  }
+  return session;
+}
+
+std::vector<WorkloadConfig> PaperSessions() {
+  std::vector<WorkloadConfig> out(3);
+  out[0].name = "2022-09-27_10.30-12.30";
+  out[0].start_time = 1'664'274'600;
+  out[0].num_events = 267;
+  out[0].num_trades = 59;
+  out[0].initial_skew = -2445.98;
+  out[0].seed = 20220927;
+  out[0].price.initial_price = 1330.0;
+
+  out[1].name = "2022-10-07_18.00-20.00";
+  out[1].start_time = 1'665'165'600;
+  out[1].num_events = 108;
+  out[1].num_trades = 16;
+  out[1].initial_skew = 1302.88;
+  out[1].seed = 20221007;
+  out[1].price.initial_price = 1350.0;
+
+  out[2].name = "2022-10-12_14.00-16.00";
+  out[2].start_time = 1'665'583'200;
+  out[2].num_events = 128;
+  out[2].num_trades = 29;
+  out[2].initial_skew = 2502.85;
+  out[2].seed = 20221012;
+  out[2].price.initial_price = 1290.0;
+  return out;
+}
+
+}  // namespace dmtl

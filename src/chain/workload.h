@@ -1,0 +1,39 @@
+#ifndef DMTL_CHAIN_WORKLOAD_H_
+#define DMTL_CHAIN_WORKLOAD_H_
+
+#include "src/chain/events.h"
+#include "src/chain/price_feed.h"
+#include "src/common/status.h"
+
+namespace dmtl {
+
+// Parameters of one synthetic trading window. The defaults of the three
+// PaperSessions() reproduce the paper's Figure 3 rows exactly in the
+// observable columns (# events, # trades, initial skew, 2h duration); the
+// individual orders are synthetic (the real Optimism transaction stream is
+// not available offline - see DESIGN.md substitutions).
+struct WorkloadConfig {
+  std::string name = "session";
+  int64_t start_time = 1'664'274'600;  // 2022-09-27 10:30 GMT
+  int64_t duration_s = 7200;
+  int num_events = 100;   // total method calls (tranM+withdraw+modPos+closePos)
+  int num_trades = 20;    // completed trades (closePos calls)
+  double initial_skew = 0;
+  uint64_t seed = 42;
+  PriceFeedConfig price;
+};
+
+// Generates a deterministic session matching the config's counts, or an
+// error when the counts are infeasible (every trade needs an opening order
+// and a close; every account a deposit and a withdrawal).
+Result<Session> GenerateSession(const WorkloadConfig& config);
+
+// The paper's Figure 3: three 2-hour windows.
+//   2022-09-27 10:30-12:30  267 events  59 trades  skew -2445.98
+//   2022-10-07 18:00-20:00  108 events  16 trades  skew  1302.88
+//   2022-10-12 14:00-16:00  128 events  29 trades  skew  2502.85
+std::vector<WorkloadConfig> PaperSessions();
+
+}  // namespace dmtl
+
+#endif  // DMTL_CHAIN_WORKLOAD_H_

@@ -1,0 +1,203 @@
+#include "src/contracts/eth_perp_program.h"
+
+#include <cstdio>
+
+#include "src/parser/parser.h"
+
+namespace dmtl {
+
+namespace {
+
+std::string Fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  std::string s(buf);
+  // Ensure the literal lexes as a number with a decimal point.
+  if (s.find('.') == std::string::npos && s.find('e') == std::string::npos &&
+      s.find("inf") == std::string::npos) {
+    s += ".0";
+  }
+  return s;
+}
+
+// One fee rule. `stage` is "modPos" or "closePos"; sign conditions on skew
+// K and trade delta S select the rate.
+std::string FeeRule(const MarketParams& p, bool close, const char* k_cmp,
+                    const char* s_cmp, double k_sign, double s_sign) {
+  // delta_q is S for an order and -S for a close.
+  double delta_sign = close ? -s_sign : s_sign;
+  double rate = p.FeeRate(k_sign, delta_sign);
+  std::string head = close ? "finalFee(A, C)" : "fee(A, C)";
+  std::string out = head + " :- ";
+  if (close) {
+    out += "closePos(A), boxminus position(A, S, N), ";
+  } else {
+    out += "modPos(A, S), ";
+  }
+  out += "price(P), diamondminus fee(A, OldC), skew(K), ";
+  out += std::string("K ") + k_cmp + " 0.0, S " + s_cmp + " 0.0, ";
+  out += "C = OldC + abs(S * P * " + Fmt(rate) + ") .\n";
+  return out;
+}
+
+}  // namespace
+
+std::string EthPerpProgramText(const MarketParams& p) {
+  std::string text;
+  text += "% ============================================================\n";
+  text += "% ETH-PERP perpetual future in DatalogMTL (EDBT'23, Section 3)\n";
+  text += "% Market parameters: " + p.ToString() + "\n";
+  text += "% All metric operators default to the paper's [1,1] window.\n";
+  text += "% ============================================================\n\n";
+
+  text += "% ---- market lifetime (DESIGN.md item 4: the paper's bare\n";
+  text += "% isOpen()/isOpen(_) guard, read as \"the market is open\") ----\n";
+  text +=
+      "marketOpen() :- start() .\n"
+      "marketOpen() :- boxminus marketOpen(), not marketEnd() .\n\n";
+
+  text += "% ---- MARGIN (rules 1-9) ----\n";
+  text +=
+      "% (1) a first transfer opens the margin account\n"
+      "isOpen(A) :- tranM(A, M) .\n"
+      "% (2) the account stays open until a withdrawal\n"
+      "isOpen(A) :- boxminus isOpen(A), not withdraw(A) .\n"
+      "% (3) a first-time deposit initializes the margin\n"
+      "margin(A, M) :- tranM(A, M), not boxminus isOpen(A) .\n"
+      "% (4,5,6) events that change the margin\n"
+      "changeM(A) :- withdraw(A) .\n"
+      "changeM(A) :- tranM(A, M) .\n"
+      "changeM(A) :- closePos(A) .\n"
+      "% (7) the margin persists when nothing changes it\n"
+      "margin(A, M) :- diamondminus margin(A, M), not changeM(A) .\n"
+      "% (8) later deposits add to the margin\n"
+      "margin(A, M) :- boxminus isOpen(A), diamondminus margin(A, X), "
+      "tranM(A, Y), M = X + Y .\n"
+      "% (9) settlement folds returns, fees and funding into the margin\n"
+      "%     (the printed rule elides the finalFee/funding body atoms)\n"
+      "margin(A, M) :- diamondminus margin(A, X), pnl(A, PL), "
+      "finalFee(A, C), funding(A, IF), M = X + PL - C + IF .\n\n";
+
+  text += "% ---- POSITION (rules 10-15) ----\n";
+  text +=
+      "% (10) a zero position exists as soon as the margin account opens\n"
+      "position(A, S, N) :- tranM(A, M), not boxminus isOpen(A), "
+      "S = 0.0, N = 0.0 .\n"
+      "% (11,12) the order book\n"
+      "order(A, S) :- modPos(A, S) .\n"
+      "order(A, S) :- closePos(A), S = 0.0 .\n"
+      "% (13) positions persist over time while no order arrives\n"
+      "position(A, S, N) :- diamondminus position(A, S, N), "
+      "not order(A, _), isOpen(A) .\n"
+      "% (14) executing an order updates size and notional\n"
+      "position(A, S, N) :- diamondminus position(A, Y, Z), price(P), "
+      "modPos(A, X), S = X + Y, N = Z + X * P .\n"
+      "% (15) closing resets the position\n"
+      "position(A, S, N) :- closePos(A), S = 0.0, N = 0.0 .\n\n";
+
+  text += "% ---- RETURNS (rule 16) ----\n";
+  text +=
+      "pnl(A, PL) :- closePos(A), boxminus position(A, S, N), price(P), "
+      "PL = S * P - N .\n\n";
+
+  text += "% ---- F-RATE: events and skew (rules 17-22) ----\n";
+  text +=
+      "% (17-20) every interaction is an event; margin events carry S=0\n"
+      "%     (DESIGN.md item 5: contributions + one aggregation rule)\n"
+      "eventContrib(A, S) :- tranM(A, M), S = 0.0 .\n"
+      "eventContrib(A, S) :- withdraw(A), S = 0.0 .\n"
+      "eventContrib(A, S) :- modPos(A, S) .\n"
+      "eventContrib(A, S) :- closePos(A), boxminus position(A, S0, N), "
+      "S = 0.0 - S0 .\n"
+      "event(msum(S)) :- eventContrib(A, S) .\n"
+      "% (21) the skew persists between events\n"
+      "skew(K) :- diamondminus skew(K), not event(_), marketOpen() .\n"
+      "% (22) events shift the skew\n"
+      "skew(K) :- diamondminus skew(X), event(S), K = X + S .\n\n";
+
+  text += "% ---- F-RATE: time bookkeeping (rules 23-26) ----\n";
+  text +=
+      "% (23) the paper's unix(t) promotion is the timestamp() builtin\n"
+      "tdiff(T, T) :- start(), timestamp(T) .\n"
+      "% (24) bounds persist between events\n"
+      "tdiff(T1, T2) :- diamondminus tdiff(T1, T2), not event(_), "
+      "marketOpen() .\n"
+      "% (25) an event moves the window to [previous event, now]\n"
+      "tdiff(T2, U) :- diamondminus tdiff(T1, T2), event(S), "
+      "timestamp(U) .\n"
+      "% (26) seconds elapsed since the previous interaction\n"
+      "tdelta(D) :- tdiff(T1, T2), event(S), D = T2 - T1 .\n\n";
+
+  text += "% ---- F-RATE: funding rate sequence (rules 27-33) ----\n";
+  text +=
+      "% (27) proportional rate against the pre-event skew; W_max = " +
+      Fmt(p.skew_scale_usd) + " / P\n" +
+      "rate(I) :- event(S), boxminus skew(K), price(P), "
+      "I = -K * P / " + Fmt(p.skew_scale_usd) + " .\n" +
+      "% (28-30) clamp to [-1, 1] (boundaries close the paper's open ones)\n"
+      "clampR(C) :- rate(I), I > 1.0, C = 1.0 .\n"
+      "clampR(C) :- rate(I), I < -1.0, C = -1.0 .\n"
+      "clampR(I) :- rate(I), I >= -1.0, I <= 1.0 .\n"
+      "% (31) funding accrued since the last interaction\n"
+      "unrFund(UF) :- clampR(I), price(P), tdelta(D), "
+      "UF = I * P * D * " + Fmt(p.max_funding_rate) + " / " +
+      Fmt(p.seconds_per_day) + " .\n" +
+      "% (32) the sequence persists between events\n"
+      "frs(F) :- diamondminus frs(F), not unrFund(_), marketOpen() .\n"
+      "% (33) and accumulates on each event\n"
+      "frs(F) :- diamondminus frs(X), unrFund(UF), F = X + UF .\n\n";
+
+  text += "% ---- F-RATE: individual funding (rules 34-37) ----\n";
+  text +=
+      "% (34) opening a position records the current F with zero accrual\n"
+      "indF(A, F, AF) :- boxminus position(A, S, N), frs(F), modPos(A, C), "
+      "S == 0.0, AF = 0.0 .\n"
+      "% (35) persists while no order arrives (isOpen bounds the chain)\n"
+      "indF(A, F, AF) :- diamondminus indF(A, F, AF), not order(A, _), "
+      "isOpen(A) .\n"
+      "% (36) a modification accrues against the previously recorded F\n"
+      "%      (corrected per Example 3.5; see DESIGN.md item 1)\n"
+      "indF(A, F, AF) :- diamondminus indF(A, PF, PAF), frs(F), "
+      "modPos(A, C), boxminus position(A, S, N), "
+      "AF = PAF + S * (F - PF) .\n"
+      "% (37) settle at close\n"
+      "funding(A, IF) :- diamondminus indF(A, PF, AF), closePos(A), "
+      "frs(F), boxminus position(A, S, N), IF = AF + S * (F - PF) .\n\n";
+
+  text += "% ---- FEES (rules 38-48) ----\n";
+  text +=
+      "% (38) cumulative fees start at zero with the account\n"
+      "fee(A, C) :- tranM(A, M), not boxminus isOpen(A), C = 0.0 .\n"
+      "% (39) persist while no order arrives\n"
+      "fee(A, C) :- diamondminus fee(A, C), not order(A, _), isOpen(A) .\n";
+  text += "% (40-43) fees on a position modification\n";
+  text += FeeRule(p, /*close=*/false, ">", ">", +1, +1);
+  text += FeeRule(p, /*close=*/false, "<", ">", -1, +1);
+  text += FeeRule(p, /*close=*/false, ">", "<", +1, -1);
+  text += FeeRule(p, /*close=*/false, "<", "<", -1, -1);
+  text +=
+      "% (K = 0 edge, undefined in the paper: charge the maker rate)\n"
+      "fee(A, C) :- modPos(A, S), price(P), diamondminus fee(A, OldC), "
+      "skew(K), K == 0.0, C = OldC + abs(S * P * " +
+      Fmt(p.maker_fee) + ") .\n";
+  text += "% (44-47) fees on close (order size taken from the position)\n";
+  text += FeeRule(p, /*close=*/true, ">", "<", +1, -1);
+  text += FeeRule(p, /*close=*/true, "<", "<", -1, -1);
+  text += FeeRule(p, /*close=*/true, ">", ">", +1, +1);
+  text += FeeRule(p, /*close=*/true, "<", ">", -1, +1);
+  text +=
+      "finalFee(A, C) :- closePos(A), boxminus position(A, S, N), "
+      "price(P), diamondminus fee(A, OldC), skew(K), K == 0.0, "
+      "C = OldC + abs(S * P * " +
+      Fmt(p.maker_fee) + ") .\n";
+  text +=
+      "% (48) reset the running fees for the next trade\n"
+      "fee(A, C) :- closePos(A), C = 0.0 .\n";
+  return text;
+}
+
+Result<Program> EthPerpProgram(const MarketParams& params) {
+  return Parser::ParseProgram(EthPerpProgramText(params));
+}
+
+}  // namespace dmtl

@@ -1,0 +1,41 @@
+#ifndef DMTL_CONTRACTS_ETH_PERP_PROGRAM_H_
+#define DMTL_CONTRACTS_ETH_PERP_PROGRAM_H_
+
+#include <string>
+
+#include "src/ast/program.h"
+#include "src/common/status.h"
+#include "src/contracts/market_params.h"
+
+namespace dmtl {
+
+// The ETH-PERP perpetual-future smart contract encoded in DatalogMTL —
+// the paper's Section 3, rules 1-48, organized in the five modules MARGIN,
+// POSITION, RETURNS, F-RATE and FEES. Deviations from the printed rules
+// (corrections of typos, the K=0 fee edge, the marketOpen guard) are listed
+// in DESIGN.md and marked inline in the generated text.
+//
+// Input (EDB) predicates the caller provides as temporal facts:
+//   tranM(A, M)    deposit order, margin transfer of M dollars by account A
+//   withdraw(A)    account shutdown / full withdrawal
+//   modPos(A, S)   open/modify a position by S units (sign = side)
+//   closePos(A)    close the position, settling returns/fees/funding
+//   price(P)       the oracle price of ETH-PERP (step-function intervals)
+//   start()        market (analysis-window) start point
+//   marketEnd()    market (analysis-window) end point
+//   skew(K0)@t0, frs(0.0)@t0   initial market skew and funding sequence
+//
+// Derived state: isOpen, margin, order, position, pnl, event, skew, tdiff,
+// tdelta, rate, clampR, unrFund, frs, indF, funding, fee, finalFee,
+// marketOpen.
+//
+// Returns the program text so it can be inspected, printed and shipped (the
+// paper's artifact is the text itself).
+std::string EthPerpProgramText(const MarketParams& params = {});
+
+// Parses EthPerpProgramText into a Program.
+Result<Program> EthPerpProgram(const MarketParams& params = {});
+
+}  // namespace dmtl
+
+#endif  // DMTL_CONTRACTS_ETH_PERP_PROGRAM_H_

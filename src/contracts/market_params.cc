@@ -1,0 +1,38 @@
+#include "src/contracts/market_params.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dmtl {
+
+double MarketParams::FeeRate(double k, double delta_q) const {
+  bool increases_skew = (k > 0 && delta_q > 0) || (k < 0 && delta_q < 0);
+  bool taker;
+  if (k == 0) {
+    taker = false;  // neutral market: charge the lower rate
+  } else if (fee_convention == FeeConvention::kSection37Table) {
+    taker = increases_skew;
+  } else {
+    taker = !increases_skew;
+  }
+  return taker ? taker_fee : maker_fee;
+}
+
+double MarketParams::InstantaneousRate(double k, double p) const {
+  double w_max = skew_scale_usd / p;
+  double proportional = std::clamp(-k / w_max, -1.0, 1.0);
+  return proportional * max_funding_rate / seconds_per_day;
+}
+
+std::string MarketParams::ToString() const {
+  std::ostringstream os;
+  os.precision(17);
+  os << "phi_m=" << maker_fee << " phi_t=" << taker_fee
+     << " i_max=" << max_funding_rate << " skew_scale=" << skew_scale_usd
+     << " epochs_per_day=" << seconds_per_day << " fee_convention="
+     << (fee_convention == FeeConvention::kSection37Table ? "section-3.7"
+                                                          : "printed-rules");
+  return os.str();
+}
+
+}  // namespace dmtl

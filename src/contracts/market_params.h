@@ -1,0 +1,42 @@
+#ifndef DMTL_CONTRACTS_MARKET_PARAMS_H_
+#define DMTL_CONTRACTS_MARKET_PARAMS_H_
+
+#include <string>
+
+namespace dmtl {
+
+// Which fee-side convention to apply (the paper is internally inconsistent;
+// see DESIGN.md item 3).
+enum class FeeConvention {
+  // The fee table of Section 3.7 (and the prose): orders that *increase*
+  // the skew pay the taker rate, orders that reduce it pay the maker rate.
+  kSection37Table,
+  // Rules 40-47 as printed (and Example 3.6), which use the opposite sides.
+  kPrintedRules,
+};
+
+// The ETH-PERP market constants of the paper's Figure 2 plus the two fee
+// rates. phi_m = 0.0035 is fixed by Example 3.6; the taker rate is Kwenta's
+// era-consistent default.
+struct MarketParams {
+  double maker_fee = 0.0035;          // phi_m
+  double taker_fee = 0.0075;          // phi_t
+  double max_funding_rate = 0.1;      // i_max
+  double skew_scale_usd = 3.0e8;      // W_max = skew_scale_usd / p_t
+  double seconds_per_day = 86400.0;   // epochs per day
+  FeeConvention fee_convention = FeeConvention::kSection37Table;
+
+  // Fee rate applied to an order of (signed) size `delta_q` against market
+  // skew `k` (the K=0 edge, which the paper leaves undefined, pays maker).
+  double FeeRate(double k, double delta_q) const;
+
+  // Instantaneous funding rate i_t for pre-event skew `k` and price `p`
+  // (Figure 2): clamp(-k / (skew_scale/p), -1, 1) * i_max / seconds_per_day.
+  double InstantaneousRate(double k, double p) const;
+
+  std::string ToString() const;
+};
+
+}  // namespace dmtl
+
+#endif  // DMTL_CONTRACTS_MARKET_PARAMS_H_

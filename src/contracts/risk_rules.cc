@@ -1,0 +1,60 @@
+#include "src/contracts/risk_rules.h"
+
+#include <cstdio>
+
+#include "src/contracts/eth_perp_program.h"
+#include "src/parser/parser.h"
+
+namespace dmtl {
+
+namespace {
+
+std::string Fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  std::string s(buf);
+  if (s.find('.') == std::string::npos && s.find('e') == std::string::npos) {
+    s += ".0";
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string RiskMonitorProgramText(const RiskParams& p) {
+  std::string text;
+  text += "% ---- RISK MONITOR (paper Section 5 extension) ----\n";
+  text +=
+      "% Mark-to-market metrics per account, at every time point.\n"
+      "uPnl(A, U) :- position(A, S, N), price(P), U = S * P - N .\n"
+      "notionalExposure(A, X) :- position(A, S, N), price(P), "
+      "X = abs(S * P) .\n"
+      "equity(A, E) :- margin(A, M), uPnl(A, U), E = M + U .\n"
+      "marginRatio(A, R) :- equity(A, E), notionalExposure(A, X), "
+      "X > 0.0, R = E / X .\n";
+  text += "% Accounts below the maintenance ratio of " +
+          Fmt(p.maintenance_ratio) + ".\n";
+  text += "liquidatable(A) :- marginRatio(A, R), R < " +
+          Fmt(p.maintenance_ratio) + " .\n";
+  text +=
+      "% Rising edge: the first tick an account becomes liquidatable.\n"
+      "liquidationAlert(A) :- liquidatable(A), "
+      "not boxminus liquidatable(A) .\n";
+  text += "% Reporting threshold for supervisors: exposure above " +
+          Fmt(p.large_exposure_usd) + " USD.\n";
+  text += "largeExposure(A) :- notionalExposure(A, X), X > " +
+          Fmt(p.large_exposure_usd) + " .\n";
+  return text;
+}
+
+Result<Program> RiskMonitorProgram(const RiskParams& params) {
+  return Parser::ParseProgram(RiskMonitorProgramText(params));
+}
+
+Result<Program> EthPerpWithRiskMonitor(const MarketParams& market,
+                                       const RiskParams& risk) {
+  return Parser::ParseProgram(EthPerpProgramText(market) + "\n" +
+                              RiskMonitorProgramText(risk));
+}
+
+}  // namespace dmtl

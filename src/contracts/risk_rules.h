@@ -1,0 +1,43 @@
+#ifndef DMTL_CONTRACTS_RISK_RULES_H_
+#define DMTL_CONTRACTS_RISK_RULES_H_
+
+#include <string>
+
+#include "src/ast/program.h"
+#include "src/common/status.h"
+#include "src/contracts/market_params.h"
+
+namespace dmtl {
+
+// The paper's conclusion proposes using the declarative encoding "for
+// internal risk management activities, for instance, to be able to swiftly
+// react to the evolution of each margin account over time". This module is
+// that extension: a supervision layer of pure DatalogMTL rules over the
+// contract's state predicates (position, margin, price) that derives
+// mark-to-market metrics and alerts. It reads contract state and feeds
+// nothing back - supervision, not intervention.
+//
+// Derived predicates:
+//   uPnl(A, U)               unrealized PnL of the open position
+//   notionalExposure(A, X)   |S * p_t| in dollars
+//   equity(A, E)             margin + unrealized PnL
+//   marginRatio(A, R)        equity / exposure (only while exposed)
+//   liquidatable(A)          marginRatio below the maintenance ratio
+//   liquidationAlert(A)      rising edge of liquidatable
+//   largeExposure(A)         exposure above the reporting threshold
+struct RiskParams {
+  double maintenance_ratio = 0.05;
+  double large_exposure_usd = 100000.0;
+};
+
+std::string RiskMonitorProgramText(const RiskParams& params = {});
+
+Result<Program> RiskMonitorProgram(const RiskParams& params = {});
+
+// The ETH-PERP contract composed with the risk monitor, as one program.
+Result<Program> EthPerpWithRiskMonitor(const MarketParams& market = {},
+                                       const RiskParams& risk = {});
+
+}  // namespace dmtl
+
+#endif  // DMTL_CONTRACTS_RISK_RULES_H_

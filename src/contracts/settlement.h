@@ -1,0 +1,27 @@
+#ifndef DMTL_CONTRACTS_SETTLEMENT_H_
+#define DMTL_CONTRACTS_SETTLEMENT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dmtl {
+
+// The settlement of one completed trade (what the paper reads back from the
+// Mainnet Subgraph for validation: returns, fee, funding per closePos).
+struct TradeSettlement {
+  std::string account;
+  int64_t time = 0;
+  double pnl = 0;
+  double fee = 0;
+  double funding = 0;
+};
+
+// One funding-rate-sequence update: F(t_k) after the interaction at t_k.
+struct FrsPoint {
+  int64_t time = 0;
+  double f = 0;
+};
+
+}  // namespace dmtl
+
+#endif  // DMTL_CONTRACTS_SETTLEMENT_H_

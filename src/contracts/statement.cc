@@ -1,0 +1,118 @@
+#include "src/contracts/statement.h"
+
+#include <map>
+#include <sstream>
+
+#include "src/contracts/trade_extractor.h"
+
+namespace dmtl {
+
+namespace {
+
+Result<double> BalanceAt(const Database& db, const std::string& account,
+                         int64_t t) {
+  return MarginAt(db, account, t);
+}
+
+}  // namespace
+
+std::string StatementLine::ToString() const {
+  std::ostringstream os;
+  os.precision(10);
+  os << "t=" << time << "  " << kind;
+  if (kind == "deposit" || kind == "order") os << " " << amount;
+  os << "  balance=" << balance_after;
+  if (!note.empty()) os << "  (" << note << ")";
+  return os.str();
+}
+
+std::string AccountStatement::ToString() const {
+  std::ostringstream os;
+  os.precision(10);
+  os << "=== statement for " << account << " ===\n";
+  for (const StatementLine& line : lines) {
+    os << "  " << line.ToString() << "\n";
+  }
+  os << "  totals: deposits=" << total_deposits << " pnl=" << total_pnl
+     << " fees=" << total_fees << " funding=" << total_funding
+     << " final=" << final_balance
+     << (withdrawn ? " (withdrawn)" : " (still open)") << "\n";
+  return os.str();
+}
+
+Result<std::vector<AccountStatement>> BuildStatements(
+    const Database& db, const Session& session) {
+  DMTL_ASSIGN_OR_RETURN(std::vector<TradeSettlement> trades,
+                        ExtractTrades(db));
+  std::map<std::pair<std::string, int64_t>, const TradeSettlement*> by_key;
+  for (const TradeSettlement& t : trades) {
+    by_key[{t.account, t.time}] = &t;
+  }
+
+  std::map<std::string, AccountStatement> statements;
+  for (const MarketEvent& e : session.events) {
+    AccountStatement& statement = statements[e.account];
+    statement.account = e.account;
+    StatementLine line;
+    line.time = e.time;
+    switch (e.kind) {
+      case EventKind::kTransferMargin: {
+        line.kind = "deposit";
+        line.amount = e.amount;
+        statement.total_deposits += e.amount;
+        DMTL_ASSIGN_OR_RETURN(line.balance_after,
+                              BalanceAt(db, e.account, e.time));
+        break;
+      }
+      case EventKind::kModifyPosition: {
+        line.kind = "order";
+        line.amount = e.amount;
+        DMTL_ASSIGN_OR_RETURN(line.balance_after,
+                              BalanceAt(db, e.account, e.time));
+        break;
+      }
+      case EventKind::kClosePosition: {
+        line.kind = "close";
+        auto it = by_key.find({e.account, e.time});
+        if (it == by_key.end()) {
+          return Status::NotFound("no settlement for close of " + e.account +
+                                  " at t=" + std::to_string(e.time));
+        }
+        const TradeSettlement& t = *it->second;
+        statement.total_pnl += t.pnl;
+        statement.total_fees += t.fee;
+        statement.total_funding += t.funding;
+        DMTL_ASSIGN_OR_RETURN(line.balance_after,
+                              BalanceAt(db, e.account, e.time));
+        std::ostringstream note;
+        note.precision(10);
+        note << "pnl=" << t.pnl << " fee=" << t.fee
+             << " funding=" << t.funding;
+        line.note = note.str();
+        break;
+      }
+      case EventKind::kWithdraw: {
+        line.kind = "withdraw";
+        statement.withdrawn = true;
+        // The margin last holds the tick before the withdrawal.
+        DMTL_ASSIGN_OR_RETURN(line.balance_after,
+                              BalanceAt(db, e.account, e.time - 1));
+        statement.final_balance = line.balance_after;
+        break;
+      }
+    }
+    statement.lines.push_back(std::move(line));
+  }
+
+  std::vector<AccountStatement> out;
+  out.reserve(statements.size());
+  for (auto& [account, statement] : statements) {
+    if (!statement.withdrawn && !statement.lines.empty()) {
+      statement.final_balance = statement.lines.back().balance_after;
+    }
+    out.push_back(std::move(statement));
+  }
+  return out;
+}
+
+}  // namespace dmtl

@@ -1,0 +1,51 @@
+#ifndef DMTL_CONTRACTS_STATEMENT_H_
+#define DMTL_CONTRACTS_STATEMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/chain/events.h"
+#include "src/common/status.h"
+#include "src/storage/database.h"
+
+namespace dmtl {
+
+// Per-account activity reporting straight from the materialized contract
+// state - the paper's Section 5 use case of "automatically reporting
+// up-to-date data to authorities, like the size of the position at each
+// time point". Balances are read back from the margin facts the DatalogMTL
+// program derived (not recomputed), so the statement *is* the contract's
+// own account of events.
+
+struct StatementLine {
+  int64_t time = 0;
+  std::string kind;        // deposit / order / close / withdraw
+  double amount = 0;       // method argument (deposit size, order size)
+  double balance_after = 0;  // margin holding at this tick per the contract
+  std::string note;
+
+  std::string ToString() const;
+};
+
+struct AccountStatement {
+  std::string account;
+  double total_deposits = 0;
+  double total_pnl = 0;
+  double total_fees = 0;
+  double total_funding = 0;
+  double final_balance = 0;
+  bool withdrawn = false;
+  std::vector<StatementLine> lines;
+
+  std::string ToString() const;
+};
+
+// Builds one statement per account appearing in the session, against the
+// materialized database. Fails if the database was not materialized from
+// this session (missing margin/settlement facts).
+Result<std::vector<AccountStatement>> BuildStatements(const Database& db,
+                                                      const Session& session);
+
+}  // namespace dmtl
+
+#endif  // DMTL_CONTRACTS_STATEMENT_H_

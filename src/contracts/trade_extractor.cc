@@ -1,0 +1,102 @@
+#include "src/contracts/trade_extractor.h"
+
+#include <algorithm>
+
+namespace dmtl {
+
+namespace {
+
+// The single numeric value of a binary predicate keyed by account that
+// holds at tick t, e.g. finalFee(acc, C)@t.
+Result<double> KeyedValueAt(const Database& db, const char* pred,
+                            const Value& account, const Rational& t) {
+  const Relation* rel = db.Find(pred);
+  if (rel == nullptr) {
+    return Status::NotFound(std::string(pred) + " has no facts");
+  }
+  bool found = false;
+  double value = 0;
+  for (const auto& [tuple, set] : rel->data()) {
+    if (tuple.size() != 2 || tuple[0] != account) continue;
+    if (!set.Contains(t)) continue;
+    if (found) {
+      return Status::EvalError(std::string(pred) + " ambiguous at t=" +
+                               t.ToString());
+    }
+    found = true;
+    value = tuple[1].AsDouble();
+  }
+  if (!found) {
+    return Status::NotFound(std::string(pred) + "(" +
+                            account.ToString() + ", _) missing at t=" +
+                            t.ToString());
+  }
+  return value;
+}
+
+}  // namespace
+
+Result<std::vector<TradeSettlement>> ExtractTrades(const Database& db) {
+  std::vector<TradeSettlement> out;
+  const Relation* pnl = db.Find("pnl");
+  if (pnl == nullptr) return out;  // no trades settled
+  for (const auto& [tuple, set] : pnl->data()) {
+    if (tuple.size() != 2) continue;
+    for (const Interval& iv : set) {
+      if (!iv.IsPunctual() || !iv.lo().value.is_integer()) {
+        return Status::EvalError("pnl fact with non-punctual extent: " +
+                                 set.ToString());
+      }
+      Rational t = iv.lo().value;
+      TradeSettlement trade;
+      trade.account = tuple[0].AsSymbolName();
+      trade.time = t.numerator();
+      trade.pnl = tuple[1].AsDouble();
+      DMTL_ASSIGN_OR_RETURN(trade.fee,
+                            KeyedValueAt(db, "finalFee", tuple[0], t));
+      DMTL_ASSIGN_OR_RETURN(trade.funding,
+                            KeyedValueAt(db, "funding", tuple[0], t));
+      out.push_back(std::move(trade));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TradeSettlement& a, const TradeSettlement& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.account < b.account;
+            });
+  return out;
+}
+
+Result<std::vector<FrsPoint>> ExtractFrsAt(const Database& db,
+                                           const std::vector<int64_t>& times) {
+  const Relation* rel = db.Find("frs");
+  if (rel == nullptr) return Status::NotFound("frs has no facts");
+  std::vector<FrsPoint> out;
+  out.reserve(times.size());
+  for (int64_t time : times) {
+    Rational t(time);
+    bool found = false;
+    double f = 0;
+    for (const auto& [tuple, set] : rel->data()) {
+      if (tuple.size() != 1 || !set.Contains(t)) continue;
+      if (found) {
+        return Status::EvalError("multiple frs values at t=" +
+                                 std::to_string(time));
+      }
+      found = true;
+      f = tuple[0].AsDouble();
+    }
+    if (!found) {
+      return Status::NotFound("frs missing at t=" + std::to_string(time));
+    }
+    out.push_back({time, f});
+  }
+  return out;
+}
+
+Result<double> MarginAt(const Database& db, const std::string& account,
+                        int64_t t) {
+  return KeyedValueAt(db, "margin", Value::Symbol(account), Rational(t));
+}
+
+}  // namespace dmtl

@@ -1,0 +1,30 @@
+#ifndef DMTL_CONTRACTS_TRADE_EXTRACTOR_H_
+#define DMTL_CONTRACTS_TRADE_EXTRACTOR_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/contracts/settlement.h"
+#include "src/storage/database.h"
+
+namespace dmtl {
+
+// Reads the trading outcomes back out of a materialized ETH-PERP database
+// (the DatalogMTL side of the paper's Section 4 comparison).
+
+// Joins pnl / finalFee / funding facts per (account, close tick); errors if
+// a close settled partially (which would indicate a program bug).
+Result<std::vector<TradeSettlement>> ExtractTrades(const Database& db);
+
+// The frs(F) value holding at each queried tick (event times from the
+// session). Errors when a tick has no or multiple frs values.
+Result<std::vector<FrsPoint>> ExtractFrsAt(const Database& db,
+                                           const std::vector<int64_t>& times);
+
+// The margin of `account` holding at tick t; errors when absent/ambiguous.
+Result<double> MarginAt(const Database& db, const std::string& account,
+                        int64_t t);
+
+}  // namespace dmtl
+
+#endif  // DMTL_CONTRACTS_TRADE_EXTRACTOR_H_

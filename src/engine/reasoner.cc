@@ -1,0 +1,110 @@
+#include "src/engine/reasoner.h"
+
+#include <algorithm>
+
+namespace dmtl {
+
+Result<EngineStats> Reasoner::Materialize(const Program& program,
+                                          Database* db) const {
+  EngineStats stats;
+  DMTL_RETURN_IF_ERROR(dmtl::Materialize(program, db, options_, &stats));
+  return stats;
+}
+
+Result<Database> Reasoner::Run(const std::string& program_text,
+                               const Database& input) const {
+  DMTL_ASSIGN_OR_RETURN(Parser::ParsedUnit unit, Parser::Parse(program_text));
+  Database db = input;
+  db.MergeFrom(unit.database);
+  DMTL_RETURN_IF_ERROR(dmtl::Materialize(unit.program, &db, options_));
+  return db;
+}
+
+bool Reasoner::Entails(const Database& db, std::string_view pred,
+                       const Tuple& tuple, const Interval& iv) {
+  const Relation* rel = db.Find(pred);
+  if (rel == nullptr) return false;
+  const IntervalSet* set = rel->Find(tuple);
+  return set != nullptr && set->Contains(iv);
+}
+
+Result<bool> Reasoner::Entails(const Database& db, const std::string& fact) {
+  DMTL_ASSIGN_OR_RETURN(Database parsed, Parser::ParseDatabase(fact));
+  if (parsed.NumPredicates() != 1 || parsed.NumIntervals() != 1) {
+    return Status::InvalidArgument("expected exactly one fact: " + fact);
+  }
+  for (const auto& [pred, rel] : parsed.relations()) {
+    for (const auto& [tuple, set] : rel.data()) {
+      for (const Interval& iv : set) {
+        if (!Entails(db, PredicateName(pred), tuple, iv)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<DerivationRecord> Reasoner::Explain(
+    const std::vector<DerivationRecord>& provenance, std::string_view pred,
+    const Tuple& tuple, const Rational& t) {
+  PredicateId id = InternPredicate(pred);
+  std::vector<DerivationRecord> out;
+  for (const DerivationRecord& record : provenance) {
+    if (record.predicate == id && record.tuple == tuple &&
+        record.piece.Contains(t)) {
+      out.push_back(record);
+    }
+  }
+  return out;
+}
+
+std::vector<Tuple> Reasoner::TuplesAt(const Database& db,
+                                      std::string_view pred,
+                                      const Rational& t) {
+  std::vector<Tuple> out;
+  const Relation* rel = db.Find(pred);
+  if (rel == nullptr) return out;
+  for (const auto& [tuple, set] : rel->data()) {
+    if (set.Contains(t)) out.push_back(tuple);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Tuple& a, const Tuple& b) {
+              return std::lexicographical_compare(a.begin(), a.end(),
+                                                  b.begin(), b.end());
+            });
+  return out;
+}
+
+std::vector<std::pair<Rational, Tuple>> Reasoner::Series(
+    const Database& db, std::string_view pred) {
+  std::vector<std::pair<Rational, Tuple>> out;
+  std::vector<Tuple> infinite_start;
+  const Relation* rel = db.Find(pred);
+  if (rel == nullptr) return out;
+  for (const auto& [tuple, set] : rel->data()) {
+    for (const Interval& iv : set) {
+      if (iv.lo().infinite) {
+        infinite_start.push_back(tuple);
+      } else {
+        out.emplace_back(iv.lo().value, tuple);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first < b.first;
+              return std::lexicographical_compare(a.second.begin(),
+                                                  a.second.end(),
+                                                  b.second.begin(),
+                                                  b.second.end());
+            });
+  // Entries holding since forever sort before any finite start.
+  std::vector<std::pair<Rational, Tuple>> result;
+  result.reserve(infinite_start.size() + out.size());
+  for (Tuple& t : infinite_start) {
+    result.emplace_back(Rational(0), std::move(t));
+  }
+  result.insert(result.end(), out.begin(), out.end());
+  return result;
+}
+
+}  // namespace dmtl

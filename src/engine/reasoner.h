@@ -1,0 +1,69 @@
+#ifndef DMTL_ENGINE_REASONER_H_
+#define DMTL_ENGINE_REASONER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/eval/seminaive.h"
+#include "src/parser/parser.h"
+
+namespace dmtl {
+
+// The public entry point of the DatalogMTL engine (our stand-in for the
+// Temporal Vadalog system the paper runs on).
+//
+//   dmtl::Reasoner reasoner(options);
+//   auto unit = dmtl::Parser::Parse(program_text).value();
+//   dmtl::Database db = std::move(unit.database);
+//   auto stats = reasoner.Materialize(unit.program, &db);
+//   for (auto& [t, tuple] : dmtl::Reasoner::Series(db, "frs")) { ... }
+class Reasoner {
+ public:
+  explicit Reasoner(EngineOptions options = {}) : options_(options) {}
+
+  const EngineOptions& options() const { return options_; }
+
+  // Runs the chase: augments `db` in place with all facts entailed by the
+  // program and returns run statistics.
+  Result<EngineStats> Materialize(const Program& program, Database* db) const;
+
+  // Parses and materializes in one step; returns the augmented database.
+  Result<Database> Run(const std::string& program_text,
+                       const Database& input) const;
+
+  // --- query helpers over a (materialized) database -----------------------
+
+  // Tuples of `pred` that hold at time t, deterministically ordered.
+  static std::vector<Tuple> TuplesAt(const Database& db,
+                                     std::string_view pred, const Rational& t);
+
+  // Entailment against a *materialized* database: does P(tuple) hold
+  // throughout `iv`? ((Pi, D) |= P(a)@rho once the chase has run.)
+  static bool Entails(const Database& db, std::string_view pred,
+                      const Tuple& tuple, const Interval& iv);
+
+  // Parses "pred(arg, ...)@interval ." and checks it against `db`.
+  static Result<bool> Entails(const Database& db, const std::string& fact);
+
+  // Filters a provenance log (EngineOptions::provenance) down to the
+  // derivations explaining why P(tuple) holds at t - the rule applications
+  // whose derived pieces cover the point.
+  static std::vector<DerivationRecord> Explain(
+      const std::vector<DerivationRecord>& provenance, std::string_view pred,
+      const Tuple& tuple, const Rational& t);
+
+  // Step series of a predicate: one (start-time, tuple) entry per stored
+  // maximal interval, sorted by start time (entries with an infinite start
+  // are ordered first). For state predicates like frs(F) this yields the
+  // value-change series the paper's Figure 4 plots.
+  static std::vector<std::pair<Rational, Tuple>> Series(
+      const Database& db, std::string_view pred);
+
+ private:
+  EngineOptions options_;
+};
+
+}  // namespace dmtl
+
+#endif  // DMTL_ENGINE_REASONER_H_

@@ -1,0 +1,58 @@
+#ifndef DMTL_EVAL_BINDINGS_H_
+#define DMTL_EVAL_BINDINGS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/ast/term.h"
+#include "src/temporal/interval_set.h"
+
+namespace dmtl {
+
+// A partial assignment of rule variables to values. Slot count equals the
+// rule's variable table size; unbound slots are tracked explicitly (Null is
+// not used as a sentinel, so facts may legally carry nulls).
+class Bindings {
+ public:
+  explicit Bindings(int num_vars)
+      : values_(num_vars), bound_(num_vars, false) {}
+
+  bool IsBound(int var) const { return bound_[var]; }
+  const Value& Get(int var) const { return values_[var]; }
+
+  void Set(int var, Value v) {
+    values_[var] = std::move(v);
+    bound_[var] = true;
+  }
+
+  // Unifies a term against a value: binds free variables, checks bound
+  // variables and constants for equality. Returns false on mismatch (and
+  // may have bound variables; callers work on copies).
+  bool Unify(const Term& term, const Value& v);
+
+  // Resolves a term under this binding; the term must be a constant or a
+  // bound variable.
+  const Value& Resolve(const Term& term) const;
+
+  // True when every variable of the term is bound (constants trivially so).
+  bool IsResolved(const Term& term) const {
+    return term.is_constant() || IsBound(term.var());
+  }
+
+  std::string ToString(const std::vector<std::string>& var_names) const;
+
+ private:
+  std::vector<Value> values_;
+  std::vector<bool> bound_;
+};
+
+// A partial rule-evaluation result: a variable binding plus the temporal
+// extent over which the body conjuncts seen so far jointly hold.
+struct BindingRow {
+  Bindings binding;
+  IntervalSet extent;
+};
+
+}  // namespace dmtl
+
+#endif  // DMTL_EVAL_BINDINGS_H_

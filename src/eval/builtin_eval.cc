@@ -1,0 +1,126 @@
+#include "src/eval/builtin_eval.h"
+
+#include <cmath>
+
+namespace dmtl {
+
+Result<Value> EvalExpr(const Expr& expr, const Bindings& binding) {
+  switch (expr.op()) {
+    case Expr::Op::kConst:
+      return expr.constant();
+    case Expr::Op::kVar:
+      if (!binding.IsBound(expr.var())) {
+        return Status::EvalError("unbound variable in expression");
+      }
+      return binding.Get(expr.var());
+    default:
+      break;
+  }
+  // Operators: evaluate children first.
+  std::vector<Value> kids;
+  kids.reserve(expr.children().size());
+  for (const Expr& child : expr.children()) {
+    DMTL_ASSIGN_OR_RETURN(Value v, EvalExpr(child, binding));
+    if (!v.is_numeric()) {
+      return Status::EvalError("arithmetic on non-numeric value " +
+                               v.ToString());
+    }
+    kids.push_back(std::move(v));
+  }
+  bool all_int = true;
+  for (const Value& v : kids) all_int = all_int && v.is_int();
+  switch (expr.op()) {
+    case Expr::Op::kAdd:
+      if (all_int) return Value::Int(kids[0].AsInt() + kids[1].AsInt());
+      return Value::Double(kids[0].AsDouble() + kids[1].AsDouble());
+    case Expr::Op::kSub:
+      if (all_int) return Value::Int(kids[0].AsInt() - kids[1].AsInt());
+      return Value::Double(kids[0].AsDouble() - kids[1].AsDouble());
+    case Expr::Op::kMul:
+      if (all_int) return Value::Int(kids[0].AsInt() * kids[1].AsInt());
+      return Value::Double(kids[0].AsDouble() * kids[1].AsDouble());
+    case Expr::Op::kDiv: {
+      double denom = kids[1].AsDouble();
+      if (denom == 0.0) return Status::EvalError("division by zero");
+      return Value::Double(kids[0].AsDouble() / denom);
+    }
+    case Expr::Op::kNeg:
+      if (all_int) return Value::Int(-kids[0].AsInt());
+      return Value::Double(-kids[0].AsDouble());
+    case Expr::Op::kAbs:
+      if (all_int) return Value::Int(std::llabs(kids[0].AsInt()));
+      return Value::Double(std::fabs(kids[0].AsDouble()));
+    case Expr::Op::kMin:
+      return Value::NumericCompare(kids[0], kids[1]) <= 0 ? kids[0] : kids[1];
+    case Expr::Op::kMax:
+      return Value::NumericCompare(kids[0], kids[1]) >= 0 ? kids[0] : kids[1];
+    case Expr::Op::kConst:
+    case Expr::Op::kVar:
+      break;
+  }
+  return Status::Internal("unhandled expression operator");
+}
+
+Result<bool> EvalComparison(CmpOp op, const Value& lhs, const Value& rhs) {
+  if (lhs.is_numeric() && rhs.is_numeric()) {
+    int c = Value::NumericCompare(lhs, rhs);
+    switch (op) {
+      case CmpOp::kEq:
+        return c == 0;
+      case CmpOp::kNe:
+        return c != 0;
+      case CmpOp::kLt:
+        return c < 0;
+      case CmpOp::kLe:
+        return c <= 0;
+      case CmpOp::kGt:
+        return c > 0;
+      case CmpOp::kGe:
+        return c >= 0;
+    }
+  }
+  if (op == CmpOp::kEq) return lhs == rhs;
+  if (op == CmpOp::kNe) return lhs != rhs;
+  if (lhs.is_symbol() && rhs.is_symbol()) {
+    const std::string& a = lhs.AsSymbolName();
+    const std::string& b = rhs.AsSymbolName();
+    switch (op) {
+      case CmpOp::kLt:
+        return a < b;
+      case CmpOp::kLe:
+        return a <= b;
+      case CmpOp::kGt:
+        return a > b;
+      case CmpOp::kGe:
+        return a >= b;
+      default:
+        break;
+    }
+  }
+  return Status::EvalError("cannot order values " + lhs.ToString() + " and " +
+                           rhs.ToString());
+}
+
+Result<bool> ApplyBuiltin(const BuiltinAtom& builtin, Bindings* binding) {
+  switch (builtin.kind) {
+    case BuiltinAtom::Kind::kCompare: {
+      DMTL_ASSIGN_OR_RETURN(Value lhs, EvalExpr(builtin.lhs, *binding));
+      DMTL_ASSIGN_OR_RETURN(Value rhs, EvalExpr(builtin.rhs, *binding));
+      return EvalComparison(builtin.cmp, lhs, rhs);
+    }
+    case BuiltinAtom::Kind::kAssign: {
+      DMTL_ASSIGN_OR_RETURN(Value v, EvalExpr(builtin.expr, *binding));
+      if (binding->IsBound(builtin.var)) {
+        return EvalComparison(CmpOp::kEq, binding->Get(builtin.var), v);
+      }
+      binding->Set(builtin.var, std::move(v));
+      return true;
+    }
+    case BuiltinAtom::Kind::kTimestamp:
+      return Status::Internal(
+          "timestamp() must be handled by the rule evaluator");
+  }
+  return Status::Internal("unhandled builtin kind");
+}
+
+}  // namespace dmtl

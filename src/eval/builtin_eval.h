@@ -1,0 +1,30 @@
+#ifndef DMTL_EVAL_BUILTIN_EVAL_H_
+#define DMTL_EVAL_BUILTIN_EVAL_H_
+
+#include "src/ast/expr.h"
+#include "src/ast/rule.h"
+#include "src/common/status.h"
+#include "src/eval/bindings.h"
+
+namespace dmtl {
+
+// Evaluates an arithmetic expression under a binding. Mixed int/double
+// arithmetic promotes to double; `/` always yields double (timeline
+// arithmetic like the contract's 1/86400 must not truncate). Division by
+// zero is an EvalError.
+Result<Value> EvalExpr(const Expr& expr, const Bindings& binding);
+
+// Evaluates a comparison between two values. Numerics compare with
+// promotion; symbols compare by identity for ==/!= and lexicographically
+// otherwise; cross-kind comparisons are == false / != true and an error for
+// orderings.
+Result<bool> EvalComparison(CmpOp op, const Value& lhs, const Value& rhs);
+
+// Applies a kCompare or kAssign builtin to a binding: filters (returns
+// false) or extends the binding. An assignment whose target is already
+// bound degrades to an equality filter.
+Result<bool> ApplyBuiltin(const BuiltinAtom& builtin, Bindings* binding);
+
+}  // namespace dmtl
+
+#endif  // DMTL_EVAL_BUILTIN_EVAL_H_

@@ -1,0 +1,44 @@
+#ifndef DMTL_EVAL_OPERATORS_H_
+#define DMTL_EVAL_OPERATORS_H_
+
+#include "src/ast/atom.h"
+#include "src/eval/bindings.h"
+#include "src/storage/database.h"
+
+namespace dmtl {
+
+// Where relational extents come from during metric-atom evaluation. The
+// semi-naive engine substitutes the delta relation for exactly one
+// relational-atom occurrence per rule re-evaluation; `delta_occurrence`
+// identifies it by pre-order position within the literal's atom tree
+// (-1: none).
+struct ExtentSource {
+  const Database* full = nullptr;
+  const Database* delta = nullptr;
+  int delta_occurrence = -1;
+};
+
+// Applies a unary MTL operator transform to an extent set.
+IntervalSet ApplyUnaryOp(MtlOp op, const Interval& rho,
+                         const IntervalSet& extent);
+
+// A superset of the time points a child atom can contribute from, given
+// that only results within `result_window` matter for the parent operator.
+// Used to keep evaluation proportional to the row extent instead of the
+// stored extent (per-tick chain extents span whole sessions).
+IntervalSet ChildWindow(MtlOp op, const Interval& rho,
+                        const IntervalSet& result_window);
+
+// Computes the set of time points at which the (fully ground under
+// `binding`) metric atom holds, restricted to `window` (the result is exact
+// within the window; callers intersect with their row extent anyway).
+// Relational atoms with *unbound* variables are treated existentially: the
+// union over all matching tuples in the source relation (used for negated
+// literals like `not order(A, _)`).
+IntervalSet EvalMetricExtent(const MetricAtom& atom, const Bindings& binding,
+                             const ExtentSource& source,
+                             const IntervalSet& window);
+
+}  // namespace dmtl
+
+#endif  // DMTL_EVAL_OPERATORS_H_

@@ -1,0 +1,347 @@
+#include "src/eval/rule_eval.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/eval/builtin_eval.h"
+
+namespace dmtl {
+
+namespace {
+
+// Enumerates the groundings of the relational atoms of one positive
+// literal, extending `row.binding`. Extents are intersected afterwards via
+// EvalMetricExtent (which sees the same delta restriction).
+Status EnumerateAtoms(const std::vector<const RelationalAtom*>& atoms,
+                      size_t atom_index, const Database& db,
+                      const Database* delta, int literal_delta_offset,
+                      const BindingRow& row,
+                      const std::function<Status(const BindingRow&)>& next) {
+  if (atom_index == atoms.size()) return next(row);
+  const RelationalAtom& atom = *atoms[atom_index];
+  const Database* source =
+      static_cast<int>(atom_index) == literal_delta_offset && delta != nullptr
+          ? delta
+          : &db;
+  const Relation* rel = source->Find(atom.predicate);
+  if (rel == nullptr) return Status::Ok();  // no facts, no groundings
+
+  auto try_tuple = [&](const Tuple& tuple) -> Status {
+    if (tuple.size() != atom.args.size()) return Status::Ok();
+    BindingRow extended = row;
+    bool ok = true;
+    for (size_t i = 0; i < atom.args.size() && ok; ++i) {
+      ok = extended.binding.Unify(atom.args[i], tuple[i]);
+    }
+    if (!ok) return Status::Ok();
+    return EnumerateAtoms(atoms, atom_index + 1, db, delta,
+                          literal_delta_offset, extended, next);
+  };
+
+  // Probe the first-argument index when the leading argument is already
+  // ground (the account-keyed joins of the contract).
+  if (!atom.args.empty() && row.binding.IsResolved(atom.args[0])) {
+    const std::vector<const Tuple*>* candidates =
+        rel->FindByFirstArg(row.binding.Resolve(atom.args[0]));
+    if (candidates == nullptr) return Status::Ok();
+    for (const Tuple* tuple : *candidates) {
+      DMTL_RETURN_IF_ERROR(try_tuple(*tuple));
+    }
+    return Status::Ok();
+  }
+  for (const auto& [tuple, set] : rel->data()) {
+    DMTL_RETURN_IF_ERROR(try_tuple(tuple));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<RuleEvaluator> RuleEvaluator::Create(const Rule& rule) {
+  RuleEvaluator eval(rule);
+  DMTL_RETURN_IF_ERROR(eval.Plan());
+  return eval;
+}
+
+Status RuleEvaluator::Plan() {
+  // Partition literals.
+  for (size_t i = 0; i < rule_.body.size(); ++i) {
+    const BodyLiteral& lit = rule_.body[i];
+    if (lit.kind == BodyLiteral::Kind::kMetric) {
+      if (lit.negated) {
+        negated_literals_.push_back(i);
+      } else {
+        positive_literals_.push_back(i);
+        occurrence_start_.push_back(num_occurrences_);
+        std::vector<const RelationalAtom*> atoms;
+        lit.metric.CollectRelationalAtoms(&atoms);
+        num_occurrences_ += static_cast<int>(atoms.size());
+      }
+    } else if (lit.builtin.kind == BuiltinAtom::Kind::kTimestamp) {
+      timestamp_builtins_.push_back(i);
+    }
+  }
+
+  // Variables bound by stage 1 and by timestamp builtins.
+  std::set<int> positive_vars;
+  for (size_t i : positive_literals_) {
+    std::vector<int> vars;
+    rule_.body[i].metric.CollectVars(&vars);
+    positive_vars.insert(vars.begin(), vars.end());
+  }
+  std::set<int> ts_dependent;
+  for (size_t i : timestamp_builtins_) {
+    ts_dependent.insert(rule_.body[i].builtin.var);
+  }
+
+  // Classify remaining builtins into early (dependency-ordered) and late.
+  std::vector<size_t> pending;
+  for (size_t i = 0; i < rule_.body.size(); ++i) {
+    const BodyLiteral& lit = rule_.body[i];
+    if (lit.kind == BodyLiteral::Kind::kBuiltin &&
+        lit.builtin.kind != BuiltinAtom::Kind::kTimestamp) {
+      pending.push_back(i);
+    }
+  }
+  std::set<int> early_bound = positive_vars;
+  bool changed = true;
+  while (changed && !pending.empty()) {
+    changed = false;
+    for (auto it = pending.begin(); it != pending.end();) {
+      const BuiltinAtom& b = rule_.body[*it].builtin;
+      std::vector<int> needed;
+      if (b.kind == BuiltinAtom::Kind::kAssign) {
+        b.expr.CollectVars(&needed);
+      } else {
+        b.lhs.CollectVars(&needed);
+        b.rhs.CollectVars(&needed);
+      }
+      bool uses_ts = false;
+      bool ready = true;
+      for (int v : needed) {
+        if (ts_dependent.count(v)) uses_ts = true;
+        if (!early_bound.count(v)) ready = false;
+      }
+      if (b.kind == BuiltinAtom::Kind::kCompare &&
+          b.lhs.op() != Expr::Op::kVar) {
+        // nothing extra; comparisons bind nothing
+      }
+      if (uses_ts ||
+          (b.kind == BuiltinAtom::Kind::kAssign && ts_dependent.count(b.var))) {
+        // Depends on a timestamp variable: runs late. Track transitive
+        // ts-dependence through its target.
+        if (b.kind == BuiltinAtom::Kind::kAssign) ts_dependent.insert(b.var);
+        late_builtins_.push_back(*it);
+        it = pending.erase(it);
+        changed = true;
+        continue;
+      }
+      if (ready) {
+        if (b.kind == BuiltinAtom::Kind::kAssign) early_bound.insert(b.var);
+        early_builtins_.push_back(*it);
+        it = pending.erase(it);
+        changed = true;
+        continue;
+      }
+      ++it;
+    }
+  }
+  if (!pending.empty()) {
+    // Remaining builtins reference variables bound neither positively nor
+    // via resolvable assignment chains; CheckSafety reports these with a
+    // better message, but guard here too.
+    return Status::UnsafeRule("unresolvable builtin ordering in rule: " +
+                              rule_.ToString());
+  }
+  // Negated literals may not depend on timestamp variables (they run
+  // before the timestamp split).
+  for (size_t i : negated_literals_) {
+    std::vector<int> vars;
+    rule_.body[i].metric.CollectVars(&vars);
+    for (int v : vars) {
+      if (ts_dependent.count(v)) {
+        return Status::UnsafeRule(
+            "negated literal depends on a timestamp variable: " +
+            rule_.ToString());
+      }
+    }
+  }
+  // Head operator chain sanity.
+  for (const HeadAtom::HeadOp& op : rule_.head.ops) {
+    if (op.op != MtlOp::kBoxMinus && op.op != MtlOp::kBoxPlus) {
+      return Status::InvalidArgument(
+          "head operators must be boxminus/boxplus: " + rule_.ToString());
+    }
+  }
+  return Status::Ok();
+}
+
+Status RuleEvaluator::EvaluateRows(const Database& db, const Database* delta,
+                                   int delta_occurrence,
+                                   std::vector<BindingRow>* out) const {
+  BindingRow seed{Bindings(rule_.num_vars()), IntervalSet(Interval::All())};
+  std::vector<BindingRow> rows;
+  rows.push_back(std::move(seed));
+
+  // Order positive literals by estimated extent volume (cheapest first):
+  // starting from the sparse event-like literals keeps the intermediate row
+  // extents small, which every later intersection benefits from.
+  std::vector<size_t> order(positive_literals_.size());
+  for (size_t p = 0; p < order.size(); ++p) order[p] = p;
+  {
+    std::vector<size_t> cost(positive_literals_.size(), 0);
+    for (size_t p = 0; p < positive_literals_.size(); ++p) {
+      std::vector<const RelationalAtom*> atoms;
+      rule_.body[positive_literals_[p]].metric.CollectRelationalAtoms(&atoms);
+      for (size_t a = 0; a < atoms.size(); ++a) {
+        int global = occurrence_start_[p] + static_cast<int>(a);
+        const Database* source =
+            global == delta_occurrence && delta != nullptr ? delta : &db;
+        const Relation* rel = source->Find(atoms[a]->predicate);
+        cost[p] += rel == nullptr ? 0 : rel->approx_intervals();
+      }
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [&](size_t a, size_t b) { return cost[a] < cost[b]; });
+  }
+
+  // Stage 1: positive literals.
+  for (size_t p : order) {
+    const BodyLiteral& lit = rule_.body[positive_literals_[p]];
+    std::vector<const RelationalAtom*> atoms;
+    lit.metric.CollectRelationalAtoms(&atoms);
+    int literal_delta_offset = -1;
+    if (delta_occurrence >= 0) {
+      int rel = delta_occurrence - occurrence_start_[p];
+      if (rel >= 0 && rel < static_cast<int>(atoms.size())) {
+        literal_delta_offset = rel;
+      }
+    }
+    ExtentSource source;
+    source.full = &db;
+    source.delta = delta;
+    source.delta_occurrence = literal_delta_offset;
+    std::vector<BindingRow> next_rows;
+    for (const BindingRow& row : rows) {
+      DMTL_RETURN_IF_ERROR(EnumerateAtoms(
+          atoms, 0, db, delta, literal_delta_offset, row,
+          [&](const BindingRow& grounded) -> Status {
+            IntervalSet extent = EvalMetricExtent(
+                lit.metric, grounded.binding, source, grounded.extent);
+            IntervalSet joined = grounded.extent.Intersect(extent);
+            if (joined.IsEmpty()) return Status::Ok();
+            next_rows.push_back({grounded.binding, std::move(joined)});
+            return Status::Ok();
+          }));
+    }
+    rows.swap(next_rows);
+    if (rows.empty()) {
+      out->clear();
+      return Status::Ok();
+    }
+  }
+
+  // Stage 2: early builtins.
+  for (size_t i : early_builtins_) {
+    const BuiltinAtom& b = rule_.body[i].builtin;
+    std::vector<BindingRow> next_rows;
+    for (BindingRow& row : rows) {
+      DMTL_ASSIGN_OR_RETURN(bool keep, ApplyBuiltin(b, &row.binding));
+      if (keep) next_rows.push_back(std::move(row));
+    }
+    rows.swap(next_rows);
+  }
+
+  // Stage 3: negated literals.
+  ExtentSource full_source;
+  full_source.full = &db;
+  for (size_t i : negated_literals_) {
+    const BodyLiteral& lit = rule_.body[i];
+    std::vector<BindingRow> next_rows;
+    for (BindingRow& row : rows) {
+      IntervalSet neg =
+          EvalMetricExtent(lit.metric, row.binding, full_source, row.extent);
+      IntervalSet remaining = row.extent.Subtract(neg);
+      if (remaining.IsEmpty()) continue;
+      next_rows.push_back({std::move(row.binding), std::move(remaining)});
+    }
+    rows.swap(next_rows);
+  }
+
+  // Stage 4: timestamp splits.
+  for (size_t i : timestamp_builtins_) {
+    const BuiltinAtom& b = rule_.body[i].builtin;
+    std::vector<BindingRow> next_rows;
+    for (const BindingRow& row : rows) {
+      std::vector<Rational> points;
+      if (!row.extent.IsPunctualOnly(&points)) {
+        return Status::EvalError(
+            "timestamp() requires a punctual join extent; got " +
+            row.extent.ToString() + " in rule: " + rule_.ToString());
+      }
+      for (const Rational& p : points) {
+        BindingRow split = row;
+        split.extent = IntervalSet(Interval::Point(p));
+        Value v = p.is_integer() ? Value::Int(p.numerator())
+                                 : Value::Double(p.ToDouble());
+        if (!split.binding.Unify(Term::Variable(b.var), v)) continue;
+        next_rows.push_back(std::move(split));
+      }
+    }
+    rows.swap(next_rows);
+  }
+
+  // Stage 5: late builtins.
+  for (size_t i : late_builtins_) {
+    const BuiltinAtom& b = rule_.body[i].builtin;
+    std::vector<BindingRow> next_rows;
+    for (BindingRow& row : rows) {
+      DMTL_ASSIGN_OR_RETURN(bool keep, ApplyBuiltin(b, &row.binding));
+      if (keep) next_rows.push_back(std::move(row));
+    }
+    rows.swap(next_rows);
+  }
+
+  *out = std::move(rows);
+  return Status::Ok();
+}
+
+Status RuleEvaluator::Evaluate(const Database& db, const Database* delta,
+                               int delta_occurrence,
+                               const EmitFn& emit) const {
+  if (rule_.head.aggregate.has_value()) {
+    return Status::Internal(
+        "aggregate rules must go through AggregateEvaluator");
+  }
+  std::vector<BindingRow> rows;
+  DMTL_RETURN_IF_ERROR(EvaluateRows(db, delta, delta_occurrence, &rows));
+  for (const BindingRow& row : rows) {
+    Tuple tuple;
+    tuple.reserve(rule_.head.args.size());
+    bool ok = true;
+    for (const Term& term : rule_.head.args) {
+      if (!row.binding.IsResolved(term)) {
+        ok = false;
+        break;
+      }
+      tuple.push_back(row.binding.Resolve(term));
+    }
+    if (!ok) {
+      return Status::UnsafeRule("unbound head variable in rule: " +
+                                rule_.ToString());
+    }
+    // Apply the head operator chain (outermost first): a head boxminus
+    // holding throughout E forces the inner atom over the past-dilation of
+    // E, and boxplus over the future-dilation.
+    IntervalSet extent = row.extent;
+    for (const HeadAtom::HeadOp& op : rule_.head.ops) {
+      extent = op.op == MtlOp::kBoxMinus ? extent.DiamondPlus(op.range)
+                                         : extent.DiamondMinus(op.range);
+    }
+    if (extent.IsEmpty()) continue;
+    DMTL_RETURN_IF_ERROR(emit(tuple, extent));
+  }
+  return Status::Ok();
+}
+
+}  // namespace dmtl

@@ -1,0 +1,79 @@
+#ifndef DMTL_EVAL_RULE_EVAL_H_
+#define DMTL_EVAL_RULE_EVAL_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/ast/rule.h"
+#include "src/common/status.h"
+#include "src/eval/operators.h"
+
+namespace dmtl {
+
+// Evaluates one rule bottom-up against a database (optionally with a
+// semi-naive delta restriction on a single positive relational-atom
+// occurrence). Staged pipeline:
+//
+//   1. positive literals: enumerate tuple groundings, intersect extents;
+//   2. early builtins (assignments/comparisons not depending on
+//      timestamp-bound variables);
+//   3. negated literals: subtract their extents (unbound variables are
+//      existential, e.g. `not order(A, _)`);
+//   4. timestamp() builtins: split each row into one row per punctual time
+//      point of its extent, binding the variable;
+//   5. late builtins (those depending on timestamp variables).
+//
+// The head's boxminus/boxplus operator chain is applied as a dilation to
+// the final extent.
+class RuleEvaluator {
+ public:
+  // Validates the rule shape and precomputes the stage plan.
+  static Result<RuleEvaluator> Create(const Rule& rule);
+
+  RuleEvaluator(RuleEvaluator&&) = default;
+  RuleEvaluator& operator=(RuleEvaluator&&) = default;
+  RuleEvaluator(const RuleEvaluator&) = default;
+  RuleEvaluator& operator=(const RuleEvaluator&) = default;
+
+  // Total number of positive relational-atom occurrences (the delta
+  // positions the semi-naive engine iterates over).
+  int num_positive_occurrences() const { return num_occurrences_; }
+
+  const Rule& rule() const { return rule_; }
+
+  using EmitFn =
+      std::function<Status(const Tuple& tuple, const IntervalSet& extent)>;
+
+  // Runs stages 1-5 and emits one (head tuple, extent) per surviving row.
+  // `delta_occurrence` in [0, num_positive_occurrences) restricts that
+  // occurrence to `delta`; -1 evaluates fully. Not usable on aggregate
+  // heads (see AggregateEvaluator).
+  Status Evaluate(const Database& db, const Database* delta,
+                  int delta_occurrence, const EmitFn& emit) const;
+
+  // Like Evaluate but stops after stage 5, returning the surviving rows.
+  Status EvaluateRows(const Database& db, const Database* delta,
+                      int delta_occurrence,
+                      std::vector<BindingRow>* rows) const;
+
+ private:
+  explicit RuleEvaluator(Rule rule) : rule_(std::move(rule)) {}
+
+  Status Plan();
+
+  Rule rule_;
+  // Indices into rule_.body per stage.
+  std::vector<size_t> positive_literals_;
+  std::vector<size_t> negated_literals_;
+  std::vector<size_t> early_builtins_;   // in dependency order
+  std::vector<size_t> timestamp_builtins_;
+  std::vector<size_t> late_builtins_;
+  // Global occurrence index of the first relational atom of each positive
+  // literal (parallel to positive_literals_).
+  std::vector<int> occurrence_start_;
+  int num_occurrences_ = 0;
+};
+
+}  // namespace dmtl
+
+#endif  // DMTL_EVAL_RULE_EVAL_H_

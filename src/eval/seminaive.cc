@@ -1,0 +1,274 @@
+#include "src/eval/seminaive.h"
+
+#include <chrono>
+#include <set>
+#include <variant>
+
+#include "src/analysis/safety.h"
+#include "src/analysis/stratifier.h"
+#include "src/eval/aggregate_eval.h"
+#include "src/eval/chain_accel.h"
+#include "src/eval/rule_eval.h"
+
+namespace dmtl {
+
+namespace {
+
+// One compiled rule: either a plain evaluator (with an optional chain
+// acceleration description) or an aggregate evaluator.
+struct CompiledRule {
+  std::variant<RuleEvaluator, AggregateEvaluator> eval;
+  std::optional<ChainAccelerator::ChainInfo> chain;
+
+  bool is_aggregate() const {
+    return std::holds_alternative<AggregateEvaluator>(eval);
+  }
+  const Rule& rule() const {
+    return is_aggregate() ? std::get<AggregateEvaluator>(eval).rule()
+                          : std::get<RuleEvaluator>(eval).rule();
+  }
+};
+
+// Inserts derived extents (clamped to the horizon window) and accumulates
+// newly covered portions into the delta.
+class Sink {
+ public:
+  Sink(Database* db, Database* next_delta, const Interval& window,
+       const EngineOptions& options, EngineStats* stats)
+      : db_(db),
+        next_delta_(next_delta),
+        window_(window),
+        options_(options),
+        stats_(stats) {}
+
+  Status Emit(PredicateId pred, const Tuple& tuple,
+              const IntervalSet& extent) {
+    IntervalSet clamped = extent.Intersect(window_);
+    for (const Interval& iv : clamped) {
+      DMTL_ASSIGN_OR_RETURN(bool fresh, EmitOne(pred, tuple, iv));
+      (void)fresh;
+    }
+    return Status::Ok();
+  }
+
+  Result<bool> EmitOne(PredicateId pred, const Tuple& tuple,
+                       const Interval& iv) {
+    auto clipped = IntervalSet(iv).Intersect(window_);
+    bool any_new = false;
+    for (const Interval& part : clipped) {
+      IntervalSet fresh = db_->Insert(pred, tuple, part);
+      if (fresh.IsEmpty()) continue;
+      any_new = true;
+      stats_->derived_intervals += fresh.size();
+      if (db_->approx_intervals() > options_.max_intervals) {
+        return Status::ResourceExhausted(
+            "materialization exceeded max_intervals=" +
+            std::to_string(options_.max_intervals));
+      }
+      next_delta_->InsertSet(pred, tuple, fresh);
+      if (options_.provenance != nullptr) {
+        for (const Interval& piece : fresh) {
+          options_.provenance->push_back(
+              {pred, tuple, piece, current_rule_, current_round_});
+        }
+      }
+    }
+    return any_new;
+  }
+
+  // Provenance context: which rule is emitting, in which round.
+  void SetContext(size_t rule_index, size_t round) {
+    current_rule_ = rule_index;
+    current_round_ = round;
+  }
+
+ private:
+  Database* db_;
+  Database* next_delta_;
+  Interval window_;
+  const EngineOptions& options_;
+  EngineStats* stats_;
+  size_t current_rule_ = 0;
+  size_t current_round_ = 0;
+};
+
+Interval HorizonWindow(const EngineOptions& options) {
+  Bound lo = options.min_time.has_value() ? Bound::Closed(*options.min_time)
+                                          : Bound::Infinite();
+  Bound hi = options.max_time.has_value() ? Bound::Closed(*options.max_time)
+                                          : Bound::Infinite();
+  auto window = Interval::Make(lo, hi);
+  // Empty windows are a caller error caught at option validation below.
+  return window.value_or(Interval::All());
+}
+
+}  // namespace
+
+std::string DerivationRecord::ToString(const Program& program) const {
+  std::string out = PredicateName(predicate) + TupleToString(tuple) + "@" +
+                    piece.ToString() + " by rule #" +
+                    std::to_string(rule_index);
+  if (rule_index < program.rules().size()) {
+    out += " [" + program.rules()[rule_index].ToString() + "]";
+  }
+  out += " (round " + std::to_string(round) + ")";
+  return out;
+}
+
+std::string EngineStats::ToString() const {
+  return "strata=" + std::to_string(num_strata) +
+         " rounds=" + std::to_string(rounds) +
+         " rule_evals=" + std::to_string(rule_evaluations) +
+         " derived_intervals=" + std::to_string(derived_intervals) +
+         " chain_extensions=" + std::to_string(chain_extensions) +
+         " wall_seconds=" + std::to_string(wall_seconds);
+}
+
+Status Materialize(const Program& program, Database* db,
+                   const EngineOptions& options, EngineStats* stats) {
+  auto start_time = std::chrono::steady_clock::now();
+  EngineStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  *stats = EngineStats();
+
+  if (options.min_time.has_value() && options.max_time.has_value() &&
+      *options.max_time < *options.min_time) {
+    return Status::InvalidArgument("max_time precedes min_time");
+  }
+
+  DMTL_RETURN_IF_ERROR(program.CheckArities());
+  DMTL_RETURN_IF_ERROR(CheckSafety(program));
+  DMTL_ASSIGN_OR_RETURN(Stratification strat, Stratify(program));
+  stats->num_strata = strat.num_strata;
+
+  // Compile rules.
+  std::vector<CompiledRule> compiled;
+  compiled.reserve(program.rules().size());
+  for (const Rule& rule : program.rules()) {
+    if (rule.head.aggregate.has_value()) {
+      DMTL_ASSIGN_OR_RETURN(AggregateEvaluator agg,
+                            AggregateEvaluator::Create(rule));
+      compiled.push_back(CompiledRule{
+          std::variant<RuleEvaluator, AggregateEvaluator>(std::move(agg)),
+          std::nullopt});
+    } else {
+      DMTL_ASSIGN_OR_RETURN(RuleEvaluator eval, RuleEvaluator::Create(rule));
+      std::optional<ChainAccelerator::ChainInfo> chain;
+      if (options.enable_chain_acceleration) {
+        chain = ChainAccelerator::Detect(rule, strat.predicate_stratum);
+      }
+      compiled.push_back(CompiledRule{
+          std::variant<RuleEvaluator, AggregateEvaluator>(std::move(eval)),
+          std::move(chain)});
+    }
+  }
+
+  Interval window = HorizonWindow(options);
+
+  for (int s = 0; s < strat.num_strata; ++s) {
+    const std::vector<size_t>& rule_ids = strat.rule_strata[s];
+    if (rule_ids.empty()) continue;
+
+    // Head predicates of this stratum: the only relations that change while
+    // the stratum runs, hence the only delta positions worth re-evaluating.
+    std::set<PredicateId> stratum_preds;
+    for (size_t id : rule_ids) {
+      stratum_preds.insert(compiled[id].rule().head.predicate);
+    }
+
+    Database delta;
+    Database next_delta;
+    Sink sink(db, &next_delta, window, options, stats);
+    // Guard-allowed caches for chain rules live for the whole stratum.
+    std::unordered_map<size_t, ChainAccelerator::AllowedCache> chain_caches;
+    auto emit_for = [&](PredicateId pred) {
+      return [&sink, pred](const Tuple& tuple,
+                           const IntervalSet& extent) -> Status {
+        return sink.Emit(pred, tuple, extent);
+      };
+    };
+
+    // Aggregate rules first: their inputs are strictly below this stratum,
+    // so one evaluation is complete.
+    for (size_t id : rule_ids) {
+      if (!compiled[id].is_aggregate()) continue;
+      ++stats->rule_evaluations;
+      sink.SetContext(id, 0);
+      const auto& agg = std::get<AggregateEvaluator>(compiled[id].eval);
+      DMTL_RETURN_IF_ERROR(
+          agg.Evaluate(*db, emit_for(compiled[id].rule().head.predicate)));
+    }
+
+    // Initial full round for plain rules.
+    for (size_t id : rule_ids) {
+      if (compiled[id].is_aggregate()) continue;
+      ++stats->rule_evaluations;
+      sink.SetContext(id, 0);
+      const auto& eval = std::get<RuleEvaluator>(compiled[id].eval);
+      DMTL_RETURN_IF_ERROR(eval.Evaluate(
+          *db, nullptr, -1, emit_for(compiled[id].rule().head.predicate)));
+    }
+    delta = std::move(next_delta);
+    next_delta = Database();
+
+    // Fixpoint rounds.
+    size_t rounds = 0;
+    while (delta.NumIntervals() > 0) {
+      if (++rounds > options.max_rounds) {
+        return Status::ResourceExhausted("stratum " + std::to_string(s) +
+                                         " exceeded max_rounds");
+      }
+      ++stats->rounds;
+      for (size_t id : rule_ids) {
+        if (compiled[id].is_aggregate()) continue;
+        const CompiledRule& c = compiled[id];
+        const auto& eval = std::get<RuleEvaluator>(c.eval);
+        PredicateId head = c.rule().head.predicate;
+
+        sink.SetContext(id, rounds);
+        if (c.chain.has_value()) {
+          ++stats->rule_evaluations;
+          DMTL_RETURN_IF_ERROR(ChainAccelerator::Extend(
+              c.rule(), *c.chain, *db, delta, window, &chain_caches[id],
+              [&](const Tuple& tuple, const Interval& iv) -> Result<bool> {
+                ++stats->chain_extensions;
+                return sink.EmitOne(head, tuple, iv);
+              }));
+          continue;
+        }
+        if (options.naive_evaluation) {
+          ++stats->rule_evaluations;
+          DMTL_RETURN_IF_ERROR(
+              eval.Evaluate(*db, nullptr, -1, emit_for(head)));
+          continue;
+        }
+        // Semi-naive: one pass per positive occurrence of a predicate that
+        // changed this round.
+        std::vector<const RelationalAtom*> all_atoms;
+        for (const BodyLiteral& lit : c.rule().body) {
+          if (lit.kind != BodyLiteral::Kind::kMetric || lit.negated) continue;
+          lit.metric.CollectRelationalAtoms(&all_atoms);
+        }
+        for (int occ = 0; occ < eval.num_positive_occurrences(); ++occ) {
+          PredicateId pred = all_atoms[occ]->predicate;
+          if (!stratum_preds.count(pred)) continue;
+          const Relation* changed = delta.Find(pred);
+          if (changed == nullptr || changed->IsEmpty()) continue;
+          ++stats->rule_evaluations;
+          DMTL_RETURN_IF_ERROR(
+              eval.Evaluate(*db, &delta, occ, emit_for(head)));
+        }
+      }
+      delta = std::move(next_delta);
+      next_delta = Database();
+    }
+  }
+
+  stats->wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_time)
+          .count();
+  return Status::Ok();
+}
+
+}  // namespace dmtl

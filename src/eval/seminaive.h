@@ -1,0 +1,78 @@
+#ifndef DMTL_EVAL_SEMINAIVE_H_
+#define DMTL_EVAL_SEMINAIVE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/ast/program.h"
+#include "src/common/status.h"
+#include "src/storage/database.h"
+
+namespace dmtl {
+
+// One provenance record: a fact piece and the rule occurrence that first
+// derived it (input facts are never recorded, only derivations).
+// rule_index indexes program.rules().
+struct DerivationRecord {
+  PredicateId predicate = 0;
+  Tuple tuple;
+  Interval piece = Interval::Point(Rational(0));
+  size_t rule_index = 0;
+  size_t round = 0;  // 0 = the stratum's initial full round
+
+  std::string ToString(const Program& program) const;
+};
+
+// Materialization options.
+struct EngineOptions {
+  // Derived facts are clamped to [min_time, max_time]; unbounded when unset.
+  // Programs whose recursive temporal rules would otherwise propagate
+  // forever (the paper's "market never closes" case) need a horizon.
+  std::optional<Rational> min_time;
+  std::optional<Rational> max_time;
+
+  // Hard budget on stored intervals; exceeded -> kResourceExhausted.
+  size_t max_intervals = 100'000'000;
+
+  // Hard cap on fixpoint rounds per stratum.
+  size_t max_rounds = 10'000'000;
+
+  // Bulk-extends self-propagation chains (see ChainAccelerator). Exact;
+  // disable only for the ablation benchmark.
+  bool enable_chain_acceleration = true;
+
+  // Evaluate naively (re-derive everything each round) instead of
+  // semi-naively; for the ablation benchmark.
+  bool naive_evaluation = false;
+
+  // When set, every newly derived fact piece is appended here with the
+  // rule that produced it - the "why" behind each contract state change
+  // (the explainability the paper argues for, as data). Opt-in: a full
+  // trading session derives millions of pieces.
+  std::vector<DerivationRecord>* provenance = nullptr;
+};
+
+// Counters of one materialization run.
+struct EngineStats {
+  int num_strata = 0;
+  size_t rounds = 0;
+  size_t rule_evaluations = 0;
+  size_t derived_intervals = 0;   // newly covered interval pieces inserted
+  size_t chain_extensions = 0;    // facts emitted by the accelerator
+  double wall_seconds = 0;
+
+  std::string ToString() const;
+};
+
+// Runs the DatalogMTL chase: checks arities/safety, stratifies, then
+// evaluates stratum by stratum to fixpoint, augmenting `db` in place with
+// every entailed fact (insert-only, per the paper's monotone execution
+// model).
+Status Materialize(const Program& program, Database* db,
+                   const EngineOptions& options = {},
+                   EngineStats* stats = nullptr);
+
+}  // namespace dmtl
+
+#endif  // DMTL_EVAL_SEMINAIVE_H_

@@ -1,0 +1,258 @@
+#include "src/parser/lexer.h"
+
+#include <cctype>
+
+namespace dmtl {
+
+namespace {
+
+bool IsIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)); }
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+std::string Token::Describe() const {
+  switch (kind) {
+    case TokenKind::kEof:
+      return "<eof>";
+    case TokenKind::kIdent:
+    case TokenKind::kVariable:
+    case TokenKind::kNumber:
+      return "'" + text + "'";
+    case TokenKind::kString:
+      return "\"" + text + "\"";
+    default:
+      return "'" + text + "'";
+  }
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  int line = 1;
+  int col = 1;
+  size_t i = 0;
+  auto push = [&](TokenKind kind, std::string text, int tline, int tcol) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = tline;
+    t.column = tcol;
+    tokens.push_back(std::move(t));
+  };
+  while (i < input.size()) {
+    char c = input[i];
+    if (c == '\n') {
+      ++line;
+      col = 1;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++col;
+      ++i;
+      continue;
+    }
+    if (c == '%') {  // line comment
+      while (i < input.size() && input[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < input.size() && input[i + 1] == '*') {
+      // Block comment; track newlines for positions.
+      i += 2;
+      col += 2;
+      while (i + 1 < input.size() &&
+             !(input[i] == '*' && input[i + 1] == '/')) {
+        if (input[i] == '\n') {
+          ++line;
+          col = 1;
+        } else {
+          ++col;
+        }
+        ++i;
+      }
+      if (i + 1 >= input.size()) {
+        return Status::ParseError("unterminated block comment at line " +
+                                  std::to_string(line));
+      }
+      i += 2;
+      col += 2;
+      continue;
+    }
+    int tline = line;
+    int tcol = col;
+    if (c == '_' && (i + 1 >= input.size() || !IsIdentChar(input[i + 1]))) {
+      push(TokenKind::kAnon, "_", tline, tcol);
+      ++i;
+      ++col;
+      continue;
+    }
+    if (IsIdentStart(c) || c == '_') {
+      size_t start = i;
+      while (i < input.size() && IsIdentChar(input[i])) {
+        ++i;
+        ++col;
+      }
+      std::string text = input.substr(start, i - start);
+      TokenKind kind = std::isupper(static_cast<unsigned char>(text[0]))
+                           ? TokenKind::kVariable
+                           : TokenKind::kIdent;
+      if (text[0] == '_') kind = TokenKind::kVariable;
+      push(kind, std::move(text), tline, tcol);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      bool saw_dot = false;
+      bool saw_exp = false;
+      while (i < input.size()) {
+        char d = input[i];
+        if (std::isdigit(static_cast<unsigned char>(d))) {
+          ++i;
+          ++col;
+          continue;
+        }
+        // A dot is part of the number only when followed by a digit, so the
+        // statement terminator "3 ." and "p(3)." stay unambiguous.
+        if (d == '.' && !saw_dot && !saw_exp && i + 1 < input.size() &&
+            std::isdigit(static_cast<unsigned char>(input[i + 1]))) {
+          saw_dot = true;
+          ++i;
+          ++col;
+          continue;
+        }
+        if ((d == 'e' || d == 'E') && !saw_exp && i + 1 < input.size() &&
+            (std::isdigit(static_cast<unsigned char>(input[i + 1])) ||
+             ((input[i + 1] == '+' || input[i + 1] == '-') &&
+              i + 2 < input.size() &&
+              std::isdigit(static_cast<unsigned char>(input[i + 2]))))) {
+          saw_exp = true;
+          saw_dot = true;  // exponent implies floating point
+          ++i;
+          ++col;
+          if (input[i] == '+' || input[i] == '-') {
+            ++i;
+            ++col;
+          }
+          continue;
+        }
+        break;
+      }
+      push(TokenKind::kNumber, input.substr(start, i - start), tline, tcol);
+      continue;
+    }
+    if (c == '"') {
+      ++i;
+      ++col;
+      std::string text;
+      while (i < input.size() && input[i] != '"') {
+        if (input[i] == '\n') {
+          return Status::ParseError("unterminated string at line " +
+                                    std::to_string(tline));
+        }
+        text += input[i];
+        ++i;
+        ++col;
+      }
+      if (i >= input.size()) {
+        return Status::ParseError("unterminated string at line " +
+                                  std::to_string(tline));
+      }
+      ++i;
+      ++col;
+      push(TokenKind::kString, std::move(text), tline, tcol);
+      continue;
+    }
+    auto two = [&](char a, char b) {
+      return c == a && i + 1 < input.size() && input[i + 1] == b;
+    };
+    if (two(':', '-')) {
+      push(TokenKind::kArrow, ":-", tline, tcol);
+      i += 2;
+      col += 2;
+      continue;
+    }
+    if (two('=', '=')) {
+      push(TokenKind::kEqEq, "==", tline, tcol);
+      i += 2;
+      col += 2;
+      continue;
+    }
+    if (two('!', '=')) {
+      push(TokenKind::kNe, "!=", tline, tcol);
+      i += 2;
+      col += 2;
+      continue;
+    }
+    if (two('<', '=')) {
+      push(TokenKind::kLe, "<=", tline, tcol);
+      i += 2;
+      col += 2;
+      continue;
+    }
+    if (two('>', '=')) {
+      push(TokenKind::kGe, ">=", tline, tcol);
+      i += 2;
+      col += 2;
+      continue;
+    }
+    TokenKind kind;
+    switch (c) {
+      case '(':
+        kind = TokenKind::kLParen;
+        break;
+      case ')':
+        kind = TokenKind::kRParen;
+        break;
+      case '[':
+        kind = TokenKind::kLBracket;
+        break;
+      case ']':
+        kind = TokenKind::kRBracket;
+        break;
+      case ',':
+        kind = TokenKind::kComma;
+        break;
+      case '.':
+        kind = TokenKind::kDot;
+        break;
+      case '@':
+        kind = TokenKind::kAt;
+        break;
+      case '=':
+        kind = TokenKind::kEq;
+        break;
+      case '<':
+        kind = TokenKind::kLt;
+        break;
+      case '>':
+        kind = TokenKind::kGt;
+        break;
+      case '+':
+        kind = TokenKind::kPlus;
+        break;
+      case '-':
+        kind = TokenKind::kMinus;
+        break;
+      case '*':
+        kind = TokenKind::kStar;
+        break;
+      case '/':
+        kind = TokenKind::kSlash;
+        break;
+      default:
+        return Status::ParseError("unexpected character '" +
+                                  std::string(1, c) + "' at line " +
+                                  std::to_string(tline) + ", column " +
+                                  std::to_string(tcol));
+    }
+    push(kind, std::string(1, c), tline, tcol);
+    ++i;
+    ++col;
+  }
+  push(TokenKind::kEof, "", line, col);
+  return tokens;
+}
+
+}  // namespace dmtl

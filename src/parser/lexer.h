@@ -1,0 +1,62 @@
+#ifndef DMTL_PARSER_LEXER_H_
+#define DMTL_PARSER_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace dmtl {
+
+// Token kinds of the DatalogMTL surface syntax.
+//
+//   isOpen(A) :- boxminus[1,1] isOpen(A), not withdraw(A) .
+//   price(47.5)@[10,20] .
+//
+// Identifiers starting with a lowercase letter are predicate/constant
+// symbols; identifiers starting with an uppercase letter are variables;
+// "_" is an anonymous variable. "%" starts a line comment.
+enum class TokenKind : uint8_t {
+  kIdent,      // lowercase-first identifier (predicate or symbol constant)
+  kVariable,   // uppercase-first identifier
+  kAnon,       // _
+  kNumber,     // 12, -3.5 handled as minus + number
+  kString,     // "..." (becomes a symbol constant)
+  kLParen,     // (
+  kRParen,     // )
+  kLBracket,   // [
+  kRBracket,   // ]
+  kComma,      // ,
+  kDot,        // .
+  kAt,         // @
+  kArrow,      // :-
+  kEq,         // =
+  kEqEq,       // ==
+  kNe,         // !=
+  kLt,         // <
+  kLe,         // <=
+  kGt,         // >
+  kGe,         // >=
+  kPlus,       // +
+  kMinus,      // -
+  kStar,       // *
+  kSlash,      // /
+  kEof,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;  // identifier/number/string spelling
+  int line = 0;
+  int column = 0;
+
+  std::string Describe() const;
+};
+
+// Tokenizes the full input; returns a ParseError with line/column on any
+// unrecognized character.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace dmtl
+
+#endif  // DMTL_PARSER_LEXER_H_

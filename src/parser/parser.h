@@ -1,0 +1,53 @@
+#ifndef DMTL_PARSER_PARSER_H_
+#define DMTL_PARSER_PARSER_H_
+
+#include <string>
+
+#include "src/ast/program.h"
+#include "src/common/status.h"
+#include "src/storage/database.h"
+
+namespace dmtl {
+
+// Parses the DatalogMTL surface syntax. A source unit is a sequence of
+// statements terminated by '.', each either a rule or a fact:
+//
+//   % MARGIN module
+//   isOpen(A) :- tranM(A, M) .
+//   isOpen(A) :- boxminus[1,1] isOpen(A), not withdraw(A) .
+//   margin(A, M) :- tranM(A, M), not boxminus isOpen(A) .   % default [1,1]
+//   event(msum(S)) :- eventContrib(A, S) .                  % aggregation
+//   tdiff(T, T) :- start(), timestamp(T) .                  % unix(t) cast
+//   alarm(X) :- (ok(X) since[0,5] reset(X)) .               % binary MTL
+//
+//   price(1301.25)@[1664272800, 1664272860) .
+//   tranM(acc1, 20.0)@1664272805 .                          % punctual
+//   skew(-2445.98)@0 .
+//
+// Conventions: lowercase-first identifiers are predicates/symbols,
+// uppercase-first are variables, '_' is anonymous. Metric operator ranges
+// default to [1,1] when omitted (the paper's convention). Head operators are
+// restricted to boxminus/boxplus per the DatalogMTL head grammar.
+class Parser {
+ public:
+  struct ParsedUnit {
+    Program program;
+    Database database;
+  };
+
+  // Parses rules and facts together.
+  static Result<ParsedUnit> Parse(const std::string& text);
+
+  // Parses text expected to contain only rules (facts are rejected).
+  static Result<Program> ParseProgram(const std::string& text);
+
+  // Parses text expected to contain only facts (rules are rejected).
+  static Result<Database> ParseDatabase(const std::string& text);
+
+  // Parses exactly one rule; convenience for tests.
+  static Result<Rule> ParseRule(const std::string& text);
+};
+
+}  // namespace dmtl
+
+#endif  // DMTL_PARSER_PARSER_H_

@@ -1,0 +1,99 @@
+#include "src/reference/perp_engine.h"
+
+#include <cmath>
+
+namespace dmtl {
+
+Status ReferencePerpEngine::Run(const Session& session) {
+  std::string error;
+  if (!session.Validate(&error)) {
+    return Status::InvalidArgument("invalid session: " + error);
+  }
+  skew_ = session.initial_skew;
+  f_ = 0;
+  last_event_time_ = session.start_time;
+
+  size_t i = 0;
+  const std::vector<MarketEvent>& events = session.events;
+  while (i < events.size()) {
+    // Group all method calls sharing a timestamp: the funding sequence
+    // advances once per tick, the skew folds in every contribution, and
+    // only then are the per-account effects (which read the post-trade
+    // skew) applied.
+    int64_t t = events[i].time;
+    size_t first = i;
+    while (i < events.size() && events[i].time == t) ++i;
+    double price = session.PriceAt(t);
+
+    // Funding sequence update against the pre-event skew (Figure 2).
+    double dt = static_cast<double>(t - last_event_time_);
+    double inst_rate = params_.InstantaneousRate(skew_, price);
+    f_ += inst_rate * price * dt;
+    last_event_time_ = t;
+    frs_series_.push_back({t, f_});
+
+    // Skew update: every interaction contributes (margin events with 0).
+    for (size_t j = first; j < i; ++j) {
+      const MarketEvent& e = events[j];
+      if (e.kind == EventKind::kModifyPosition) {
+        skew_ += e.amount;
+      } else if (e.kind == EventKind::kClosePosition) {
+        skew_ -= accounts_[e.account].size;
+      }
+    }
+
+    // Account effects at the post-trade skew.
+    for (size_t j = first; j < i; ++j) {
+      const MarketEvent& e = events[j];
+      AccountState& acc = accounts_[e.account];
+      switch (e.kind) {
+        case EventKind::kTransferMargin:
+          if (!acc.open) {
+            acc = AccountState();
+            acc.open = true;
+            acc.margin = e.amount;
+          } else {
+            acc.margin += e.amount;
+          }
+          break;
+        case EventKind::kWithdraw:
+          withdrawals_[e.account] = acc.margin;
+          acc = AccountState();
+          break;
+        case EventKind::kModifyPosition: {
+          double rate = params_.FeeRate(skew_, e.amount);
+          acc.fees_accrued += std::fabs(e.amount * price * rate);
+          if (acc.size == 0) {
+            acc.funding_accrued = 0;
+          } else {
+            acc.funding_accrued += acc.size * (f_ - acc.last_f);
+          }
+          acc.last_f = f_;
+          acc.size += e.amount;
+          acc.notional += e.amount * price;
+          break;
+        }
+        case EventKind::kClosePosition: {
+          TradeSettlement trade;
+          trade.account = e.account;
+          trade.time = t;
+          trade.pnl = acc.size * price - acc.notional;
+          double rate = params_.FeeRate(skew_, -acc.size);
+          trade.fee = acc.fees_accrued + std::fabs(acc.size * price * rate);
+          trade.funding = acc.funding_accrued + acc.size * (f_ - acc.last_f);
+          trades_.push_back(trade);
+          acc.margin += trade.pnl - trade.fee + trade.funding;
+          acc.size = 0;
+          acc.notional = 0;
+          acc.fees_accrued = 0;
+          acc.funding_accrued = 0;
+          acc.last_f = f_;
+          break;
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace dmtl

@@ -1,0 +1,68 @@
+#ifndef DMTL_REFERENCE_PERP_ENGINE_H_
+#define DMTL_REFERENCE_PERP_ENGINE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/chain/events.h"
+#include "src/common/status.h"
+#include "src/contracts/market_params.h"
+#include "src/contracts/settlement.h"
+
+namespace dmtl {
+
+// Imperative reference implementation of the ETH-PERP contract: a direct
+// state machine over the event stream, written the way the Solidity
+// contract computes (Synthetix v1 funding/fee formulas), deliberately
+// sharing no code with the DatalogMTL path. It serves as the ground truth
+// the paper obtains from the blockchain: both implementations use IEEE
+// doubles but different operation orders, so agreement is expected at the
+// ~1e-12 level the paper reports, not bit-exactness.
+class ReferencePerpEngine {
+ public:
+  struct AccountState {
+    bool open = false;
+    double margin = 0;
+    double size = 0;      // signed ETH units
+    double notional = 0;  // signed entry dollars
+    double fees_accrued = 0;
+    double last_f = 0;    // F recorded at the last position change
+    double funding_accrued = 0;
+  };
+
+  explicit ReferencePerpEngine(MarketParams params = {})
+      : params_(params) {}
+
+  // Replays the session from its initial conditions. Call once.
+  Status Run(const Session& session);
+
+  // F(t_k) per interaction tick, in time order.
+  const std::vector<FrsPoint>& frs_series() const { return frs_series_; }
+
+  // One entry per closePos, in time order.
+  const std::vector<TradeSettlement>& trades() const { return trades_; }
+
+  // Margin balances paid out at withdrawal, per account.
+  const std::map<std::string, double>& withdrawals() const {
+    return withdrawals_;
+  }
+
+  // Post-run market state.
+  double final_skew() const { return skew_; }
+  double final_f() const { return f_; }
+
+ private:
+  MarketParams params_;
+  double skew_ = 0;
+  double f_ = 0;
+  int64_t last_event_time_ = 0;
+  std::map<std::string, AccountState> accounts_;
+  std::vector<FrsPoint> frs_series_;
+  std::vector<TradeSettlement> trades_;
+  std::map<std::string, double> withdrawals_;
+};
+
+}  // namespace dmtl
+
+#endif  // DMTL_REFERENCE_PERP_ENGINE_H_

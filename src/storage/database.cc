@@ -1,0 +1,172 @@
+#include "src/storage/database.h"
+
+#include <algorithm>
+
+namespace dmtl {
+
+Fact Fact::Make(std::string_view pred, Tuple args, Interval iv) {
+  Fact f;
+  f.predicate = InternPredicate(pred);
+  f.args = std::move(args);
+  f.interval = iv;
+  return f;
+}
+
+std::string Fact::ToString() const {
+  return PredicateName(predicate) + TupleToString(args) + "@" +
+         interval.ToString();
+}
+
+Relation::Relation(const Relation& other)
+    : data_(other.data_), approx_intervals_(other.approx_intervals_) {
+  for (const auto& [tuple, set] : data_) {
+    if (!tuple.empty()) first_arg_index_[tuple[0]].push_back(&tuple);
+  }
+}
+
+Relation& Relation::operator=(const Relation& other) {
+  if (this == &other) return *this;
+  data_ = other.data_;
+  approx_intervals_ = other.approx_intervals_;
+  first_arg_index_.clear();
+  for (const auto& [tuple, set] : data_) {
+    if (!tuple.empty()) first_arg_index_[tuple[0]].push_back(&tuple);
+  }
+  return *this;
+}
+
+IntervalSet Relation::Insert(const Tuple& tuple, const Interval& iv) {
+  auto [it, inserted] = data_.try_emplace(tuple);
+  if (inserted && !it->first.empty()) {
+    // Keep the secondary index incremental: unordered_map keys are
+    // node-stable, so the pointer stays valid across later inserts.
+    first_arg_index_[it->first[0]].push_back(&it->first);
+  }
+  IntervalSet fresh = it->second.Insert(iv);
+  approx_intervals_ += fresh.size();
+  return fresh;
+}
+
+void Relation::InsertSet(const Tuple& tuple, const IntervalSet& set) {
+  for (const Interval& iv : set) {
+    Insert(tuple, iv);  // keeps the secondary index in sync
+  }
+}
+
+const IntervalSet* Relation::Find(const Tuple& tuple) const {
+  auto it = data_.find(tuple);
+  return it == data_.end() ? nullptr : &it->second;
+}
+
+const std::vector<const Tuple*>* Relation::FindByFirstArg(
+    const Value& v) const {
+  auto it = first_arg_index_.find(v);
+  return it == first_arg_index_.end() ? nullptr : &it->second;
+}
+
+bool Relation::Contains(const Tuple& tuple, const Rational& t) const {
+  const IntervalSet* set = Find(tuple);
+  return set != nullptr && set->Contains(t);
+}
+
+size_t Relation::NumIntervals() const {
+  size_t n = 0;
+  for (const auto& [tuple, set] : data_) n += set.size();
+  return n;
+}
+
+IntervalSet Database::Insert(const Fact& fact) {
+  return Insert(fact.predicate, fact.args, fact.interval);
+}
+
+IntervalSet Database::Insert(PredicateId pred, const Tuple& tuple,
+                             const Interval& iv) {
+  IntervalSet fresh = relations_[pred].Insert(tuple, iv);
+  approx_intervals_ += fresh.size();
+  return fresh;
+}
+
+void Database::InsertSet(PredicateId pred, const Tuple& tuple,
+                         const IntervalSet& set) {
+  Relation& rel = relations_[pred];
+  size_t before = rel.approx_intervals();
+  rel.InsertSet(tuple, set);
+  approx_intervals_ += rel.approx_intervals() - before;
+}
+
+IntervalSet Database::Insert(std::string_view pred, Tuple tuple,
+                             const Interval& iv) {
+  return Insert(InternPredicate(pred), tuple, iv);
+}
+
+const Relation* Database::Find(PredicateId pred) const {
+  auto it = relations_.find(pred);
+  return it == relations_.end() ? nullptr : &it->second;
+}
+
+const Relation* Database::Find(std::string_view pred) const {
+  return Find(InternPredicate(pred));
+}
+
+bool Database::Holds(std::string_view pred, const Tuple& tuple,
+                     const Rational& t) const {
+  const Relation* rel = Find(pred);
+  return rel != nullptr && rel->Contains(tuple, t);
+}
+
+std::vector<Fact> Database::FactsOf(std::string_view pred) const {
+  std::vector<Fact> out;
+  const Relation* rel = Find(pred);
+  if (rel == nullptr) return out;
+  PredicateId id = InternPredicate(pred);
+  for (const auto& [tuple, set] : rel->data()) {
+    for (const Interval& iv : set) {
+      Fact f;
+      f.predicate = id;
+      f.args = tuple;
+      f.interval = iv;
+      out.push_back(std::move(f));
+    }
+  }
+  return out;
+}
+
+size_t Database::NumTuples() const {
+  size_t n = 0;
+  for (const auto& [pred, rel] : relations_) n += rel.NumTuples();
+  return n;
+}
+
+size_t Database::NumIntervals() const {
+  size_t n = 0;
+  for (const auto& [pred, rel] : relations_) n += rel.NumIntervals();
+  return n;
+}
+
+void Database::MergeFrom(const Database& other) {
+  for (const auto& [pred, rel] : other.relations_) {
+    for (const auto& [tuple, set] : rel.data()) {
+      InsertSet(pred, tuple, set);
+    }
+  }
+}
+
+std::string Database::ToString() const {
+  // Deterministic output: sort by predicate name, then tuple text.
+  std::vector<std::string> lines;
+  for (const auto& [pred, rel] : relations_) {
+    for (const auto& [tuple, set] : rel.data()) {
+      lines.push_back(PredicateName(pred) + TupleToString(tuple) + "@" +
+                      set.ToString());
+    }
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace dmtl

@@ -1,0 +1,133 @@
+#ifndef DMTL_STORAGE_DATABASE_H_
+#define DMTL_STORAGE_DATABASE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/ast/atom.h"
+#include "src/ast/value.h"
+#include "src/common/status.h"
+#include "src/temporal/interval_set.h"
+
+namespace dmtl {
+
+// A temporal fact P(a)@rho: a ground tuple holding over an interval.
+struct Fact {
+  PredicateId predicate = 0;
+  Tuple args;
+  Interval interval = Interval::Point(Rational(0));
+
+  static Fact Make(std::string_view pred, Tuple args, Interval iv);
+
+  std::string ToString() const;
+};
+
+// The extent of one predicate: ground tuple -> coalesced interval set.
+class Relation {
+ public:
+  using Map = std::unordered_map<Tuple, IntervalSet, TupleHash>;
+
+  Relation() = default;
+  // The secondary index points into data_, so copies rebuild it; moves keep
+  // it (unordered_map nodes are address-stable across container moves).
+  Relation(const Relation& other);
+  Relation& operator=(const Relation& other);
+  Relation(Relation&&) = default;
+  Relation& operator=(Relation&&) = default;
+
+  // Adds (tuple, iv); returns the newly covered portion (empty when the
+  // fact was already entailed by stored intervals).
+  IntervalSet Insert(const Tuple& tuple, const Interval& iv);
+  void InsertSet(const Tuple& tuple, const IntervalSet& set);
+
+  const IntervalSet* Find(const Tuple& tuple) const;
+  bool Contains(const Tuple& tuple, const Rational& t) const;
+
+  // Tuples whose first argument equals `v`, via an incrementally-maintained
+  // secondary index. Joins that arrive with the leading argument bound -
+  // the dominant pattern in the contract, where almost every predicate is
+  // keyed by account - probe this instead of scanning the whole relation.
+  // Returns nullptr when no tuple matches.
+  const std::vector<const Tuple*>* FindByFirstArg(const Value& v) const;
+
+  bool IsEmpty() const { return data_.empty(); }
+  size_t NumTuples() const { return data_.size(); }
+  size_t NumIntervals() const;
+
+  // Monotone count of inserted interval pieces (an upper bound on the
+  // stored count, which coalescing can shrink). O(1); used for join-order
+  // costing and budget checks.
+  size_t approx_intervals() const { return approx_intervals_; }
+
+  const Map& data() const { return data_; }
+
+  void Clear() {
+    data_.clear();
+    first_arg_index_.clear();
+    approx_intervals_ = 0;
+  }
+
+ private:
+  Map data_;
+  size_t approx_intervals_ = 0;
+  // Secondary index: first argument -> tuples. Lazily (re)built; a new
+  // *tuple* invalidates it, new intervals on existing tuples do not.
+  std::unordered_map<Value, std::vector<const Tuple*>> first_arg_index_;
+};
+
+// The temporal database D: all facts, grouped by predicate. Serves as both
+// the input database and the materialization target (the chase only ever
+// inserts - DatalogMTL state evolution is monotone, as the paper stresses).
+class Database {
+ public:
+  Database() = default;
+
+  // Returns the newly covered portion of the fact's interval.
+  IntervalSet Insert(const Fact& fact);
+  IntervalSet Insert(PredicateId pred, const Tuple& tuple,
+                     const Interval& iv);
+  void InsertSet(PredicateId pred, const Tuple& tuple,
+                 const IntervalSet& set);
+
+  // Convenience for tests/examples: Insert("price", {Value::Double(47)},
+  // Interval::Point(5)).
+  IntervalSet Insert(std::string_view pred, Tuple tuple, const Interval& iv);
+
+  const Relation* Find(PredicateId pred) const;
+  const Relation* Find(std::string_view pred) const;
+
+  // True iff P(tuple) holds at time t.
+  bool Holds(std::string_view pred, const Tuple& tuple,
+             const Rational& t) const;
+
+  // All facts of a predicate as (tuple, interval) pairs, one per stored
+  // interval, in unspecified tuple order.
+  std::vector<Fact> FactsOf(std::string_view pred) const;
+
+  size_t NumPredicates() const { return relations_.size(); }
+  size_t NumTuples() const;
+  size_t NumIntervals() const;
+  // O(1) upper bound on NumIntervals(); see Relation::approx_intervals().
+  size_t approx_intervals() const { return approx_intervals_; }
+
+  void MergeFrom(const Database& other);
+  void Clear() {
+    relations_.clear();
+    approx_intervals_ = 0;
+  }
+
+  const std::unordered_map<PredicateId, Relation>& relations() const {
+    return relations_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::unordered_map<PredicateId, Relation> relations_;
+  size_t approx_intervals_ = 0;
+};
+
+}  // namespace dmtl
+
+#endif  // DMTL_STORAGE_DATABASE_H_

@@ -1,0 +1,119 @@
+#include "src/storage/serialize.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace dmtl {
+
+namespace {
+
+bool IsPlainIdentifier(const std::string& s) {
+  if (s.empty() || !std::islower(static_cast<unsigned char>(s[0]))) {
+    return false;
+  }
+  for (char c : s) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string RenderValue(const Value& v) {
+  switch (v.kind()) {
+    case Value::Kind::kSymbol: {
+      const std::string& name = v.AsSymbolName();
+      if (IsPlainIdentifier(name)) return name;
+      return "\"" + name + "\"";
+    }
+    case Value::Kind::kDouble: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", v.AsDouble());
+      std::string s(buf);
+      // Keep the literal lexing as a double on re-parse.
+      if (s.find('.') == std::string::npos &&
+          s.find('e') == std::string::npos &&
+          s.find("inf") == std::string::npos &&
+          s.find("nan") == std::string::npos) {
+        s += ".0";
+      }
+      return s;
+    }
+    default:
+      return v.ToString();
+  }
+}
+
+std::string RenderBound(const Bound& b, bool lower) {
+  if (b.infinite) return lower ? "-inf" : "inf";
+  return b.value.ToString();
+}
+
+}  // namespace
+
+std::string SerializeDatabase(const Database& db) {
+  std::vector<std::string> lines;
+  for (const auto& [pred, rel] : db.relations()) {
+    const std::string& name = PredicateName(pred);
+    for (const auto& [tuple, set] : rel.data()) {
+      std::string head = name + "(";
+      for (size_t i = 0; i < tuple.size(); ++i) {
+        if (i > 0) head += ", ";
+        head += RenderValue(tuple[i]);
+      }
+      head += ")";
+      for (const Interval& iv : set) {
+        std::string line = head + "@";
+        line += iv.lo().open ? '(' : '[';
+        line += RenderBound(iv.lo(), /*lower=*/true);
+        line += ", ";
+        line += RenderBound(iv.hi(), /*lower=*/false);
+        line += iv.hi().open ? ')' : ']';
+        line += " .";
+        lines.push_back(std::move(line));
+      }
+    }
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+Status WriteDatabaseFile(const Database& db, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) {
+    return Status::InvalidArgument("cannot open for writing: " + path);
+  }
+  file << SerializeDatabase(db);
+  if (!file.good()) return Status::Internal("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<Database> ReadDatabaseFile(const std::string& path) {
+  DMTL_ASSIGN_OR_RETURN(Parser::ParsedUnit unit, ReadSourceFile(path));
+  if (unit.program.size() > 0) {
+    return Status::ParseError("expected facts only in " + path);
+  }
+  return std::move(unit.database);
+}
+
+Result<Parser::ParsedUnit> ReadSourceFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::InvalidArgument("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  auto parsed = Parser::Parse(buffer.str());
+  if (!parsed.ok()) {
+    return Status::ParseError(path + ": " + parsed.status().message());
+  }
+  return parsed;
+}
+
+}  // namespace dmtl

@@ -1,0 +1,32 @@
+#ifndef DMTL_STORAGE_SERIALIZE_H_
+#define DMTL_STORAGE_SERIALIZE_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/parser/parser.h"
+#include "src/storage/database.h"
+
+namespace dmtl {
+
+// Renders a database as parseable fact statements, one per stored interval,
+// deterministically ordered:
+//
+//   price(1301.5)@[1664272800, 1664272860) .
+//   tranM(acc1, 20.0)@[1664272805, 1664272805] .
+//
+// Doubles round-trip exactly (%.17g); symbols that are not plain
+// identifiers are quoted. Parser::ParseDatabase(SerializeDatabase(db))
+// reproduces `db`.
+std::string SerializeDatabase(const Database& db);
+
+// File convenience wrappers.
+Status WriteDatabaseFile(const Database& db, const std::string& path);
+Result<Database> ReadDatabaseFile(const std::string& path);
+
+// Reads a combined rules+facts source file.
+Result<Parser::ParsedUnit> ReadSourceFile(const std::string& path);
+
+}  // namespace dmtl
+
+#endif  // DMTL_STORAGE_SERIALIZE_H_

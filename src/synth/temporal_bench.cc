@@ -1,0 +1,131 @@
+#include "src/synth/temporal_bench.h"
+
+#include <random>
+#include <sstream>
+
+namespace dmtl {
+
+namespace {
+
+// Emits `count` random facts for `pred` over the config's domain/timeline.
+void EmitFacts(const SynthConfig& config, const std::string& pred, int arity,
+               int count, std::mt19937_64* rng, std::ostringstream* out) {
+  std::uniform_int_distribution<int> constant(0, config.num_constants - 1);
+  std::uniform_int_distribution<int64_t> time(0, config.timeline);
+  std::uniform_int_distribution<int64_t> width(0, config.window);
+  for (int i = 0; i < count; ++i) {
+    *out << pred << "(";
+    for (int a = 0; a < arity; ++a) {
+      if (a > 0) *out << ", ";
+      *out << "n" << constant(*rng);
+    }
+    int64_t lo = time(*rng);
+    *out << ")@[" << lo << "," << lo + width(*rng) << "] .\n";
+  }
+}
+
+}  // namespace
+
+const char* SynthPatternToString(SynthPattern pattern) {
+  switch (pattern) {
+    case SynthPattern::kLinearChain:
+      return "linear-chain";
+    case SynthPattern::kStarJoin:
+      return "star-join";
+    case SynthPattern::kTransitiveClosure:
+      return "transitive-closure";
+    case SynthPattern::kWindowCascade:
+      return "window-cascade";
+    case SynthPattern::kSelfChain:
+      return "self-chain";
+  }
+  return "?";
+}
+
+Result<SynthBenchmark> GenerateTemporalBenchmark(const SynthConfig& config) {
+  if (config.depth < 1 || config.num_constants < 1 || config.num_facts < 1 ||
+      config.window < 0 || config.timeline < 1) {
+    return Status::InvalidArgument("invalid synth configuration");
+  }
+  std::mt19937_64 rng(config.seed);
+  std::ostringstream out;
+  SynthBenchmark bench;
+  // Dilations can push results past the timeline; leave slack.
+  bench.horizon =
+      config.timeline + static_cast<int64_t>(config.window) *
+                            (static_cast<int64_t>(config.depth) + 2);
+
+  switch (config.pattern) {
+    case SynthPattern::kLinearChain: {
+      out << "r1(X) :- base(X) .\n";
+      for (int i = 1; i < config.depth; ++i) {
+        out << "r" << (i + 1) << "(X) :- diamondminus[0," << config.window
+            << "] r" << i << "(X) .\n";
+      }
+      EmitFacts(config, "base", 1, config.num_facts, &rng, &out);
+      bench.output_predicate = "r" + std::to_string(config.depth);
+      break;
+    }
+    case SynthPattern::kStarJoin: {
+      out << "hit(X) :- ";
+      for (int i = 0; i < config.depth; ++i) {
+        if (i > 0) out << ", ";
+        out << "diamondminus[0," << config.window * (i + 1) << "] q" << i
+            << "(X)";
+      }
+      out << " .\n";
+      // Correlated facts: each constant gets bursts where all join legs
+      // fire within the operators' reach, so the join is non-trivially
+      // selective instead of empty.
+      std::uniform_int_distribution<int> constant(0,
+                                                  config.num_constants - 1);
+      std::uniform_int_distribution<int64_t> time(0, config.timeline);
+      std::uniform_int_distribution<int64_t> jitter(0, config.window);
+      int bursts = config.num_facts / config.depth + 1;
+      for (int b = 0; b < bursts; ++b) {
+        int n = constant(rng);
+        int64_t base_t = time(rng);
+        for (int i = 0; i < config.depth; ++i) {
+          // Every other burst drops one leg, keeping selectivity < 1.
+          if (b % 2 == 1 && i == b % config.depth) continue;
+          int64_t lo = base_t + jitter(rng);
+          out << "q" << i << "(n" << n << ")@[" << lo << ","
+              << lo + jitter(rng) << "] .\n";
+        }
+      }
+      bench.output_predicate = "hit";
+      break;
+    }
+    case SynthPattern::kTransitiveClosure: {
+      out << "reach(X, Y) :- edge(X, Y) .\n"
+          << "reach(X, Z) :- reach(X, Y), diamondminus[0," << config.window
+          << "] edge(Y, Z) .\n";
+      EmitFacts(config, "edge", 2, config.num_facts, &rng, &out);
+      bench.output_predicate = "reach";
+      break;
+    }
+    case SynthPattern::kWindowCascade: {
+      out << "s1(X) :- base(X) .\n";
+      for (int i = 1; i < config.depth; ++i) {
+        out << "s" << (i + 1) << "(X) :- boxminus[0," << config.window
+            << "] diamondminus[0," << config.window << "] s" << i
+            << "(X) .\n";
+      }
+      EmitFacts(config, "base", 1, config.num_facts, &rng, &out);
+      bench.output_predicate = "s" + std::to_string(config.depth);
+      break;
+    }
+    case SynthPattern::kSelfChain: {
+      out << "alive(X) :- seed(X) .\n"
+          << "alive(X) :- boxminus alive(X), not kill(X) .\n";
+      EmitFacts(config, "seed", 1, config.num_facts, &rng, &out);
+      EmitFacts(config, "kill", 1, config.num_facts / 4 + 1, &rng, &out);
+      bench.output_predicate = "alive";
+      break;
+    }
+  }
+  bench.text = out.str();
+  return bench;
+}
+
+}  // namespace dmtl

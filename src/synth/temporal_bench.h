@@ -1,0 +1,52 @@
+#ifndef DMTL_SYNTH_TEMPORAL_BENCH_H_
+#define DMTL_SYNTH_TEMPORAL_BENCH_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace dmtl {
+
+// Generator of the canonical recursion/operator patterns used to stress
+// DatalogMTL reasoners (in the style of the iTemporal benchmark generator
+// the Vadalog line of work evaluates with). Each pattern produces a
+// self-contained rules+facts source text.
+enum class SynthPattern {
+  // r1(X) :- base(X).  r_{i+1}(X) :- diamondminus[0,w] r_i(X).
+  kLinearChain,
+  // head(X) :- q_1(X), ..., q_k(X) with staggered windows per atom.
+  kStarJoin,
+  // Temporal transitive closure over a random interval-labelled graph.
+  kTransitiveClosure,
+  // s_{i+1}(X) :- boxminus[0,w] diamondminus[0,w] s_i(X): alternating
+  // erosion/dilation cascade.
+  kWindowCascade,
+  // The accelerable self-propagation shape with random blockers.
+  kSelfChain,
+};
+
+const char* SynthPatternToString(SynthPattern pattern);
+
+struct SynthConfig {
+  SynthPattern pattern = SynthPattern::kLinearChain;
+  int depth = 5;           // rule-chain depth / join width
+  int num_constants = 10;  // data domain size
+  int num_facts = 50;      // EDB facts
+  int window = 3;          // operator window width
+  int64_t timeline = 100;  // fact timestamps drawn from [0, timeline]
+  uint64_t seed = 1;
+};
+
+// Generated program + facts text and the predicate holding the results.
+struct SynthBenchmark {
+  std::string text;
+  std::string output_predicate;
+  int64_t horizon = 0;  // recommended EngineOptions::max_time
+};
+
+Result<SynthBenchmark> GenerateTemporalBenchmark(const SynthConfig& config);
+
+}  // namespace dmtl
+
+#endif  // DMTL_SYNTH_TEMPORAL_BENCH_H_

@@ -1,0 +1,258 @@
+#include "src/temporal/interval.h"
+
+#include <cassert>
+
+namespace dmtl {
+
+namespace {
+
+// Three-way compare of two *lower* bounds by the position where the interval
+// effectively starts: -inf first; at equal finite values a closed bound
+// starts before an open one.
+int CompareLower(const Bound& a, const Bound& b) {
+  if (a.infinite && b.infinite) return 0;
+  if (a.infinite) return -1;
+  if (b.infinite) return 1;
+  if (a.value < b.value) return -1;
+  if (b.value < a.value) return 1;
+  if (a.open == b.open) return 0;
+  return a.open ? 1 : -1;
+}
+
+// Three-way compare of two *upper* bounds by where the interval effectively
+// ends: +inf last; at equal finite values an open bound ends before a
+// closed one.
+int CompareUpper(const Bound& a, const Bound& b) {
+  if (a.infinite && b.infinite) return 0;
+  if (a.infinite) return 1;
+  if (b.infinite) return -1;
+  if (a.value < b.value) return -1;
+  if (b.value < a.value) return 1;
+  if (a.open == b.open) return 0;
+  return a.open ? -1 : 1;
+}
+
+bool BoundsNonEmpty(const Bound& lo, const Bound& hi) {
+  if (lo.infinite || hi.infinite) return true;
+  if (lo.value < hi.value) return true;
+  if (hi.value < lo.value) return false;
+  return !lo.open && !hi.open;  // single point needs both sides closed
+}
+
+// Sum of bound positions used by Minkowski dilation: infinite dominates,
+// openness is contagious.
+Bound AddBounds(const Bound& a, const Bound& b) {
+  if (a.infinite || b.infinite) return Bound::Infinite();
+  return {a.value + b.value, a.open || b.open, false};
+}
+
+Bound SubBounds(const Bound& a, const Bound& b) {
+  if (a.infinite || b.infinite) return Bound::Infinite();
+  return {a.value - b.value, a.open || b.open, false};
+}
+
+}  // namespace
+
+std::optional<Interval> Interval::Make(Bound lo, Bound hi) {
+  if (!BoundsNonEmpty(lo, hi)) return std::nullopt;
+  if (lo.infinite) lo.open = true;
+  if (hi.infinite) hi.open = true;
+  return Interval(lo, hi);
+}
+
+Interval Interval::Point(const Rational& t) {
+  return Interval(Bound::Closed(t), Bound::Closed(t));
+}
+
+Interval Interval::Closed(const Rational& lo, const Rational& hi) {
+  assert(lo <= hi);
+  return Interval(Bound::Closed(lo), Bound::Closed(hi));
+}
+
+Interval Interval::Open(const Rational& lo, const Rational& hi) {
+  assert(lo < hi);
+  return Interval(Bound::Open(lo), Bound::Open(hi));
+}
+
+Interval Interval::ClosedOpen(const Rational& lo, const Rational& hi) {
+  assert(lo < hi);
+  return Interval(Bound::Closed(lo), Bound::Open(hi));
+}
+
+Interval Interval::OpenClosed(const Rational& lo, const Rational& hi) {
+  assert(lo < hi);
+  return Interval(Bound::Open(lo), Bound::Closed(hi));
+}
+
+Interval Interval::All() {
+  return Interval(Bound::Infinite(), Bound::Infinite());
+}
+
+Interval Interval::AtLeast(const Rational& t) {
+  return Interval(Bound::Closed(t), Bound::Infinite());
+}
+
+Interval Interval::AtMost(const Rational& t) {
+  return Interval(Bound::Infinite(), Bound::Closed(t));
+}
+
+bool Interval::IsPunctual() const {
+  return !lo_.infinite && !hi_.infinite && lo_.value == hi_.value;
+}
+
+std::optional<Rational> Interval::Length() const {
+  if (lo_.infinite || hi_.infinite) return std::nullopt;
+  return hi_.value - lo_.value;
+}
+
+bool Interval::Contains(const Rational& t) const {
+  if (!lo_.infinite) {
+    if (t < lo_.value) return false;
+    if (t == lo_.value && lo_.open) return false;
+  }
+  if (!hi_.infinite) {
+    if (hi_.value < t) return false;
+    if (t == hi_.value && hi_.open) return false;
+  }
+  return true;
+}
+
+bool Interval::Contains(const Interval& other) const {
+  return CompareLower(lo_, other.lo_) <= 0 &&
+         CompareUpper(other.hi_, hi_) <= 0;
+}
+
+std::optional<Interval> Interval::Intersect(const Interval& other) const {
+  Bound lo = CompareLower(lo_, other.lo_) >= 0 ? lo_ : other.lo_;
+  Bound hi = CompareUpper(hi_, other.hi_) <= 0 ? hi_ : other.hi_;
+  return Make(lo, hi);
+}
+
+bool Interval::Unionable(const Interval& other) const {
+  if (Intersect(other).has_value()) return true;
+  // Disjoint: unionable only when they touch with no missing point.
+  const Interval& first = StartsBefore(other) ? *this : other;
+  const Interval& second = StartsBefore(other) ? other : *this;
+  if (first.hi_.infinite || second.lo_.infinite) return false;
+  return first.hi_.value == second.lo_.value &&
+         (!first.hi_.open || !second.lo_.open);
+}
+
+Interval Interval::UnionWith(const Interval& other) const {
+  assert(Unionable(other));
+  Bound lo = CompareLower(lo_, other.lo_) <= 0 ? lo_ : other.lo_;
+  Bound hi = CompareUpper(hi_, other.hi_) >= 0 ? hi_ : other.hi_;
+  return Interval(lo, hi);
+}
+
+Interval Interval::Shift(const Rational& delta) const {
+  Bound lo = lo_;
+  Bound hi = hi_;
+  if (!lo.infinite) lo.value = lo.value + delta;
+  if (!hi.infinite) hi.value = hi.value + delta;
+  return Interval(lo, hi);
+}
+
+Interval Interval::DiamondMinus(const Interval& rho) const {
+  // t in I (+) rho.
+  Bound lo = lo_.infinite ? Bound::Infinite() : AddBounds(lo_, rho.lo());
+  Bound hi = hi_.infinite ? Bound::Infinite() : AddBounds(hi_, rho.hi());
+  auto out = Make(lo, hi);
+  assert(out.has_value());
+  return *out;
+}
+
+std::optional<Interval> Interval::BoxMinus(const Interval& rho) const {
+  // t such that <t - rho.hi, t - rho.lo> is contained in I.
+  Bound lo;
+  if (rho.hi().infinite) {
+    // The window reaches back to -inf: only satisfiable on facts that hold
+    // on an infinite past.
+    if (!lo_.infinite) return std::nullopt;
+    lo = Bound::Infinite();
+  } else if (lo_.infinite) {
+    lo = Bound::Infinite();
+  } else {
+    // Result closed when rho's upper endpoint is excluded from the window
+    // (the window is open there, so the fact's own endpoint suffices).
+    bool open = rho.hi().open ? false : lo_.open;
+    lo = Bound{lo_.value + rho.hi().value, open, false};
+  }
+  Bound hi;
+  if (hi_.infinite) {
+    hi = Bound::Infinite();
+  } else {
+    bool open = rho.lo().open ? false : hi_.open;
+    hi = Bound{hi_.value + rho.lo().value, open, false};
+  }
+  return Make(lo, hi);
+}
+
+Interval Interval::DiamondPlus(const Interval& rho) const {
+  // t in <lo - rho.hi, hi - rho.lo>.
+  Bound lo = lo_.infinite ? Bound::Infinite() : SubBounds(lo_, rho.hi());
+  if (!lo_.infinite && rho.hi().infinite) lo = Bound::Infinite();
+  Bound hi = hi_.infinite ? Bound::Infinite() : SubBounds(hi_, rho.lo());
+  auto out = Make(lo, hi);
+  assert(out.has_value());
+  return *out;
+}
+
+std::optional<Interval> Interval::BoxPlus(const Interval& rho) const {
+  // t such that <t + rho.lo, t + rho.hi> is contained in I.
+  Bound lo;
+  if (lo_.infinite) {
+    lo = Bound::Infinite();
+  } else {
+    bool open = rho.lo().open ? false : lo_.open;
+    lo = Bound{lo_.value - rho.lo().value, open, false};
+  }
+  Bound hi;
+  if (rho.hi().infinite) {
+    if (!hi_.infinite) return std::nullopt;
+    hi = Bound::Infinite();
+  } else if (hi_.infinite) {
+    hi = Bound::Infinite();
+  } else {
+    bool open = rho.hi().open ? false : hi_.open;
+    hi = Bound{hi_.value - rho.hi().value, open, false};
+  }
+  return Make(lo, hi);
+}
+
+bool Interval::StartsBefore(const Interval& other) const {
+  int c = CompareLower(lo_, other.lo_);
+  if (c != 0) return c < 0;
+  return CompareUpper(hi_, other.hi_) < 0;
+}
+
+bool Interval::StrictlyBefore(const Interval& other) const {
+  if (hi_.infinite || other.lo_.infinite) return false;
+  if (hi_.value < other.lo_.value) return true;
+  return hi_.value == other.lo_.value && hi_.open && other.lo_.open;
+}
+
+std::string Interval::ToString() const {
+  std::string out;
+  out += lo_.open ? '(' : '[';
+  out += lo_.infinite ? "-inf" : lo_.value.ToString();
+  out += ',';
+  out += hi_.infinite ? "+inf" : hi_.value.ToString();
+  out += hi_.open ? ')' : ']';
+  return out;
+}
+
+bool operator==(const Interval& a, const Interval& b) {
+  auto eq = [](const Bound& x, const Bound& y) {
+    if (x.infinite != y.infinite) return false;
+    if (x.infinite) return true;
+    return x.value == y.value && x.open == y.open;
+  };
+  return eq(a.lo_, b.lo_) && eq(a.hi_, b.hi_);
+}
+
+std::ostream& operator<<(std::ostream& os, const Interval& iv) {
+  return os << iv.ToString();
+}
+
+}  // namespace dmtl

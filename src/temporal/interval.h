@@ -1,0 +1,129 @@
+#ifndef DMTL_TEMPORAL_INTERVAL_H_
+#define DMTL_TEMPORAL_INTERVAL_H_
+
+#include <optional>
+#include <ostream>
+#include <string>
+
+#include "src/temporal/rational.h"
+
+namespace dmtl {
+
+// One endpoint of an interval: either a finite rational (open or closed) or
+// an infinity. `open` is meaningless for infinite bounds (always open).
+struct Bound {
+  Rational value;
+  bool open = false;
+  bool infinite = false;
+
+  static Bound Closed(Rational v) { return {v, false, false}; }
+  static Bound Open(Rational v) { return {v, true, false}; }
+  static Bound Infinite() { return {Rational(), true, true}; }
+};
+
+// A non-empty interval over the rational timeline with independently
+// open/closed finite endpoints, or infinite endpoints. This is the temporal
+// annotation of a DatalogMTL fact (P(a)@<t1,t2>) and the index set rho of a
+// metric operator.
+//
+// Instances are always non-empty: construction goes through Make() (which
+// rejects empty bound combinations) or the convenience factories.
+class Interval {
+ public:
+  // Builds <lo, hi> if non-empty. Returns nullopt for empty combinations
+  // (lo > hi, or lo == hi unless both endpoints are closed).
+  static std::optional<Interval> Make(Bound lo, Bound hi);
+
+  // [t, t].
+  static Interval Point(const Rational& t);
+  // [lo, hi]; requires lo <= hi.
+  static Interval Closed(const Rational& lo, const Rational& hi);
+  // (lo, hi); requires lo < hi.
+  static Interval Open(const Rational& lo, const Rational& hi);
+  // [lo, hi).
+  static Interval ClosedOpen(const Rational& lo, const Rational& hi);
+  // (lo, hi].
+  static Interval OpenClosed(const Rational& lo, const Rational& hi);
+  // (-inf, +inf).
+  static Interval All();
+  // [t, +inf).
+  static Interval AtLeast(const Rational& t);
+  // (-inf, t].
+  static Interval AtMost(const Rational& t);
+
+  const Bound& lo() const { return lo_; }
+  const Bound& hi() const { return hi_; }
+
+  bool lo_infinite() const { return lo_.infinite; }
+  bool hi_infinite() const { return hi_.infinite; }
+
+  // True iff the interval is the single point [t, t].
+  bool IsPunctual() const;
+
+  // hi - lo as a rational; nullopt if either side is infinite.
+  std::optional<Rational> Length() const;
+
+  bool Contains(const Rational& t) const;
+  bool Contains(const Interval& other) const;
+
+  // Set intersection; nullopt when disjoint.
+  std::optional<Interval> Intersect(const Interval& other) const;
+
+  // True when the union of the two intervals is itself an interval
+  // (they overlap or touch without a gap, e.g. [1,3) and [3,5]).
+  bool Unionable(const Interval& other) const;
+
+  // Union of two Unionable() intervals.
+  Interval UnionWith(const Interval& other) const;
+
+  // The interval translated by delta.
+  Interval Shift(const Rational& delta) const;
+
+  // --- MTL operator transforms -------------------------------------------
+  // Given that an atom M holds exactly throughout this interval, these
+  // return where the compound metric atom holds (nullopt when nowhere).
+  // rho must be a non-empty interval with non-negative bounds.
+
+  // diamondminus_rho M at t  iff  M at some s with t - s in rho.
+  // Minkowski dilation into the future: <lo+rho.lo, hi+rho.hi>.
+  Interval DiamondMinus(const Interval& rho) const;
+
+  // boxminus_rho M at t  iff  M at all s with t - s in rho.
+  // Erosion: <lo+rho.hi, hi+rho.lo>; empty when the fact interval is
+  // shorter than rho.
+  std::optional<Interval> BoxMinus(const Interval& rho) const;
+
+  // diamondplus_rho M at t  iff  M at some s with s - t in rho.
+  Interval DiamondPlus(const Interval& rho) const;
+
+  // boxplus_rho M at t  iff  M at all s with s - t in rho.
+  std::optional<Interval> BoxPlus(const Interval& rho) const;
+
+  // Ordering for normalized storage: by lower bound (closed endpoints start
+  // before open ones at the same value), ties by upper bound.
+  bool StartsBefore(const Interval& other) const;
+
+  // True iff every point of *this precedes every point of `other` with a
+  // non-empty gap in between (i.e. not Unionable and strictly before).
+  bool StrictlyBefore(const Interval& other) const;
+
+  // "[1,3)", "(-inf,5]", "[2,2]".
+  std::string ToString() const;
+
+  friend bool operator==(const Interval& a, const Interval& b);
+  friend bool operator!=(const Interval& a, const Interval& b) {
+    return !(a == b);
+  }
+
+ private:
+  Interval(Bound lo, Bound hi) : lo_(lo), hi_(hi) {}
+
+  Bound lo_;
+  Bound hi_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Interval& iv);
+
+}  // namespace dmtl
+
+#endif  // DMTL_TEMPORAL_INTERVAL_H_

@@ -1,0 +1,339 @@
+#include "src/temporal/interval_set.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dmtl {
+
+namespace {
+
+// Appends the (up to two) pieces of `a` not covered by `b`.
+void SubtractInterval(const Interval& a, const Interval& b,
+                      std::vector<Interval>* out) {
+  if (!a.Intersect(b).has_value()) {
+    out->push_back(a);
+    return;
+  }
+  // Left piece: from a.lo up to (but excluding per b's openness) b.lo.
+  if (!b.lo().infinite) {
+    Bound hi = b.lo();
+    hi.open = !hi.open;  // the complement flips inclusion at the cut point
+    if (auto left = Interval::Make(a.lo(), hi); left.has_value()) {
+      out->push_back(*left);
+    }
+  }
+  // Right piece: from (excluding per b's openness) b.hi up to a.hi.
+  if (!b.hi().infinite) {
+    Bound lo = b.hi();
+    lo.open = !lo.open;
+    if (auto right = Interval::Make(lo, a.hi()); right.has_value()) {
+      out->push_back(*right);
+    }
+  }
+}
+
+}  // namespace
+
+IntervalSet IntervalSet::FromIntervals(const std::vector<Interval>& ivs) {
+  IntervalSet out;
+  for (const Interval& iv : ivs) out.Insert(iv);
+  return out;
+}
+
+bool IntervalSet::Contains(const Rational& t) const {
+  // Binary search: first interval not strictly before [t,t].
+  Interval point = Interval::Point(t);
+  auto it = std::partition_point(
+      intervals_.begin(), intervals_.end(),
+      [&](const Interval& x) { return x.StrictlyBefore(point); });
+  for (; it != intervals_.end(); ++it) {
+    if (it->Contains(t)) return true;
+    if (point.StrictlyBefore(*it)) break;
+  }
+  return false;
+}
+
+bool IntervalSet::Contains(const Interval& iv) const {
+  // Must fit inside a single component (components have true gaps).
+  for (const Interval& x : intervals_) {
+    if (x.Contains(iv)) return true;
+  }
+  return false;
+}
+
+bool IntervalSet::ContainsSet(const IntervalSet& other) const {
+  for (const Interval& iv : other.intervals_) {
+    if (!Contains(iv)) return false;
+  }
+  return true;
+}
+
+IntervalSet IntervalSet::Insert(const Interval& iv) {
+  // Fast path: appending past the end (the dominant pattern when facts are
+  // derived in temporal order).
+  if (intervals_.empty() || intervals_.back().StrictlyBefore(iv)) {
+    intervals_.push_back(iv);
+    return IntervalSet(iv);
+  }
+  auto first = std::partition_point(
+      intervals_.begin(), intervals_.end(),
+      [&](const Interval& x) { return x.StrictlyBefore(iv); });
+  // Collect the run of intervals that overlap or touch iv.
+  auto last = first;
+  Interval merged = iv;
+  std::vector<Interval> uncovered = {iv};
+  std::vector<Interval> next;
+  while (last != intervals_.end() && !iv.StrictlyBefore(*last)) {
+    if (merged.Unionable(*last)) merged = merged.UnionWith(*last);
+    next.clear();
+    for (const Interval& piece : uncovered) {
+      SubtractInterval(piece, *last, &next);
+    }
+    uncovered.swap(next);
+    ++last;
+  }
+  IntervalSet delta;
+  delta.intervals_ = std::move(uncovered);
+  if (last == first) {
+    intervals_.insert(first, merged);
+  } else {
+    *first = merged;
+    intervals_.erase(first + 1, last);
+  }
+  return delta;
+}
+
+void IntervalSet::UnionWith(const IntervalSet& other) {
+  for (const Interval& iv : other.intervals_) Insert(iv);
+}
+
+IntervalSet IntervalSet::Intersect(const IntervalSet& other) const {
+  // Asymmetric fast path: probe each component of the small set into the
+  // large one by binary search (rule evaluation constantly intersects a
+  // punctual row extent with a session-long per-tick chain extent).
+  const size_t small_n = std::min(intervals_.size(), other.intervals_.size());
+  const size_t large_n = std::max(intervals_.size(), other.intervals_.size());
+  if (small_n != 0 && large_n > 16 && small_n * 8 < large_n) {
+    const IntervalSet& small = intervals_.size() <= other.intervals_.size()
+                                   ? *this
+                                   : other;
+    const IntervalSet& large = intervals_.size() <= other.intervals_.size()
+                                   ? other
+                                   : *this;
+    IntervalSet out;
+    for (const Interval& s : small.intervals_) {
+      auto it = std::partition_point(
+          large.intervals_.begin(), large.intervals_.end(),
+          [&](const Interval& x) { return x.StrictlyBefore(s); });
+      for (; it != large.intervals_.end(); ++it) {
+        if (s.StrictlyBefore(*it)) break;
+        if (auto x = s.Intersect(*it); x.has_value()) {
+          out.Insert(*x);
+        }
+      }
+    }
+    return out;
+  }
+  IntervalSet out;
+  // Two-pointer sweep over sorted components.
+  size_t i = 0;
+  size_t j = 0;
+  while (i < intervals_.size() && j < other.intervals_.size()) {
+    const Interval& a = intervals_[i];
+    const Interval& b = other.intervals_[j];
+    if (auto x = a.Intersect(b); x.has_value()) {
+      out.intervals_.push_back(*x);
+    }
+    // Advance whichever ends first.
+    int cmp_hi = [&] {
+      const Bound& ha = a.hi();
+      const Bound& hb = b.hi();
+      if (ha.infinite && hb.infinite) return 0;
+      if (ha.infinite) return 1;
+      if (hb.infinite) return -1;
+      if (ha.value < hb.value) return -1;
+      if (hb.value < ha.value) return 1;
+      if (ha.open == hb.open) return 0;
+      return ha.open ? -1 : 1;
+    }();
+    if (cmp_hi <= 0) {
+      ++i;
+    }
+    if (cmp_hi >= 0) {
+      ++j;
+    }
+  }
+  return out;
+}
+
+IntervalSet IntervalSet::Intersect(const Interval& iv) const {
+  return Intersect(IntervalSet(iv));
+}
+
+IntervalSet IntervalSet::Subtract(const IntervalSet& other) const {
+  return Intersect(other.Complement());
+}
+
+IntervalSet IntervalSet::Complement() const {
+  IntervalSet out;
+  if (intervals_.empty()) {
+    out.intervals_.push_back(Interval::All());
+    return out;
+  }
+  // Gap before the first component.
+  const Interval& first = intervals_.front();
+  if (!first.lo().infinite) {
+    Bound hi = first.lo();
+    hi.open = !hi.open;
+    if (auto gap = Interval::Make(Bound::Infinite(), hi); gap.has_value()) {
+      out.intervals_.push_back(*gap);
+    }
+  }
+  // Gaps between components.
+  for (size_t i = 0; i + 1 < intervals_.size(); ++i) {
+    Bound lo = intervals_[i].hi();
+    lo.open = !lo.open;
+    Bound hi = intervals_[i + 1].lo();
+    hi.open = !hi.open;
+    if (auto gap = Interval::Make(lo, hi); gap.has_value()) {
+      out.intervals_.push_back(*gap);
+    }
+  }
+  // Gap after the last component.
+  const Interval& last = intervals_.back();
+  if (!last.hi().infinite) {
+    Bound lo = last.hi();
+    lo.open = !lo.open;
+    if (auto gap = Interval::Make(lo, Bound::Infinite()); gap.has_value()) {
+      out.intervals_.push_back(*gap);
+    }
+  }
+  return out;
+}
+
+IntervalSet IntervalSet::Shift(const Rational& delta) const {
+  IntervalSet out;
+  out.intervals_.reserve(intervals_.size());
+  for (const Interval& iv : intervals_) {
+    out.intervals_.push_back(iv.Shift(delta));
+  }
+  return out;
+}
+
+IntervalSet IntervalSet::DiamondMinus(const Interval& rho) const {
+  IntervalSet out;
+  for (const Interval& iv : intervals_) out.Insert(iv.DiamondMinus(rho));
+  return out;
+}
+
+IntervalSet IntervalSet::BoxMinus(const Interval& rho) const {
+  IntervalSet out;
+  for (const Interval& iv : intervals_) {
+    if (auto x = iv.BoxMinus(rho); x.has_value()) out.Insert(*x);
+  }
+  return out;
+}
+
+IntervalSet IntervalSet::DiamondPlus(const Interval& rho) const {
+  IntervalSet out;
+  for (const Interval& iv : intervals_) out.Insert(iv.DiamondPlus(rho));
+  return out;
+}
+
+IntervalSet IntervalSet::BoxPlus(const Interval& rho) const {
+  IntervalSet out;
+  for (const Interval& iv : intervals_) {
+    if (auto x = iv.BoxPlus(rho); x.has_value()) out.Insert(*x);
+  }
+  return out;
+}
+
+IntervalSet IntervalSet::Since(const IntervalSet& m2,
+                               const Interval& rho) const {
+  IntervalSet out;
+  // s == t witnesses: M1 Since M2 degenerates to M2 where 0 in rho.
+  if (rho.Contains(Rational(0))) out.UnionWith(m2);
+  // Strictly-past witnesses use rho restricted to (0, +inf).
+  auto rho_pos = rho.Intersect(
+      *Interval::Make(Bound::Open(Rational(0)), Bound::Infinite()));
+  if (!rho_pos.has_value()) return out;
+  for (const Interval& i1 : intervals_) {
+    // The witness s must satisfy s >= i1.lo (the open gap (s,t) tolerates
+    // s on the boundary) and the result t <= i1.hi likewise.
+    Bound win_lo = i1.lo().infinite ? Bound::Infinite()
+                                    : Bound::Closed(i1.lo().value);
+    auto window = Interval::Make(win_lo, Bound::Infinite());
+    assert(window.has_value());
+    for (const Interval& i2 : m2.intervals_) {
+      auto j = i2.Intersect(*window);
+      if (!j.has_value()) continue;
+      Interval reach = j->DiamondMinus(*rho_pos);
+      if (!i1.hi().infinite) {
+        auto clamp = Interval::Make(Bound::Infinite(),
+                                    Bound::Closed(i1.hi().value));
+        auto r = reach.Intersect(*clamp);
+        if (!r.has_value()) continue;
+        reach = *r;
+      }
+      out.Insert(reach);
+    }
+  }
+  return out;
+}
+
+IntervalSet IntervalSet::Until(const IntervalSet& m2,
+                               const Interval& rho) const {
+  IntervalSet out;
+  if (rho.Contains(Rational(0))) out.UnionWith(m2);
+  auto rho_pos = rho.Intersect(
+      *Interval::Make(Bound::Open(Rational(0)), Bound::Infinite()));
+  if (!rho_pos.has_value()) return out;
+  for (const Interval& i1 : intervals_) {
+    Bound win_hi = i1.hi().infinite ? Bound::Infinite()
+                                    : Bound::Closed(i1.hi().value);
+    auto window = Interval::Make(Bound::Infinite(), win_hi);
+    assert(window.has_value());
+    for (const Interval& i2 : m2.intervals_) {
+      auto j = i2.Intersect(*window);
+      if (!j.has_value()) continue;
+      Interval reach = j->DiamondPlus(*rho_pos);
+      if (!i1.lo().infinite) {
+        auto clamp = Interval::Make(Bound::Closed(i1.lo().value),
+                                    Bound::Infinite());
+        auto r = reach.Intersect(*clamp);
+        if (!r.has_value()) continue;
+        reach = *r;
+      }
+      out.Insert(reach);
+    }
+  }
+  return out;
+}
+
+bool IntervalSet::IsPunctualOnly(std::vector<Rational>* points) const {
+  for (const Interval& iv : intervals_) {
+    if (!iv.IsPunctual()) return false;
+  }
+  if (points != nullptr) {
+    points->clear();
+    points->reserve(intervals_.size());
+    for (const Interval& iv : intervals_) points->push_back(iv.lo().value);
+  }
+  return true;
+}
+
+std::string IntervalSet::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < intervals_.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += intervals_[i].ToString();
+  }
+  out += '}';
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const IntervalSet& set) {
+  return os << set.ToString();
+}
+
+}  // namespace dmtl

@@ -1,0 +1,93 @@
+#ifndef DMTL_TEMPORAL_INTERVAL_SET_H_
+#define DMTL_TEMPORAL_INTERVAL_SET_H_
+
+#include <string>
+#include <vector>
+
+#include "src/temporal/interval.h"
+
+namespace dmtl {
+
+// A set of rational time points represented as a normalized sequence of
+// intervals: sorted, pairwise disjoint, and maximally coalesced (no two
+// stored intervals could be merged into one). This is the temporal extent of
+// a ground atom in the materialization, and the working currency of rule
+// evaluation.
+//
+// Coalescing respects the dense order on Q: [5,5] and [6,6] remain two
+// components (the open gap (5,6) is not covered), while [1,3) and [3,5]
+// coalesce to [1,5].
+class IntervalSet {
+ public:
+  IntervalSet() = default;
+  explicit IntervalSet(const Interval& iv) { intervals_.push_back(iv); }
+
+  // Builds a normalized set from arbitrary (unsorted, overlapping) input.
+  static IntervalSet FromIntervals(const std::vector<Interval>& ivs);
+
+  bool IsEmpty() const { return intervals_.empty(); }
+  size_t size() const { return intervals_.size(); }
+  const std::vector<Interval>& intervals() const { return intervals_; }
+
+  bool Contains(const Rational& t) const;
+  bool Contains(const Interval& iv) const;
+  bool ContainsSet(const IntervalSet& other) const;
+
+  // Adds `iv` and returns the portion of `iv` that was not already covered
+  // (the semi-naive delta of this insertion; empty when `iv` was already
+  // fully contained).
+  IntervalSet Insert(const Interval& iv);
+
+  // Set algebra (all results normalized).
+  void UnionWith(const IntervalSet& other);
+  IntervalSet Intersect(const IntervalSet& other) const;
+  IntervalSet Intersect(const Interval& iv) const;
+  IntervalSet Subtract(const IntervalSet& other) const;
+  // All time points NOT in this set.
+  IntervalSet Complement() const;
+
+  IntervalSet Shift(const Rational& delta) const;
+
+  // --- MTL operator transforms on the full extent of an atom --------------
+  // These are exact under normalization: a box/since window is an interval
+  // and therefore must fit inside a single maximal component.
+  IntervalSet DiamondMinus(const Interval& rho) const;
+  IntervalSet BoxMinus(const Interval& rho) const;
+  IntervalSet DiamondPlus(const Interval& rho) const;
+  IntervalSet BoxPlus(const Interval& rho) const;
+
+  // Where (M1 Since_rho M2) holds, with *this the extent of M1 and `m2` the
+  // extent of M2.
+  IntervalSet Since(const IntervalSet& m2, const Interval& rho) const;
+  // Where (M1 Until_rho M2) holds, analogously.
+  IntervalSet Until(const IntervalSet& m2, const Interval& rho) const;
+
+  // True iff every component is a single point; fills `points` if non-null.
+  bool IsPunctualOnly(std::vector<Rational>* points = nullptr) const;
+
+  // "{[1,3) [5,5]}".
+  std::string ToString() const;
+
+  friend bool operator==(const IntervalSet& a, const IntervalSet& b) {
+    return a.intervals_ == b.intervals_;
+  }
+  friend bool operator!=(const IntervalSet& a, const IntervalSet& b) {
+    return !(a == b);
+  }
+
+  std::vector<Interval>::const_iterator begin() const {
+    return intervals_.begin();
+  }
+  std::vector<Interval>::const_iterator end() const {
+    return intervals_.end();
+  }
+
+ private:
+  std::vector<Interval> intervals_;
+};
+
+std::ostream& operator<<(std::ostream& os, const IntervalSet& set);
+
+}  // namespace dmtl
+
+#endif  // DMTL_TEMPORAL_INTERVAL_SET_H_

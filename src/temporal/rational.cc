@@ -1,0 +1,163 @@
+#include "src/temporal/rational.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <numeric>
+
+namespace dmtl {
+
+namespace {
+
+// Normalizes a 128-bit fraction into int64 parts. Saturates on overflow
+// (asserts in debug builds; overflow is unreachable for timeline arithmetic
+// in this project's workloads).
+void Normalize128(__int128 num, __int128 den, int64_t* out_num,
+                  int64_t* out_den) {
+  assert(den != 0);
+  if (den < 0) {
+    num = -num;
+    den = -den;
+  }
+  __int128 a = num < 0 ? -num : num;
+  __int128 b = den;
+  while (b != 0) {
+    __int128 t = a % b;
+    a = b;
+    b = t;
+  }
+  if (a > 1) {
+    num /= a;
+    den /= a;
+  }
+  constexpr __int128 kMax = std::numeric_limits<int64_t>::max();
+  constexpr __int128 kMin = std::numeric_limits<int64_t>::min();
+  assert(num <= kMax && num >= kMin && den <= kMax && "Rational overflow");
+  if (num > kMax) num = kMax;
+  if (num < kMin) num = kMin;
+  if (den > kMax) den = kMax;
+  *out_num = static_cast<int64_t>(num);
+  *out_den = static_cast<int64_t>(den);
+}
+
+}  // namespace
+
+Rational::Rational(int64_t num, int64_t den) {
+  Normalize128(num, den, &num_, &den_);
+}
+
+int64_t Rational::Floor() const {
+  if (num_ >= 0) return num_ / den_;
+  // Round toward negative infinity.
+  return -((-num_ + den_ - 1) / den_);
+}
+
+int64_t Rational::Ceil() const {
+  if (num_ >= 0) return (num_ + den_ - 1) / den_;
+  return -((-num_) / den_);
+}
+
+double Rational::ToDouble() const {
+  return static_cast<double>(num_) / static_cast<double>(den_);
+}
+
+std::string Rational::ToString() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+Result<Rational> Rational::FromString(const std::string& text) {
+  if (text.empty()) return Status::ParseError("empty rational literal");
+  size_t slash = text.find('/');
+  size_t dot = text.find('.');
+  errno = 0;
+  char* end = nullptr;
+  if (slash != std::string::npos) {
+    int64_t num = std::strtoll(text.c_str(), &end, 10);
+    if (end != text.c_str() + slash || errno != 0) {
+      return Status::ParseError("bad numerator in '" + text + "'");
+    }
+    int64_t den = std::strtoll(text.c_str() + slash + 1, &end, 10);
+    if (*end != '\0' || errno != 0 || den == 0) {
+      return Status::ParseError("bad denominator in '" + text + "'");
+    }
+    return Rational(num, den);
+  }
+  if (dot != std::string::npos) {
+    // Exact decimal: digits after the dot scale the denominator by 10^k.
+    std::string digits = text.substr(0, dot) + text.substr(dot + 1);
+    size_t frac_len = text.size() - dot - 1;
+    if (frac_len > 18) {
+      return Status::ParseError("too many decimal places in '" + text + "'");
+    }
+    int64_t num = std::strtoll(digits.c_str(), &end, 10);
+    if (*end != '\0' || errno != 0) {
+      return Status::ParseError("bad decimal literal '" + text + "'");
+    }
+    int64_t den = 1;
+    for (size_t i = 0; i < frac_len; ++i) den *= 10;
+    return Rational(num, den);
+  }
+  int64_t num = std::strtoll(text.c_str(), &end, 10);
+  if (*end != '\0' || errno != 0) {
+    return Status::ParseError("bad integer literal '" + text + "'");
+  }
+  return Rational(num);
+}
+
+Rational Rational::FromDouble(double value, int64_t den) {
+  return Rational(static_cast<int64_t>(std::llround(value * den)), den);
+}
+
+Rational operator+(const Rational& a, const Rational& b) {
+  __int128 num = static_cast<__int128>(a.num_) * b.den_ +
+                 static_cast<__int128>(b.num_) * a.den_;
+  __int128 den = static_cast<__int128>(a.den_) * b.den_;
+  Rational r;
+  Normalize128(num, den, &r.num_, &r.den_);
+  return r;
+}
+
+Rational operator-(const Rational& a, const Rational& b) { return a + (-b); }
+
+Rational operator*(const Rational& a, const Rational& b) {
+  __int128 num = static_cast<__int128>(a.num_) * b.num_;
+  __int128 den = static_cast<__int128>(a.den_) * b.den_;
+  Rational r;
+  Normalize128(num, den, &r.num_, &r.den_);
+  return r;
+}
+
+Rational operator/(const Rational& a, const Rational& b) {
+  assert(!b.is_zero());
+  __int128 num = static_cast<__int128>(a.num_) * b.den_;
+  __int128 den = static_cast<__int128>(a.den_) * b.num_;
+  Rational r;
+  Normalize128(num, den, &r.num_, &r.den_);
+  return r;
+}
+
+Rational operator-(const Rational& a) {
+  Rational r;
+  r.num_ = -a.num_;
+  r.den_ = a.den_;
+  return r;
+}
+
+bool operator<(const Rational& a, const Rational& b) {
+  return static_cast<__int128>(a.num_) * b.den_ <
+         static_cast<__int128>(b.num_) * a.den_;
+}
+
+size_t Rational::Hash() const {
+  size_t h = std::hash<int64_t>()(num_);
+  h ^= std::hash<int64_t>()(den_) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+Rational Min(const Rational& a, const Rational& b) { return a < b ? a : b; }
+Rational Max(const Rational& a, const Rational& b) { return a < b ? b : a; }
+Rational Abs(const Rational& a) { return a.is_negative() ? -a : a; }
+
+}  // namespace dmtl

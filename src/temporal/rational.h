@@ -1,0 +1,108 @@
+#ifndef DMTL_TEMPORAL_RATIONAL_H_
+#define DMTL_TEMPORAL_RATIONAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace dmtl {
+
+// Exact rational number with int64 numerator / denominator, always stored
+// normalized (gcd(|num|, den) == 1, den > 0). DatalogMTL is interpreted over
+// the rational timeline, so time points and interval bounds are Rationals.
+//
+// Intermediate products use 128-bit arithmetic; a result whose normalized
+// numerator or denominator overflows int64 aborts via DCHECK-style assert in
+// debug and saturates in release. Contract workloads use integer Unix
+// timestamps and small interval bounds, far from overflow.
+class Rational {
+ public:
+  // Zero.
+  constexpr Rational() : num_(0), den_(1) {}
+
+  // Integer value.
+  constexpr Rational(int64_t n) : num_(n), den_(1) {}  // NOLINT(runtime/explicit): intentional int promotion
+
+  // num/den, normalized. den must be non-zero.
+  Rational(int64_t num, int64_t den);
+
+  int64_t numerator() const { return num_; }
+  int64_t denominator() const { return den_; }
+
+  bool is_integer() const { return den_ == 1; }
+  bool is_zero() const { return num_ == 0; }
+  bool is_negative() const { return num_ < 0; }
+
+  // Greatest integer <= value, and least integer >= value.
+  int64_t Floor() const;
+  int64_t Ceil() const;
+
+  double ToDouble() const;
+
+  // "3", "-7/2".
+  std::string ToString() const;
+
+  // Parses "n", "n/d", or a decimal literal like "2.5" exactly.
+  static Result<Rational> FromString(const std::string& text);
+
+  // Exact conversion from a double with a small power-of-two denominator is
+  // not generally possible in int64; this rounds to the nearest rational
+  // with denominator `den`.
+  static Rational FromDouble(double value, int64_t den = 1'000'000);
+
+  friend Rational operator+(const Rational& a, const Rational& b);
+  friend Rational operator-(const Rational& a, const Rational& b);
+  friend Rational operator*(const Rational& a, const Rational& b);
+  // b must be non-zero.
+  friend Rational operator/(const Rational& a, const Rational& b);
+  friend Rational operator-(const Rational& a);
+
+  Rational& operator+=(const Rational& b) { return *this = *this + b; }
+  Rational& operator-=(const Rational& b) { return *this = *this - b; }
+
+  friend bool operator==(const Rational& a, const Rational& b) {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend bool operator!=(const Rational& a, const Rational& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const Rational& a, const Rational& b);
+  friend bool operator<=(const Rational& a, const Rational& b) {
+    return a == b || a < b;
+  }
+  friend bool operator>(const Rational& a, const Rational& b) { return b < a; }
+  friend bool operator>=(const Rational& a, const Rational& b) {
+    return b <= a;
+  }
+
+  template <typename H>
+  friend H AbslHashValue(H h, const Rational& r) {
+    return H::combine(std::move(h), r.num_, r.den_);
+  }
+
+  size_t Hash() const;
+
+ private:
+  int64_t num_;
+  int64_t den_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Rational& r) {
+  return os << r.ToString();
+}
+
+Rational Min(const Rational& a, const Rational& b);
+Rational Max(const Rational& a, const Rational& b);
+Rational Abs(const Rational& a);
+
+}  // namespace dmtl
+
+template <>
+struct std::hash<dmtl::Rational> {
+  size_t operator()(const dmtl::Rational& r) const { return r.Hash(); }
+};
+
+#endif  // DMTL_TEMPORAL_RATIONAL_H_

@@ -1,0 +1,244 @@
+#include "src/tools/cli.h"
+
+#include <iostream>
+#include <optional>
+
+#include "src/analysis/dot_export.h"
+#include "src/analysis/safety.h"
+#include "src/analysis/stratifier.h"
+#include "src/engine/reasoner.h"
+#include "src/storage/serialize.h"
+
+namespace dmtl {
+
+namespace {
+
+constexpr char kUsage[] =
+    "usage: dmtl_cli <command> FILE... [options]\n"
+    "\n"
+    "commands:\n"
+    "  run     materialize the program over the facts and print results\n"
+    "  check   parse, check safety, stratify; print a report\n"
+    "  dot     print the dependency graph as Graphviz DOT\n"
+    "  fmt     parse and pretty-print rules and facts\n"
+    "\n"
+    "options for run:\n"
+    "  --min T         derivation horizon lower bound (rational)\n"
+    "  --max T         derivation horizon upper bound (rational)\n"
+    "  --no-accel      disable chain acceleration\n"
+    "  --naive         naive (non-semi-naive) evaluation\n"
+    "  --query PRED    print only facts of PRED\n"
+    "  --at TIME       print only tuples holding at TIME\n"
+    "  --stats         print engine statistics\n"
+    "  --output FILE   write the materialized database to FILE\n"
+    "  --explain FACT  run with provenance and print the rule applications\n"
+    "                  deriving FACT, e.g. --explain 'margin(acc, 100.0)@5 .'\n";
+
+struct CliOptions {
+  std::string command;
+  std::vector<std::string> files;
+  EngineOptions engine;
+  std::optional<std::string> query;
+  std::optional<Rational> at;
+  bool stats = false;
+  std::optional<std::string> output;
+  std::optional<std::string> explain;
+};
+
+Result<CliOptions> ParseArgs(const std::vector<std::string>& args) {
+  if (args.empty()) return Status::InvalidArgument("missing command");
+  CliOptions options;
+  options.command = args[0];
+  if (options.command != "run" && options.command != "check" &&
+      options.command != "dot" && options.command != "fmt") {
+    return Status::InvalidArgument("unknown command '" + options.command +
+                                   "'");
+  }
+  for (size_t i = 1; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto next = [&]() -> Result<std::string> {
+      if (i + 1 >= args.size()) {
+        return Status::InvalidArgument(arg + " needs an argument");
+      }
+      return args[++i];
+    };
+    if (arg == "--min" || arg == "--max" || arg == "--at") {
+      DMTL_ASSIGN_OR_RETURN(std::string text, next());
+      DMTL_ASSIGN_OR_RETURN(Rational value, Rational::FromString(text));
+      if (arg == "--min") {
+        options.engine.min_time = value;
+      } else if (arg == "--max") {
+        options.engine.max_time = value;
+      } else {
+        options.at = value;
+      }
+    } else if (arg == "--no-accel") {
+      options.engine.enable_chain_acceleration = false;
+    } else if (arg == "--naive") {
+      options.engine.naive_evaluation = true;
+    } else if (arg == "--query") {
+      DMTL_ASSIGN_OR_RETURN(std::string pred, next());
+      options.query = pred;
+    } else if (arg == "--stats") {
+      options.stats = true;
+    } else if (arg == "--output") {
+      DMTL_ASSIGN_OR_RETURN(std::string path, next());
+      options.output = path;
+    } else if (arg == "--explain") {
+      DMTL_ASSIGN_OR_RETURN(std::string fact, next());
+      options.explain = fact;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Status::InvalidArgument("unknown option '" + arg + "'");
+    } else {
+      options.files.push_back(arg);
+    }
+  }
+  if (options.files.empty()) {
+    return Status::InvalidArgument("no input files");
+  }
+  return options;
+}
+
+Result<Parser::ParsedUnit> LoadAll(const std::vector<std::string>& files) {
+  Parser::ParsedUnit all;
+  for (const std::string& path : files) {
+    DMTL_ASSIGN_OR_RETURN(Parser::ParsedUnit unit, ReadSourceFile(path));
+    for (const Rule& rule : unit.program.rules()) {
+      all.program.AddRule(rule);
+    }
+    all.database.MergeFrom(unit.database);
+  }
+  return all;
+}
+
+Status CommandRun(const CliOptions& options, std::ostream& out) {
+  DMTL_ASSIGN_OR_RETURN(Parser::ParsedUnit unit, LoadAll(options.files));
+  Database db = std::move(unit.database);
+  EngineStats stats;
+  EngineOptions engine = options.engine;
+  std::vector<DerivationRecord> provenance;
+  if (options.explain.has_value()) engine.provenance = &provenance;
+  DMTL_RETURN_IF_ERROR(Materialize(unit.program, &db, engine, &stats));
+  if (options.explain.has_value()) {
+    DMTL_ASSIGN_OR_RETURN(Database wanted,
+                          Parser::ParseDatabase(*options.explain));
+    for (const auto& [pred, rel] : wanted.relations()) {
+      for (const auto& [tuple, set] : rel.data()) {
+        for (const Interval& iv : set) {
+          out << PredicateName(pred) << TupleToString(tuple) << "@"
+              << iv.ToString() << ":\n";
+          bool any = false;
+          for (const DerivationRecord& record : provenance) {
+            if (record.predicate != pred || record.tuple != tuple) continue;
+            if (!record.piece.Intersect(iv).has_value()) continue;
+            out << "  " << record.ToString(unit.program) << "\n";
+            any = true;
+          }
+          if (!any) out << "  (no derivation: input fact or not entailed)\n";
+        }
+      }
+    }
+    return Status::Ok();
+  }
+  if (options.query.has_value()) {
+    if (options.at.has_value()) {
+      for (const Tuple& tuple :
+           Reasoner::TuplesAt(db, *options.query, *options.at)) {
+        out << *options.query << TupleToString(tuple) << "@"
+            << options.at->ToString() << "\n";
+      }
+    } else {
+      Database filtered;
+      const Relation* rel = db.Find(*options.query);
+      if (rel != nullptr) {
+        PredicateId pred = InternPredicate(*options.query);
+        for (const auto& [tuple, set] : rel->data()) {
+          filtered.InsertSet(pred, tuple, set);
+        }
+      }
+      out << SerializeDatabase(filtered);
+    }
+  } else if (options.at.has_value()) {
+    // All predicates at one time point.
+    std::vector<std::string> lines;
+    for (const auto& [pred, rel] : db.relations()) {
+      for (const auto& [tuple, set] : rel.data()) {
+        if (set.Contains(*options.at)) {
+          lines.push_back(PredicateName(pred) + TupleToString(tuple));
+        }
+      }
+    }
+    std::sort(lines.begin(), lines.end());
+    for (const std::string& line : lines) out << line << "\n";
+  } else {
+    out << SerializeDatabase(db);
+  }
+  if (options.output.has_value()) {
+    DMTL_RETURN_IF_ERROR(WriteDatabaseFile(db, *options.output));
+  }
+  if (options.stats) {
+    out << "% " << stats.ToString() << "\n";
+  }
+  return Status::Ok();
+}
+
+Status CommandCheck(const CliOptions& options, std::ostream& out) {
+  DMTL_ASSIGN_OR_RETURN(Parser::ParsedUnit unit, LoadAll(options.files));
+  DMTL_RETURN_IF_ERROR(unit.program.CheckArities());
+  DMTL_RETURN_IF_ERROR(CheckSafety(unit.program));
+  DMTL_ASSIGN_OR_RETURN(Stratification strat, Stratify(unit.program));
+  out << "OK: " << unit.program.size() << " rules, "
+      << unit.database.NumIntervals() << " facts, " << strat.num_strata
+      << " strata\n";
+  for (int s = 0; s < strat.num_strata; ++s) {
+    std::vector<std::string> names;
+    for (const auto& [pred, stratum] : strat.predicate_stratum) {
+      if (stratum == s) names.push_back(PredicateName(pred));
+    }
+    std::sort(names.begin(), names.end());
+    out << "stratum " << s << ":";
+    for (const std::string& name : names) out << " " << name;
+    out << "\n";
+  }
+  return Status::Ok();
+}
+
+Status CommandDot(const CliOptions& options, std::ostream& out) {
+  DMTL_ASSIGN_OR_RETURN(Parser::ParsedUnit unit, LoadAll(options.files));
+  out << ToDot(DependencyGraph::Build(unit.program), "program");
+  return Status::Ok();
+}
+
+Status CommandFmt(const CliOptions& options, std::ostream& out) {
+  DMTL_ASSIGN_OR_RETURN(Parser::ParsedUnit unit, LoadAll(options.files));
+  out << unit.program.ToString();
+  out << SerializeDatabase(unit.database);
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status RunCli(const std::vector<std::string>& args, std::ostream& out,
+              std::ostream& err) {
+  auto options = ParseArgs(args);
+  if (!options.ok()) {
+    err << kUsage;
+    return options.status();
+  }
+  if (options->command == "run") return CommandRun(*options, out);
+  if (options->command == "check") return CommandCheck(*options, out);
+  if (options->command == "dot") return CommandDot(*options, out);
+  return CommandFmt(*options, out);
+}
+
+int CliMain(int argc, const char* const* argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  Status status = RunCli(args, std::cout, std::cerr);
+  if (!status.ok()) {
+    std::cerr << "dmtl_cli: " << status.ToString() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace dmtl

@@ -1,0 +1,34 @@
+#ifndef DMTL_TOOLS_CLI_H_
+#define DMTL_TOOLS_CLI_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace dmtl {
+
+// The `dmtl_cli` command-line reasoner, factored as a library function so
+// tests can drive it without spawning processes.
+//
+//   dmtl_cli run FILE...     [--min T] [--max T] [--no-accel] [--naive]
+//                            [--query PRED] [--at TIME] [--stats]
+//                            [--output FILE]
+//   dmtl_cli check FILE...                  validate, stratify, report
+//   dmtl_cli dot FILE...                    dependency graph as Graphviz
+//   dmtl_cli fmt FILE...                    parse and pretty-print
+//
+// Input files may mix rules and facts. `run` materializes and prints the
+// derived facts (all of them, or only --query PRED; --at restricts to one
+// time point). --output writes the materialized database as parseable
+// facts.
+Status RunCli(const std::vector<std::string>& args, std::ostream& out,
+              std::ostream& err);
+
+// argv adapter used by the binary's main().
+int CliMain(int argc, const char* const* argv);
+
+}  // namespace dmtl
+
+#endif  // DMTL_TOOLS_CLI_H_

@@ -1,0 +1,109 @@
+#include "src/validation/compare.h"
+
+#include <cmath>
+#include <map>
+#include <sstream>
+
+namespace dmtl {
+
+namespace {
+
+ErrorStats ComputeStats(const std::vector<double>& errors) {
+  ErrorStats stats;
+  stats.n = errors.size();
+  if (errors.empty()) return stats;
+  double sum = 0;
+  for (double e : errors) {
+    sum += e;
+    stats.max_abs = std::max(stats.max_abs, std::fabs(e));
+  }
+  stats.mean = sum / static_cast<double>(errors.size());
+  double var = 0;
+  for (double e : errors) var += (e - stats.mean) * (e - stats.mean);
+  // Sample standard deviation, matching the paper's summary statistics.
+  stats.stddev = errors.size() > 1
+                     ? std::sqrt(var / static_cast<double>(errors.size() - 1))
+                     : 0;
+  return stats;
+}
+
+}  // namespace
+
+std::string SeriesComparison::ToString() const {
+  std::ostringstream os;
+  os.precision(6);
+  os << "n=" << n << " max|diff|=" << max_abs_diff
+     << " mean|diff|=" << mean_abs_diff;
+  return os.str();
+}
+
+Result<SeriesComparison> CompareFrsSeries(const std::vector<FrsPoint>& a,
+                                          const std::vector<FrsPoint>& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument(
+        "series lengths differ: " + std::to_string(a.size()) + " vs " +
+        std::to_string(b.size()));
+  }
+  SeriesComparison cmp;
+  cmp.n = a.size();
+  double sum = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].time != b[i].time) {
+      return Status::InvalidArgument("series sampled at different ticks");
+    }
+    double d = std::fabs(a[i].f - b[i].f);
+    cmp.max_abs_diff = std::max(cmp.max_abs_diff, d);
+    sum += d;
+  }
+  if (cmp.n > 0) cmp.mean_abs_diff = sum / static_cast<double>(cmp.n);
+  return cmp;
+}
+
+std::string ErrorStats::ToString() const {
+  std::ostringstream os;
+  os.precision(6);
+  os << "n=" << n << " mean=" << mean << " stddev=" << stddev
+     << " max|e|=" << max_abs;
+  return os.str();
+}
+
+std::string TradeErrorReport::ToString() const {
+  return "returns: " + returns.ToString() + "\nfee:     " + fee.ToString() +
+         "\nfunding: " + funding.ToString();
+}
+
+Result<TradeErrorReport> CompareTrades(
+    const std::vector<TradeSettlement>& reference,
+    const std::vector<TradeSettlement>& datalog) {
+  std::map<std::pair<std::string, int64_t>, const TradeSettlement*> by_key;
+  for (const TradeSettlement& t : reference) {
+    by_key[{t.account, t.time}] = &t;
+  }
+  if (reference.size() != datalog.size()) {
+    return Status::InvalidArgument(
+        "trade counts differ: reference=" + std::to_string(reference.size()) +
+        " datalog=" + std::to_string(datalog.size()));
+  }
+  std::vector<double> returns_err;
+  std::vector<double> fee_err;
+  std::vector<double> funding_err;
+  for (const TradeSettlement& t : datalog) {
+    auto it = by_key.find({t.account, t.time});
+    if (it == by_key.end()) {
+      return Status::InvalidArgument("unmatched trade " + t.account + "@" +
+                                     std::to_string(t.time));
+    }
+    const TradeSettlement& r = *it->second;
+    returns_err.push_back(t.pnl - r.pnl);
+    fee_err.push_back(t.fee - r.fee);
+    funding_err.push_back(t.funding - r.funding);
+  }
+  TradeErrorReport report;
+  report.matched = datalog.size();
+  report.returns = ComputeStats(returns_err);
+  report.fee = ComputeStats(fee_err);
+  report.funding = ComputeStats(funding_err);
+  return report;
+}
+
+}  // namespace dmtl

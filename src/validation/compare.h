@@ -1,0 +1,52 @@
+#ifndef DMTL_VALIDATION_COMPARE_H_
+#define DMTL_VALIDATION_COMPARE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/contracts/settlement.h"
+
+namespace dmtl {
+
+// Pointwise comparison of two funding-rate sequences sampled at the same
+// interaction ticks (the paper's Figure 4).
+struct SeriesComparison {
+  size_t n = 0;
+  double max_abs_diff = 0;
+  double mean_abs_diff = 0;
+
+  std::string ToString() const;
+};
+
+Result<SeriesComparison> CompareFrsSeries(const std::vector<FrsPoint>& a,
+                                          const std::vector<FrsPoint>& b);
+
+// Error statistics of one metric across trades (the paper's Figure 5 rows).
+struct ErrorStats {
+  size_t n = 0;
+  double mean = 0;
+  double stddev = 0;
+  double max_abs = 0;
+
+  std::string ToString() const;
+};
+
+// Per-trade comparison joined on (account, close tick).
+struct TradeErrorReport {
+  ErrorStats returns;
+  ErrorStats fee;
+  ErrorStats funding;
+  size_t matched = 0;
+
+  std::string ToString() const;
+};
+
+// Errors are (datalog - reference); fails when the trade sets differ.
+Result<TradeErrorReport> CompareTrades(
+    const std::vector<TradeSettlement>& reference,
+    const std::vector<TradeSettlement>& datalog);
+
+}  // namespace dmtl
+
+#endif  // DMTL_VALIDATION_COMPARE_H_

@@ -1,0 +1,85 @@
+#include "src/analysis/safety.h"
+
+#include <gtest/gtest.h>
+
+#include "src/parser/parser.h"
+
+namespace dmtl {
+namespace {
+
+Status CheckText(const char* text) {
+  auto program = Parser::ParseProgram(text);
+  EXPECT_TRUE(program.ok()) << program.status();
+  return CheckSafety(*program);
+}
+
+TEST(SafetyTest, BoundHeadIsSafe) {
+  EXPECT_TRUE(CheckText("p(X, Y) :- q(X), r(Y) .").ok());
+}
+
+TEST(SafetyTest, UnboundHeadVariableRejected) {
+  Status s = CheckText("p(X, Y) :- q(X) .");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kUnsafeRule);
+  EXPECT_NE(s.message().find("Y"), std::string::npos);
+}
+
+TEST(SafetyTest, AssignmentBindsHeadVariable) {
+  EXPECT_TRUE(CheckText("p(X, M) :- q(X), M = 2 * 3 .").ok());
+  EXPECT_TRUE(CheckText("p(X, M) :- q(X, Y), M = Y + 1 .").ok());
+}
+
+TEST(SafetyTest, AssignmentChainsResolveInAnyOrder) {
+  EXPECT_TRUE(
+      CheckText("p(X, B) :- q(X, Y), B = A + 1, A = Y * 2 .").ok());
+}
+
+TEST(SafetyTest, CircularAssignmentsRejected) {
+  Status s = CheckText("p(X, A) :- q(X), A = B + 1, B = A + 1 .");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kUnsafeRule);
+}
+
+TEST(SafetyTest, ComparisonNeedsBoundVariables) {
+  EXPECT_FALSE(CheckText("p(X) :- q(X), Y > 3 .").ok());
+  EXPECT_TRUE(CheckText("p(X) :- q(X, Y), Y > 3 .").ok());
+}
+
+TEST(SafetyTest, TimestampBindsItsVariable) {
+  EXPECT_TRUE(CheckText("p(T) :- q(), timestamp(T) .").ok());
+  EXPECT_TRUE(CheckText("p(D) :- q(T1), timestamp(T), D = T - T1 .").ok());
+}
+
+TEST(SafetyTest, ExistentialNegationAllowed) {
+  // The contract's `not order(A, _)` pattern: unbound variables in negated
+  // literals quantify existentially and are legal.
+  EXPECT_TRUE(
+      CheckText("p(A) :- q(A), not order(A, _) .").ok());
+  EXPECT_TRUE(CheckText("p(A) :- q(A), not r(A, X) .").ok());
+}
+
+TEST(SafetyTest, VariablesInsideMetricOperatorsCount) {
+  EXPECT_TRUE(CheckText("p(X) :- boxminus[1,1] q(X) .").ok());
+  EXPECT_TRUE(
+      CheckText("p(X, Y) :- (q(X) since[0,5] r(Y)) .").ok());
+}
+
+TEST(SafetyTest, AggregateTermMustBeBound) {
+  auto program = Parser::ParseProgram("t(msum(S)) :- q(A), S = A + 1 .");
+  ASSERT_TRUE(program.ok());
+  EXPECT_TRUE(CheckSafety(*program).ok());
+  auto bad = Parser::ParseProgram("t(msum(S)) :- q(A) .");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(CheckSafety(*bad).ok());
+}
+
+TEST(SafetyTest, WholeProgramCheckNamesOffendingRule) {
+  Status s = CheckText(
+      "ok(X) :- q(X) .\n"
+      "bad(Y) :- q(X) .\n");
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("bad"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dmtl

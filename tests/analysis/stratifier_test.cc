@@ -1,0 +1,121 @@
+#include "src/analysis/stratifier.h"
+
+#include <gtest/gtest.h>
+
+#include "src/parser/parser.h"
+
+namespace dmtl {
+namespace {
+
+Program Parse(const char* text) {
+  auto program = Parser::ParseProgram(text);
+  EXPECT_TRUE(program.ok()) << program.status();
+  return *std::move(program);
+}
+
+TEST(StratifierTest, PositiveRecursionSingleStratum) {
+  Program p = Parse(
+      "reach(X, Y) :- edge(X, Y) .\n"
+      "reach(X, Z) :- reach(X, Y), edge(Y, Z) .\n");
+  auto strat = Stratify(p);
+  ASSERT_TRUE(strat.ok()) << strat.status();
+  EXPECT_EQ(strat->predicate_stratum.at(InternPredicate("edge")), 0);
+  EXPECT_EQ(strat->predicate_stratum.at(InternPredicate("reach")), 0);
+}
+
+TEST(StratifierTest, NegationForcesStrictlyHigherStratum) {
+  Program p = Parse(
+      "a(X) :- base(X) .\n"
+      "b(X) :- base(X), not a(X) .\n"
+      "c(X) :- b(X), not a(X) .\n");
+  auto strat = Stratify(p);
+  ASSERT_TRUE(strat.ok()) << strat.status();
+  int sa = strat->predicate_stratum.at(InternPredicate("a"));
+  int sb = strat->predicate_stratum.at(InternPredicate("b"));
+  int sc = strat->predicate_stratum.at(InternPredicate("c"));
+  EXPECT_LT(sa, sb);
+  EXPECT_LE(sb, sc);
+}
+
+TEST(StratifierTest, NegativeCycleRejected) {
+  Program p = Parse(
+      "p(X) :- base(X), not q(X) .\n"
+      "q(X) :- base(X), not p(X) .\n");
+  auto strat = Stratify(p);
+  ASSERT_FALSE(strat.ok());
+  EXPECT_EQ(strat.status().code(), StatusCode::kNotStratifiable);
+}
+
+TEST(StratifierTest, NegativeSelfLoopRejected) {
+  Program p = Parse("p(X) :- base(X), not p(X) .\n");
+  EXPECT_FALSE(Stratify(p).ok());
+}
+
+TEST(StratifierTest, TemporalNegativeSelfGuardIsStillACycle) {
+  // Even under a temporal operator, negation through one's own predicate is
+  // a negative cycle for stratification purposes.
+  Program p = Parse("p(X) :- base(X), not boxminus p(X) .\n");
+  EXPECT_FALSE(Stratify(p).ok());
+}
+
+TEST(StratifierTest, AggregationForcesStrictlyHigherStratum) {
+  Program p = Parse(
+      "contrib(A, S) :- modPos(A, S) .\n"
+      "total(msum(S)) :- contrib(A, S) .\n"
+      "over(A) :- total(T), modPos(A, S), T > 10.0 .\n");
+  auto strat = Stratify(p);
+  ASSERT_TRUE(strat.ok()) << strat.status();
+  EXPECT_LT(strat->predicate_stratum.at(InternPredicate("contrib")),
+            strat->predicate_stratum.at(InternPredicate("total")));
+  EXPECT_LE(strat->predicate_stratum.at(InternPredicate("total")),
+            strat->predicate_stratum.at(InternPredicate("over")));
+}
+
+TEST(StratifierTest, AggregationInsideRecursionRejected) {
+  Program p = Parse(
+      "contrib(A, S) :- total(S), modPos(A, S) .\n"
+      "total(msum(S)) :- contrib(A, S) .\n");
+  auto strat = Stratify(p);
+  ASSERT_FALSE(strat.ok());
+  EXPECT_EQ(strat.status().code(), StatusCode::kNotStratifiable);
+}
+
+TEST(StratifierTest, RulesGroupedByHeadStratum) {
+  Program p = Parse(
+      "a(X) :- base(X) .\n"
+      "b(X) :- base(X), not a(X) .\n");
+  auto strat = Stratify(p);
+  ASSERT_TRUE(strat.ok());
+  ASSERT_GE(strat->num_strata, 2);
+  // Rule 0 (head a) in a's stratum, rule 1 (head b) above it.
+  int sa = strat->predicate_stratum.at(InternPredicate("a"));
+  int sb = strat->predicate_stratum.at(InternPredicate("b"));
+  EXPECT_EQ(strat->rule_strata[sa], (std::vector<size_t>{0}));
+  EXPECT_EQ(strat->rule_strata[sb], (std::vector<size_t>{1}));
+}
+
+TEST(StratifierTest, EthPerpShapedDependencies) {
+  // The paper's Section 3.8 argument: the dependency graph of the contract
+  // modules has no negative cycles.
+  Program p = Parse(
+      "isOpen(A) :- tranM(A, M) .\n"
+      "isOpen(A) :- boxminus isOpen(A), not withdraw(A) .\n"
+      "order(A, S) :- modPos(A, S) .\n"
+      "position(A, S, N) :- diamondminus position(A, S, N), "
+      "not order(A, _), isOpen(A) .\n"
+      "eventContrib(A, S) :- modPos(A, S) .\n"
+      "event(msum(S)) :- eventContrib(A, S) .\n"
+      "skew(K) :- diamondminus skew(K), not event(_) .\n"
+      "skew(K) :- diamondminus skew(X), event(S), K = X + S .\n");
+  auto strat = Stratify(p);
+  ASSERT_TRUE(strat.ok()) << strat.status();
+  EXPECT_LT(strat->predicate_stratum.at(InternPredicate("order")),
+            strat->predicate_stratum.at(InternPredicate("position")));
+  EXPECT_LT(strat->predicate_stratum.at(InternPredicate("eventContrib")),
+            strat->predicate_stratum.at(InternPredicate("event")));
+  EXPECT_LT(strat->predicate_stratum.at(InternPredicate("event")),
+            strat->predicate_stratum.at(InternPredicate("skew")));
+}
+
+}  // namespace
+}  // namespace dmtl

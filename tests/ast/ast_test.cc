@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "src/ast/program.h"
+
+namespace dmtl {
+namespace {
+
+RelationalAtom Atom(const char* pred, std::vector<Term> args) {
+  RelationalAtom a;
+  a.predicate = InternPredicate(pred);
+  a.args = std::move(args);
+  return a;
+}
+
+TEST(AstTest, TermToString) {
+  std::vector<std::string> names = {"A", "M"};
+  EXPECT_EQ(Term::Variable(1).ToString(names), "M");
+  EXPECT_EQ(Term::Constant(Value::Int(3)).ToString(names), "3");
+  EXPECT_EQ(Term::Constant(Value::Symbol("acc")).ToString(names), "acc");
+}
+
+TEST(AstTest, MetricAtomDeepCopy) {
+  MetricAtom unary = MetricAtom::Unary(
+      MtlOp::kBoxMinus, Interval::Point(Rational(1)),
+      MetricAtom::Relational(Atom("p", {Term::Variable(0)})));
+  MetricAtom copy = unary;  // deep copy
+  EXPECT_EQ(copy.kind(), MetricAtom::Kind::kUnary);
+  EXPECT_EQ(copy.left().atom().predicate, InternPredicate("p"));
+  // Mutating the copy leaves the original intact.
+  copy = MetricAtom::Truth();
+  EXPECT_EQ(unary.kind(), MetricAtom::Kind::kUnary);
+}
+
+TEST(AstTest, CollectRelationalAtoms) {
+  MetricAtom since = MetricAtom::Binary(
+      MtlOp::kSince, Interval::Closed(Rational(0), Rational(5)),
+      MetricAtom::Relational(Atom("p", {Term::Variable(0)})),
+      MetricAtom::Unary(MtlOp::kDiamondMinus, Interval::Point(Rational(1)),
+                        MetricAtom::Relational(Atom("q", {Term::Variable(1)}))));
+  std::vector<const RelationalAtom*> atoms;
+  since.CollectRelationalAtoms(&atoms);
+  ASSERT_EQ(atoms.size(), 2u);
+  EXPECT_EQ(atoms[0]->predicate, InternPredicate("p"));
+  EXPECT_EQ(atoms[1]->predicate, InternPredicate("q"));
+  std::vector<int> vars;
+  since.CollectVars(&vars);
+  EXPECT_EQ(vars, (std::vector<int>{0, 1}));
+}
+
+TEST(AstTest, ExprCollectVarsAndToString) {
+  // M = X + Y * 2
+  Expr e = Expr::Binary(
+      Expr::Op::kAdd, Expr::Var(0),
+      Expr::Binary(Expr::Op::kMul, Expr::Var(1),
+                   Expr::Const(Value::Int(2))));
+  std::vector<int> vars;
+  e.CollectVars(&vars);
+  EXPECT_EQ(vars, (std::vector<int>{0, 1}));
+  EXPECT_EQ(e.ToString({"X", "Y"}), "(X + (Y * 2))");
+}
+
+TEST(AstTest, ProgramPredicateSets) {
+  Rule rule;
+  rule.var_names = {"A", "M"};
+  rule.head.predicate = InternPredicate("isOpen_t");
+  rule.head.args = {Term::Variable(0)};
+  rule.body.push_back(BodyLiteral::Metric(MetricAtom::Relational(
+      Atom("tranM_t", {Term::Variable(0), Term::Variable(1)}))));
+  Program program;
+  program.AddRule(rule);
+  EXPECT_EQ(program.HeadPredicates().count(InternPredicate("isOpen_t")), 1u);
+  EXPECT_EQ(program.EdbPredicates().count(InternPredicate("tranM_t")), 1u);
+  EXPECT_EQ(program.EdbPredicates().count(InternPredicate("isOpen_t")), 0u);
+  EXPECT_TRUE(program.CheckArities().ok());
+}
+
+TEST(AstTest, CheckAritiesRejectsInconsistentUse) {
+  Rule r1;
+  r1.var_names = {"A"};
+  r1.head.predicate = InternPredicate("q_t");
+  r1.head.args = {Term::Variable(0)};
+  r1.body.push_back(BodyLiteral::Metric(
+      MetricAtom::Relational(Atom("p_t", {Term::Variable(0)}))));
+  Rule r2 = r1;
+  r2.body.clear();
+  r2.body.push_back(BodyLiteral::Metric(MetricAtom::Relational(
+      Atom("p_t", {Term::Variable(0), Term::Variable(0)}))));
+  Program program;
+  program.AddRule(r1);
+  program.AddRule(r2);
+  Status status = program.CheckArities();
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AstTest, RuleToStringRoundsTrip) {
+  Rule rule;
+  rule.var_names = {"A", "M"};
+  rule.head.predicate = InternPredicate("margin_t");
+  rule.head.args = {Term::Variable(0), Term::Variable(1)};
+  rule.body.push_back(BodyLiteral::Metric(MetricAtom::Relational(
+      Atom("tranM_t", {Term::Variable(0), Term::Variable(1)}))));
+  rule.body.push_back(BodyLiteral::Metric(
+      MetricAtom::Unary(MtlOp::kBoxMinus, Interval::Point(Rational(1)),
+                        MetricAtom::Relational(Atom("isOpen_t",
+                                                    {Term::Variable(0)}))),
+      /*negated=*/true));
+  EXPECT_EQ(rule.ToString(),
+            "margin_t(A, M) :- tranM_t(A, M), "
+            "not boxminus[1,1] isOpen_t(A) .");
+}
+
+}  // namespace
+}  // namespace dmtl

@@ -1,0 +1,86 @@
+#include "src/ast/value.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace dmtl {
+namespace {
+
+TEST(ValueTest, Kinds) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_TRUE(Value::Bool(true).is_bool());
+  EXPECT_TRUE(Value::Int(3).is_int());
+  EXPECT_TRUE(Value::Double(2.5).is_double());
+  EXPECT_TRUE(Value::Symbol("abc").is_symbol());
+  EXPECT_TRUE(Value::Int(3).is_numeric());
+  EXPECT_TRUE(Value::Double(2.5).is_numeric());
+  EXPECT_FALSE(Value::Symbol("abc").is_numeric());
+}
+
+TEST(ValueTest, Accessors) {
+  EXPECT_EQ(Value::Int(-7).AsInt(), -7);
+  EXPECT_DOUBLE_EQ(Value::Double(1.5).AsDouble(), 1.5);
+  EXPECT_DOUBLE_EQ(Value::Int(4).AsDouble(), 4.0);  // int promotes
+  EXPECT_TRUE(Value::Bool(true).AsBool());
+  EXPECT_EQ(Value::Symbol("acc1").AsSymbolName(), "acc1");
+}
+
+TEST(ValueTest, SymbolInterning) {
+  Value a = Value::Symbol("hello");
+  Value b = Value::Symbol("hello");
+  Value c = Value::Symbol("world");
+  EXPECT_EQ(a.symbol_id(), b.symbol_id());
+  EXPECT_NE(a.symbol_id(), c.symbol_id());
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(ValueTest, StructuralEqualityDistinguishesKinds) {
+  // Identity is structural: Int(1) != Double(1.0)...
+  EXPECT_NE(Value::Int(1), Value::Double(1.0));
+  // ...but numeric comparison promotes.
+  EXPECT_EQ(Value::NumericCompare(Value::Int(1), Value::Double(1.0)), 0);
+  EXPECT_LT(Value::NumericCompare(Value::Int(1), Value::Double(1.5)), 0);
+  EXPECT_GT(Value::NumericCompare(Value::Double(2.0), Value::Int(1)), 0);
+}
+
+TEST(ValueTest, HashConsistency) {
+  EXPECT_EQ(Value::Int(42).Hash(), Value::Int(42).Hash());
+  EXPECT_EQ(Value::Symbol("x").Hash(), Value::Symbol("x").Hash());
+  std::unordered_set<Value> set;
+  set.insert(Value::Int(1));
+  set.insert(Value::Int(1));
+  set.insert(Value::Double(1.0));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Null().ToString(), "null");
+  EXPECT_EQ(Value::Int(-3).ToString(), "-3");
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+  EXPECT_EQ(Value::Symbol("acc").ToString(), "acc");
+}
+
+TEST(ValueTest, TotalOrderForSorting) {
+  EXPECT_LT(Value::Int(1), Value::Int(2));
+  EXPECT_LT(Value::Symbol("a"), Value::Symbol("b"));
+  // Cross-kind ordering is by kind tag, stable either way.
+  Value i = Value::Int(5);
+  Value s = Value::Symbol("a");
+  EXPECT_NE(i < s, s < i);
+}
+
+TEST(TupleTest, HashAndToString) {
+  Tuple t1 = {Value::Symbol("acc"), Value::Double(20.0)};
+  Tuple t2 = {Value::Symbol("acc"), Value::Double(20.0)};
+  Tuple t3 = {Value::Symbol("acc"), Value::Double(21.0)};
+  TupleHash h;
+  EXPECT_EQ(h(t1), h(t2));
+  EXPECT_NE(h(t1), h(t3));  // overwhelmingly likely
+  EXPECT_EQ(TupleToString(t1), "(acc, 20)");
+  EXPECT_EQ(TupleToString({}), "()");
+}
+
+}  // namespace
+}  // namespace dmtl

@@ -1,0 +1,78 @@
+#include "src/chain/replayer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/chain/workload.h"
+
+namespace dmtl {
+namespace {
+
+Session SmallSession() {
+  WorkloadConfig cfg;
+  cfg.num_events = 20;
+  cfg.num_trades = 4;
+  cfg.initial_skew = 123.5;
+  auto session = GenerateSession(cfg);
+  EXPECT_TRUE(session.ok()) << session.status();
+  return *session;
+}
+
+TEST(ReplayerTest, WindowMarksAndInitialState) {
+  Session s = SmallSession();
+  Database db = SessionToDatabase(s);
+  EXPECT_TRUE(db.Holds("start", {}, Rational(s.start_time)));
+  EXPECT_TRUE(db.Holds("marketEnd", {}, Rational(s.end_time)));
+  EXPECT_TRUE(db.Holds("skew", {Value::Double(123.5)},
+                       Rational(s.start_time)));
+  EXPECT_TRUE(db.Holds("frs", {Value::Double(0.0)}, Rational(s.start_time)));
+}
+
+TEST(ReplayerTest, EveryEventBecomesOneFact) {
+  Session s = SmallSession();
+  Database db = SessionToDatabase(s);
+  size_t method_facts = 0;
+  for (const char* pred : {"tranM", "withdraw", "modPos", "closePos"}) {
+    const Relation* rel = db.Find(pred);
+    if (rel != nullptr) method_facts += rel->NumIntervals();
+  }
+  EXPECT_EQ(method_facts, s.events.size());
+  // Spot-check one event.
+  const MarketEvent& e = s.events.front();
+  ASSERT_EQ(e.kind, EventKind::kTransferMargin);
+  EXPECT_TRUE(db.Holds("tranM",
+                       {Value::Symbol(e.account), Value::Double(e.amount)},
+                       Rational(e.time)));
+}
+
+TEST(ReplayerTest, PriceStepFunctionCoversWholeWindow) {
+  Session s = SmallSession();
+  Database db = SessionToDatabase(s);
+  const Relation* price = db.Find("price");
+  ASSERT_NE(price, nullptr);
+  // At every second of the window exactly one price holds, and it matches
+  // the session's step lookup.
+  for (int64_t t = s.start_time; t <= s.end_time; t += 97) {
+    int holders = 0;
+    double value = 0;
+    for (const auto& [tuple, set] : price->data()) {
+      if (set.Contains(Rational(t))) {
+        ++holders;
+        value = tuple[0].AsDouble();
+      }
+    }
+    EXPECT_EQ(holders, 1) << "t=" << t;
+    EXPECT_DOUBLE_EQ(value, s.PriceAt(t)) << "t=" << t;
+  }
+}
+
+TEST(ReplayerTest, EngineOptionsClampToWindow) {
+  Session s = SmallSession();
+  EngineOptions options = SessionEngineOptions(s);
+  ASSERT_TRUE(options.min_time.has_value());
+  ASSERT_TRUE(options.max_time.has_value());
+  EXPECT_EQ(*options.min_time, Rational(s.start_time));
+  EXPECT_EQ(*options.max_time, Rational(s.end_time));
+}
+
+}  // namespace
+}  // namespace dmtl

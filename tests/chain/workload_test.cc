@@ -1,0 +1,157 @@
+#include "src/chain/workload.h"
+
+#include <gtest/gtest.h>
+
+namespace dmtl {
+namespace {
+
+TEST(WorkloadTest, GeneratedSessionMatchesRequestedCounts) {
+  WorkloadConfig cfg;
+  cfg.num_events = 60;
+  cfg.num_trades = 12;
+  cfg.initial_skew = -500.0;
+  auto session = GenerateSession(cfg);
+  ASSERT_TRUE(session.ok()) << session.status();
+  EXPECT_EQ(session->events.size(), 60u);
+  EXPECT_EQ(session->NumTrades(), 12u);
+  EXPECT_DOUBLE_EQ(session->initial_skew, -500.0);
+  EXPECT_EQ(session->duration(), cfg.duration_s);
+  std::string error;
+  EXPECT_TRUE(session->Validate(&error)) << error;
+}
+
+TEST(WorkloadTest, DeterministicUnderSeed) {
+  WorkloadConfig cfg;
+  cfg.num_events = 40;
+  cfg.num_trades = 8;
+  cfg.seed = 7;
+  auto a = GenerateSession(cfg);
+  auto b = GenerateSession(cfg);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->events.size(), b->events.size());
+  for (size_t i = 0; i < a->events.size(); ++i) {
+    EXPECT_EQ(a->events[i].ToString(), b->events[i].ToString());
+  }
+  cfg.seed = 8;
+  auto c = GenerateSession(cfg);
+  ASSERT_TRUE(c.ok());
+  bool any_diff = false;
+  for (size_t i = 0; i < a->events.size() && i < c->events.size(); ++i) {
+    if (a->events[i].ToString() != c->events[i].ToString()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(WorkloadTest, InfeasibleCountsRejected) {
+  WorkloadConfig cfg;
+  cfg.num_events = 10;
+  cfg.num_trades = 8;  // needs >= 18 events
+  EXPECT_FALSE(GenerateSession(cfg).ok());
+  cfg.num_trades = -1;
+  EXPECT_FALSE(GenerateSession(cfg).ok());
+  cfg.num_trades = 2;
+  cfg.duration_s = 60;
+  EXPECT_FALSE(GenerateSession(cfg).ok());
+}
+
+TEST(WorkloadTest, PaperSessionsReproduceFigure3Rows) {
+  auto configs = PaperSessions();
+  ASSERT_EQ(configs.size(), 3u);
+  const int expected_events[] = {267, 108, 128};
+  const int expected_trades[] = {59, 16, 29};
+  const double expected_skew[] = {-2445.98, 1302.88, 2502.85};
+  for (size_t i = 0; i < configs.size(); ++i) {
+    auto session = GenerateSession(configs[i]);
+    ASSERT_TRUE(session.ok()) << session.status();
+    EXPECT_EQ(session->events.size(),
+              static_cast<size_t>(expected_events[i]));
+    EXPECT_EQ(session->NumTrades(), static_cast<size_t>(expected_trades[i]));
+    EXPECT_DOUBLE_EQ(session->initial_skew, expected_skew[i]);
+    EXPECT_EQ(session->duration(), 7200);
+    std::string error;
+    EXPECT_TRUE(session->Validate(&error)) << error;
+  }
+}
+
+TEST(WorkloadTest, PricePathCoversWindowAndStaysPositive) {
+  WorkloadConfig cfg;
+  cfg.num_events = 30;
+  cfg.num_trades = 5;
+  auto session = GenerateSession(cfg);
+  ASSERT_TRUE(session.ok());
+  ASSERT_FALSE(session->prices.empty());
+  EXPECT_EQ(session->prices.front().time, session->start_time);
+  for (const PricePoint& p : session->prices) {
+    EXPECT_GT(p.price, 0.0);
+    EXPECT_LT(p.time, session->end_time);
+  }
+  // The step lookup returns the last point at or before t.
+  EXPECT_DOUBLE_EQ(session->PriceAt(session->start_time),
+                   session->prices.front().price);
+}
+
+TEST(WorkloadTest, SessionValidateCatchesIllegalStreams) {
+  WorkloadConfig cfg;
+  cfg.num_events = 30;
+  cfg.num_trades = 5;
+  auto session = GenerateSession(cfg);
+  ASSERT_TRUE(session.ok());
+  Session bad = *session;
+  // Duplicate same-account same-tick event.
+  bad.events.push_back(bad.events.back());
+  std::string error;
+  EXPECT_FALSE(bad.Validate(&error));
+
+  Session bad2 = *session;
+  MarketEvent stray;
+  stray.time = bad2.start_time;  // on the window boundary
+  stray.kind = EventKind::kTransferMargin;
+  stray.account = "zzz";
+  stray.amount = 1.0;
+  bad2.events.insert(bad2.events.begin(), stray);
+  EXPECT_FALSE(bad2.Validate(&error));
+}
+
+// Parameterized sweep: the generator hits the requested counts exactly and
+// produces valid sessions across a grid of shapes.
+class WorkloadSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(WorkloadSweepTest, CountsExactAndValid) {
+  auto [events, trades, duration] = GetParam();
+  WorkloadConfig cfg;
+  cfg.num_events = events;
+  cfg.num_trades = trades;
+  cfg.duration_s = duration;
+  cfg.seed = static_cast<uint64_t>(events * 31 + trades);
+  auto session = GenerateSession(cfg);
+  ASSERT_TRUE(session.ok()) << session.status();
+  EXPECT_EQ(session->events.size(), static_cast<size_t>(events));
+  EXPECT_EQ(session->NumTrades(), static_cast<size_t>(trades));
+  std::string error;
+  EXPECT_TRUE(session->Validate(&error)) << error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, WorkloadSweepTest,
+    ::testing::Values(std::make_tuple(6, 1, 600),
+                      std::make_tuple(10, 0, 900),
+                      std::make_tuple(25, 5, 1200),
+                      std::make_tuple(60, 25, 3600),
+                      std::make_tuple(108, 16, 7200),
+                      std::make_tuple(267, 59, 7200),
+                      std::make_tuple(400, 150, 7200),
+                      std::make_tuple(1000, 300, 14400)));
+
+TEST(EventsTest, ToStringAndKinds) {
+  MarketEvent e;
+  e.time = 7;
+  e.kind = EventKind::kModifyPosition;
+  e.account = "acc";
+  e.amount = -0.5;
+  EXPECT_EQ(e.ToString(), "modPos(acc, -0.5)@7");
+  EXPECT_STREQ(EventKindToString(EventKind::kWithdraw), "withdraw");
+}
+
+}  // namespace
+}  // namespace dmtl

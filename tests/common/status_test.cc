@@ -1,0 +1,82 @@
+#include "src/common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace dmtl {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  Status s = Status::ParseError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.message(), "bad token");
+  EXPECT_EQ(s.ToString(), "ParseError: bad token");
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::EvalError("x").code(), StatusCode::kEvalError);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::UnsafeRule("x").code(), StatusCode::kUnsafeRule);
+  EXPECT_EQ(Status::NotStratifiable("x").code(),
+            StatusCode::kNotStratifiable);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::InvalidArgument("x").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kParseError), "ParseError");
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> ok = 42;
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  EXPECT_EQ(*ok, 42);
+  EXPECT_TRUE(ok.status().ok());
+
+  Result<int> bad = Status::NotFound("nope");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::Ok();
+}
+
+Result<int> DoubleIfSmall(int x) {
+  if (x > 100) return Status::InvalidArgument("too big");
+  return 2 * x;
+}
+
+Status UseMacros(int x, int* out) {
+  DMTL_RETURN_IF_ERROR(FailIfNegative(x));
+  DMTL_ASSIGN_OR_RETURN(int doubled, DoubleIfSmall(x));
+  *out = doubled;
+  return Status::Ok();
+}
+
+TEST(ResultTest, Macros) {
+  int out = 0;
+  EXPECT_TRUE(UseMacros(21, &out).ok());
+  EXPECT_EQ(out, 42);
+  EXPECT_EQ(UseMacros(-1, &out).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(UseMacros(101, &out).code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace dmtl

@@ -1,0 +1,109 @@
+#ifndef DMTL_TESTS_CONTRACTS_CONTRACT_TEST_UTIL_H_
+#define DMTL_TESTS_CONTRACTS_CONTRACT_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include "src/contracts/eth_perp_program.h"
+#include "src/engine/reasoner.h"
+
+namespace dmtl {
+
+// Runs the ETH-PERP program over hand-written method-call facts on a small
+// integer timeline (the paper's examples use day granularity; any uniform
+// tick works since all operators are [1,1]).
+inline Database RunContract(const std::string& facts_text,
+                            int64_t horizon_max,
+                            const MarketParams& params = {}) {
+  auto program = EthPerpProgram(params);
+  EXPECT_TRUE(program.ok()) << program.status();
+  auto db = Parser::ParseDatabase(facts_text);
+  EXPECT_TRUE(db.ok()) << db.status();
+  EngineOptions options;
+  options.min_time = Rational(0);
+  options.max_time = Rational(horizon_max);
+  Database out = *db;
+  Status status = Materialize(*program, &out, options);
+  EXPECT_TRUE(status.ok()) << status;
+  return out;
+}
+
+// The single numeric value of pred(account, V) holding at t; fails the test
+// when absent or ambiguous.
+inline double ValueAt(const Database& db, const char* pred,
+                      const char* account, int64_t t) {
+  const Relation* rel = db.Find(pred);
+  if (rel == nullptr) {
+    ADD_FAILURE() << pred << " has no facts";
+    return 0;
+  }
+  Value acc = Value::Symbol(account);
+  bool found = false;
+  double value = 0;
+  for (const auto& [tuple, set] : rel->data()) {
+    if (tuple.size() != 2 || tuple[0] != acc) continue;
+    if (!set.Contains(Rational(t))) continue;
+    EXPECT_FALSE(found) << pred << " ambiguous at t=" << t;
+    found = true;
+    value = tuple[1].AsDouble();
+  }
+  EXPECT_TRUE(found) << pred << "(" << account << ", _) missing at t=" << t;
+  return value;
+}
+
+// The single value of a unary numeric predicate (skew/frs) at t.
+inline double GlobalAt(const Database& db, const char* pred, int64_t t) {
+  const Relation* rel = db.Find(pred);
+  if (rel == nullptr) {
+    ADD_FAILURE() << pred << " has no facts";
+    return 0;
+  }
+  bool found = false;
+  double value = 0;
+  for (const auto& [tuple, set] : rel->data()) {
+    if (tuple.size() != 1 || !set.Contains(Rational(t))) continue;
+    EXPECT_FALSE(found) << pred << " ambiguous at t=" << t;
+    found = true;
+    value = tuple[0].AsDouble();
+  }
+  EXPECT_TRUE(found) << pred << " missing at t=" << t;
+  return value;
+}
+
+// position(A, S, N) at t.
+inline std::pair<double, double> PositionAt(const Database& db,
+                                            const char* account, int64_t t) {
+  const Relation* rel = db.Find("position");
+  if (rel == nullptr) {
+    ADD_FAILURE() << "position has no facts";
+    return {0, 0};
+  }
+  Value acc = Value::Symbol(account);
+  bool found = false;
+  std::pair<double, double> out{0, 0};
+  for (const auto& [tuple, set] : rel->data()) {
+    if (tuple.size() != 3 || tuple[0] != acc) continue;
+    if (!set.Contains(Rational(t))) continue;
+    EXPECT_FALSE(found) << "position ambiguous at t=" << t;
+    found = true;
+    out = {tuple[1].AsDouble(), tuple[2].AsDouble()};
+  }
+  EXPECT_TRUE(found) << "position(" << account << ") missing at t=" << t;
+  return out;
+}
+
+inline bool HoldsAt(const Database& db, const char* pred, const char* account,
+                    int64_t t) {
+  const Relation* rel = db.Find(pred);
+  if (rel == nullptr) return false;
+  Value acc = Value::Symbol(account);
+  for (const auto& [tuple, set] : rel->data()) {
+    if (!tuple.empty() && tuple[0] == acc && set.Contains(Rational(t))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace dmtl
+
+#endif  // DMTL_TESTS_CONTRACTS_CONTRACT_TEST_UTIL_H_

@@ -1,0 +1,121 @@
+// FEES module (paper rules 38-48), including Example 3.6 and both fee-side
+// conventions (DESIGN.md item 3).
+
+#include <gtest/gtest.h>
+
+#include "tests/contracts/contract_test_util.h"
+
+namespace dmtl {
+namespace {
+
+TEST(EthPerpFeesTest, FeeInitializedWithAccount) {
+  Database db = RunContract("tranM(abc, 50.0)@1 .", 5);
+  EXPECT_DOUBLE_EQ(ValueAt(db, "fee", "abc", 1), 0.0);
+  EXPECT_DOUBLE_EQ(ValueAt(db, "fee", "abc", 5), 0.0);
+}
+
+TEST(EthPerpFeesTest, Example36PrintedRulesConvention) {
+  // The paper's Example 3.6: skew 1342.2, price 1200, long order of 0.02,
+  // fee computed with phi_m = 0.0035 -> 0.084 (the printed-rules side).
+  MarketParams params;
+  params.fee_convention = FeeConvention::kPrintedRules;
+  Database db = RunContract(
+      "start()@0 . skew(1342.2)@0 . frs(0.0)@0 . price(1200.0)@[0, 30] .\n"
+      "tranM(abc, 1000.0)@18 . modPos(abc, 0.02)@19 .",
+      25, params);
+  EXPECT_NEAR(ValueAt(db, "fee", "abc", 19), 0.084, 1e-12);
+}
+
+TEST(EthPerpFeesTest, Example36Section37TableChargesTaker) {
+  // Under the Section 3.7 fee table the same order increases the skew and
+  // pays the taker rate instead: 0.02 * 1200 * 0.0075 = 0.18.
+  Database db = RunContract(
+      "start()@0 . skew(1342.2)@0 . frs(0.0)@0 . price(1200.0)@[0, 30] .\n"
+      "tranM(abc, 1000.0)@18 . modPos(abc, 0.02)@19 .",
+      25);
+  EXPECT_NEAR(ValueAt(db, "fee", "abc", 19), 0.02 * 1200.0 * 0.0075, 1e-12);
+}
+
+TEST(EthPerpFeesTest, SkewReducingOrderPaysMaker) {
+  // Positive skew, short order: reduces the skew -> maker rate (table).
+  Database db = RunContract(
+      "start()@0 . skew(1000.0)@0 . frs(0.0)@0 . price(1200.0)@[0, 30] .\n"
+      "tranM(abc, 1000.0)@5 . modPos(abc, -0.5)@7 .",
+      12);
+  EXPECT_NEAR(ValueAt(db, "fee", "abc", 7), 0.5 * 1200.0 * 0.0035, 1e-12);
+}
+
+TEST(EthPerpFeesTest, FeesAccumulateAcrossOrders) {
+  MarketParams params;
+  Database db = RunContract(
+      "start()@0 . skew(1000.0)@0 . frs(0.0)@0 . price(100.0)@[0, 30] .\n"
+      "tranM(abc, 1000.0)@2 . modPos(abc, 1.0)@5 . modPos(abc, 2.0)@9 .",
+      15);
+  // Both orders increase positive skew: taker twice, cumulative.
+  double fee5 = 1.0 * 100.0 * params.taker_fee;
+  double fee9 = fee5 + 2.0 * 100.0 * params.taker_fee;
+  EXPECT_NEAR(ValueAt(db, "fee", "abc", 5), fee5, 1e-12);
+  EXPECT_NEAR(ValueAt(db, "fee", "abc", 9), fee9, 1e-12);
+  EXPECT_NEAR(ValueAt(db, "fee", "abc", 15), fee9, 1e-12);
+}
+
+TEST(EthPerpFeesTest, CloseChargesOnPositionSizeAndResets) {
+  MarketParams params;
+  Database db = RunContract(
+      "start()@0 . skew(1000.0)@0 . frs(0.0)@0 . price(100.0)@[0, 30] .\n"
+      "tranM(abc, 1000.0)@2 . modPos(abc, 1.0)@5 . closePos(abc)@10 .",
+      15);
+  // Close of a long under positive skew reduces it: maker on the close leg.
+  double expected =
+      1.0 * 100.0 * params.taker_fee + 1.0 * 100.0 * params.maker_fee;
+  EXPECT_NEAR(ValueAt(db, "finalFee", "abc", 10), expected, 1e-12);
+  // Rule 48: the running fee resets for the next trade.
+  EXPECT_DOUBLE_EQ(ValueAt(db, "fee", "abc", 10), 0.0);
+  EXPECT_DOUBLE_EQ(ValueAt(db, "fee", "abc", 15), 0.0);
+}
+
+TEST(EthPerpFeesTest, ZeroSkewEdgePaysMaker) {
+  // K = 0 exactly at the order tick: the paper's rules are silent; we
+  // charge maker (DESIGN.md item 3). Opening a long from zero skew makes
+  // the post-trade skew positive, so force K == 0 by balancing orders.
+  Database db = RunContract(
+      "start()@0 . skew(-2.0)@0 . frs(0.0)@0 . price(100.0)@[0, 30] .\n"
+      "tranM(abc, 1000.0)@2 . modPos(abc, 2.0)@5 .",
+      10);
+  // Post-trade skew: -2 + 2 = 0 -> maker.
+  EXPECT_DOUBLE_EQ(GlobalAt(db, "skew", 5), 0.0);
+  EXPECT_NEAR(ValueAt(db, "fee", "abc", 5), 2.0 * 100.0 * 0.0035, 1e-12);
+}
+
+TEST(EthPerpFeesTest, NegativeSkewLongPaysMakerTable) {
+  Database db = RunContract(
+      "start()@0 . skew(-5000.0)@0 . frs(0.0)@0 . price(100.0)@[0, 30] .\n"
+      "tranM(abc, 1000.0)@2 . modPos(abc, 3.0)@5 .",
+      10);
+  EXPECT_NEAR(ValueAt(db, "fee", "abc", 5), 3.0 * 100.0 * 0.0035, 1e-12);
+}
+
+TEST(EthPerpFeesTest, ConventionsAgreeOnTotalWhenLegsFlip) {
+  // A round trip where the open increases and the close reduces the skew
+  // swaps taker/maker between conventions; totals differ accordingly.
+  auto run = [&](FeeConvention convention) {
+    MarketParams params;
+    params.fee_convention = convention;
+    Database db = RunContract(
+        "start()@0 . skew(1000.0)@0 . frs(0.0)@0 . price(100.0)@[0, 30] .\n"
+        "tranM(abc, 1000.0)@2 . modPos(abc, 1.0)@5 . closePos(abc)@10 .",
+        15, params);
+    return ValueAt(db, "finalFee", "abc", 10);
+  };
+  MarketParams params;
+  double table = run(FeeConvention::kSection37Table);
+  double printed = run(FeeConvention::kPrintedRules);
+  double leg = 100.0;
+  EXPECT_NEAR(table, leg * params.taker_fee + leg * params.maker_fee, 1e-12);
+  EXPECT_NEAR(printed, leg * params.maker_fee + leg * params.taker_fee, 1e-12);
+  // With one taker and one maker leg each, the round-trip totals coincide.
+  EXPECT_NEAR(table, printed, 1e-12);
+}
+
+}  // namespace
+}  // namespace dmtl

@@ -1,0 +1,159 @@
+// F-RATE module (paper rules 17-37): events, skew, time bookkeeping, the
+// funding rate sequence, and individual funding - including the paper's
+// Examples 3.4 and 3.5.
+
+#include <gtest/gtest.h>
+
+#include "tests/contracts/contract_test_util.h"
+
+namespace dmtl {
+namespace {
+
+constexpr char kMarketSetup[] =
+    "start()@0 . skew(0.0)@0 . frs(0.0)@0 . price(1200.0)@[0, 200] .\n";
+
+TEST(EthPerpFundingTest, EventsAggregateAllInteractions) {
+  Database db = RunContract(
+      std::string(kMarketSetup) +
+          "tranM(a, 10.0)@2 . tranM(b, 10.0)@2 .\n"
+          "modPos(a, 2.0)@4 . modPos(b, -0.5)@4 .\n"
+          "closePos(a)@6 . withdraw(b)@8 .",
+      10);
+  // Margin events contribute zero; same-tick orders sum.
+  EXPECT_DOUBLE_EQ(GlobalAt(db, "event", 2), 0.0);
+  EXPECT_DOUBLE_EQ(GlobalAt(db, "event", 4), 1.5);
+  EXPECT_DOUBLE_EQ(GlobalAt(db, "event", 6), -2.0);  // close of a's +2
+  EXPECT_DOUBLE_EQ(GlobalAt(db, "event", 8), 0.0);
+}
+
+TEST(EthPerpFundingTest, SkewFollowsEvents) {
+  Database db = RunContract(
+      std::string(kMarketSetup) +
+          "tranM(a, 10.0)@2 . modPos(a, 2.0)@4 . closePos(a)@7 .",
+      10);
+  EXPECT_DOUBLE_EQ(GlobalAt(db, "skew", 0), 0.0);
+  EXPECT_DOUBLE_EQ(GlobalAt(db, "skew", 3), 0.0);
+  EXPECT_DOUBLE_EQ(GlobalAt(db, "skew", 4), 2.0);
+  EXPECT_DOUBLE_EQ(GlobalAt(db, "skew", 6), 2.0);
+  EXPECT_DOUBLE_EQ(GlobalAt(db, "skew", 7), 0.0);
+  EXPECT_DOUBLE_EQ(GlobalAt(db, "skew", 10), 0.0);
+}
+
+TEST(EthPerpFundingTest, InitialSkewSeedsTheMarket) {
+  Database db = RunContract(
+      "start()@0 . skew(-2445.98)@0 . frs(0.0)@0 . price(1300.0)@[0, 20] .\n"
+      "tranM(a, 10.0)@3 .",
+      10);
+  EXPECT_DOUBLE_EQ(GlobalAt(db, "skew", 2), -2445.98);
+  EXPECT_DOUBLE_EQ(GlobalAt(db, "skew", 10), -2445.98);
+}
+
+TEST(EthPerpFundingTest, TdeltaMeasuresGapsBetweenEvents) {
+  Database db = RunContract(
+      std::string(kMarketSetup) + "tranM(a, 10.0)@5 . modPos(a, 1.0)@12 .",
+      15);
+  const Relation* rel = db.Find("tdelta");
+  ASSERT_NE(rel, nullptr);
+  // tdelta(5)@5 (since start) and tdelta(7)@12.
+  EXPECT_TRUE(rel->Contains({Value::Int(5)}, Rational(5)));
+  EXPECT_TRUE(rel->Contains({Value::Int(7)}, Rational(12)));
+}
+
+TEST(EthPerpFundingTest, FrsAccruesPerFigure2) {
+  MarketParams params;
+  double p = 1200.0;
+  Database db = RunContract(
+      std::string(kMarketSetup) +
+          "tranM(a, 1000.0)@10 . modPos(a, 50.0)@20 .\n"
+          "tranM(b2, 1.0)@35 .",
+      40);
+  // First event at 10: pre-event skew 0 -> no accrual.
+  EXPECT_DOUBLE_EQ(GlobalAt(db, "frs", 10), 0.0);
+  // Second event at 20: skew still 0 over (10,20] -> no accrual.
+  EXPECT_DOUBLE_EQ(GlobalAt(db, "frs", 20), 0.0);
+  // Third event at 35: skew was 50 for 15 ticks.
+  double expected = params.InstantaneousRate(50.0, p) * p * 15.0;
+  EXPECT_NEAR(GlobalAt(db, "frs", 35), expected, 1e-15);
+  EXPECT_NEAR(GlobalAt(db, "frs", 40), expected, 1e-15);
+}
+
+TEST(EthPerpFundingTest, RateClampsAtExtremeSkew) {
+  // Skew far beyond W_max: the proportional term saturates at +-1.
+  MarketParams params;
+  double p = 1200.0;
+  Database db = RunContract(
+      "start()@0 . skew(-100000000.0)@0 . frs(0.0)@0 . "
+      "price(1200.0)@[0, 20] .\n"
+      "tranM(a, 10.0)@4 .",
+      10);
+  double expected = params.InstantaneousRate(-1.0e8, p) * p * 4.0;
+  EXPECT_NEAR(GlobalAt(db, "frs", 4), expected, 1e-12);
+  EXPECT_DOUBLE_EQ(params.InstantaneousRate(-1.0e8, p),
+                   0.1 / 86400.0);  // clamped to +1 proportional
+}
+
+TEST(EthPerpFundingTest, Example34IndividualFunding) {
+  // Example 3.4: A opens q_a at t1, B interacts at t2, A closes at t4.
+  // IF_A = q_a * (F(t4) - F(t1)).
+  MarketParams params;
+  double p = 1200.0;
+  double k0 = 40000.0;  // nonzero initial skew so funding flows
+  double qa = 2.0;
+  Database db = RunContract(
+      "start()@0 . skew(40000.0)@0 . frs(0.0)@0 . price(1200.0)@[0, 60] .\n"
+      "tranM(a, 100000.0)@5 . tranM(b, 100.0)@8 .\n"
+      "modPos(a, 2.0)@10 .\n"        // t1
+      "tranM(b, 1.0)@20 .\n"         // t2 (B interacts)
+      "closePos(a)@40 .",            // t4
+      50);
+  // Funding sequence: piecewise accrual with the pre-event skew.
+  double f5 = params.InstantaneousRate(k0, p) * p * 5;
+  double f8 = f5 + params.InstantaneousRate(k0, p) * p * 3;
+  double f10 = f8 + params.InstantaneousRate(k0, p) * p * 2;
+  double f20 = f10 + params.InstantaneousRate(k0 + qa, p) * p * 10;
+  double f40 = f20 + params.InstantaneousRate(k0 + qa, p) * p * 20;
+  EXPECT_NEAR(GlobalAt(db, "frs", 10), f10, 1e-12);
+  EXPECT_NEAR(GlobalAt(db, "frs", 20), f20, 1e-12);
+  EXPECT_NEAR(GlobalAt(db, "frs", 40), f40, 1e-12);
+  EXPECT_NEAR(ValueAt(db, "funding", "a", 40), qa * (f40 - f10), 1e-12);
+  // Long position against positive skew pays: funding is negative.
+  EXPECT_LT(ValueAt(db, "funding", "a", 40), 0.0);
+}
+
+TEST(EthPerpFundingTest, Example35ModifiedPositionFunding) {
+  // Example 3.5: the position is modified by s at t3; the total individual
+  // funding is q_a(F(t3)-F(t1)) + (q_a+s)(F(t4)-F(t3)).
+  MarketParams params;
+  double p = 1200.0;
+  double k0 = 40000.0;
+  double qa = 2.0;
+  double s = 1.5;
+  Database db = RunContract(
+      "start()@0 . skew(40000.0)@0 . frs(0.0)@0 . price(1200.0)@[0, 60] .\n"
+      "tranM(a, 100000.0)@5 .\n"
+      "modPos(a, 2.0)@10 .\n"    // t1
+      "modPos(a, 1.5)@25 .\n"    // t3
+      "closePos(a)@40 .",        // t4
+      50);
+  double f5 = params.InstantaneousRate(k0, p) * p * 5;
+  double f10 = f5 + params.InstantaneousRate(k0, p) * p * 5;
+  double f25 = f10 + params.InstantaneousRate(k0 + qa, p) * p * 15;
+  double f40 = f25 + params.InstantaneousRate(k0 + qa + s, p) * p * 15;
+  double expected = qa * (f25 - f10) + (qa + s) * (f40 - f25);
+  EXPECT_NEAR(ValueAt(db, "funding", "a", 40), expected, 1e-12);
+}
+
+TEST(EthPerpFundingTest, ShortsReceiveWhenLongsPay) {
+  // Two symmetric traders: the long pays, the short receives.
+  Database db = RunContract(
+      "start()@0 . skew(0.0)@0 . frs(0.0)@0 . price(1000.0)@[0, 100] .\n"
+      "tranM(long1, 10000.0)@2 . tranM(short1, 10000.0)@3 .\n"
+      "modPos(long1, 5.0)@5 . modPos(short1, -1.0)@6 .\n"
+      "closePos(long1)@50 . closePos(short1)@55 .",
+      60);
+  EXPECT_LT(ValueAt(db, "funding", "long1", 50), 0.0);
+  EXPECT_GT(ValueAt(db, "funding", "short1", 55), 0.0);
+}
+
+}  // namespace
+}  // namespace dmtl

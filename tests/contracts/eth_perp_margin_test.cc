@@ -1,0 +1,93 @@
+// MARGIN module (paper rules 1-9), driven through the full program.
+
+#include <gtest/gtest.h>
+
+#include "tests/contracts/contract_test_util.h"
+
+namespace dmtl {
+namespace {
+
+TEST(EthPerpMarginTest, ProgramParsesAndStratifies) {
+  auto program = EthPerpProgram();
+  ASSERT_TRUE(program.ok()) << program.status();
+  EXPECT_GE(program->size(), 40u);
+  EXPECT_TRUE(program->CheckArities().ok());
+}
+
+TEST(EthPerpMarginTest, FirstDepositOpensAccount) {
+  Database db = RunContract("tranM(abc, 97.0)@1 .", 5);
+  EXPECT_TRUE(HoldsAt(db, "isOpen", "abc", 1));
+  EXPECT_TRUE(HoldsAt(db, "isOpen", "abc", 5));  // persists to horizon
+  EXPECT_DOUBLE_EQ(ValueAt(db, "margin", "abc", 1), 97.0);
+  EXPECT_DOUBLE_EQ(ValueAt(db, "margin", "abc", 4), 97.0);
+}
+
+TEST(EthPerpMarginTest, Example31LaterDepositAddsUp) {
+  // The paper's Example 3.1: margin 97 yesterday, tranM(abc, 3) today ->
+  // margin 100 today.
+  Database db = RunContract("tranM(abc, 97.0)@1 . tranM(abc, 3.0)@2 .", 6);
+  EXPECT_DOUBLE_EQ(ValueAt(db, "margin", "abc", 1), 97.0);
+  EXPECT_DOUBLE_EQ(ValueAt(db, "margin", "abc", 2), 100.0);
+  EXPECT_DOUBLE_EQ(ValueAt(db, "margin", "abc", 6), 100.0);
+}
+
+TEST(EthPerpMarginTest, WithdrawClosesAccountAndStopsMargin) {
+  Database db = RunContract("tranM(abc, 50.0)@1 . withdraw(abc)@4 .", 8);
+  EXPECT_TRUE(HoldsAt(db, "isOpen", "abc", 3));
+  EXPECT_FALSE(HoldsAt(db, "isOpen", "abc", 4));
+  EXPECT_FALSE(HoldsAt(db, "isOpen", "abc", 8));
+  EXPECT_DOUBLE_EQ(ValueAt(db, "margin", "abc", 3), 50.0);
+  EXPECT_FALSE(HoldsAt(db, "margin", "abc", 4));
+  EXPECT_FALSE(HoldsAt(db, "margin", "abc", 5));
+}
+
+TEST(EthPerpMarginTest, ReopenAfterWithdrawReinitializes) {
+  Database db = RunContract(
+      "tranM(abc, 50.0)@1 . withdraw(abc)@3 . tranM(abc, 7.0)@5 .", 8);
+  EXPECT_DOUBLE_EQ(ValueAt(db, "margin", "abc", 2), 50.0);
+  // The new deposit is a first-time deposit again (rule 3), not 57.
+  EXPECT_DOUBLE_EQ(ValueAt(db, "margin", "abc", 5), 7.0);
+  EXPECT_DOUBLE_EQ(ValueAt(db, "margin", "abc", 8), 7.0);
+}
+
+TEST(EthPerpMarginTest, ChangeMFiresOnAllThreeMethods) {
+  Database db = RunContract(
+      "tranM(abc, 5.0)@1 . tranM(abc, 5.0)@3 . price(100.0)@[0, 12] .\n"
+      "modPos(abc, 1.0)@5 . closePos(abc)@7 . withdraw(abc)@9 .",
+      12);
+  EXPECT_TRUE(HoldsAt(db, "changeM", "abc", 1));
+  EXPECT_TRUE(HoldsAt(db, "changeM", "abc", 3));
+  EXPECT_FALSE(HoldsAt(db, "changeM", "abc", 5));  // modPos is not a change
+  EXPECT_TRUE(HoldsAt(db, "changeM", "abc", 7));
+  EXPECT_TRUE(HoldsAt(db, "changeM", "abc", 9));
+}
+
+TEST(EthPerpMarginTest, IndependentAccountsDoNotInterfere) {
+  Database db = RunContract(
+      "tranM(abc, 10.0)@1 . tranM(xyz, 20.0)@2 . withdraw(abc)@5 .", 8);
+  EXPECT_DOUBLE_EQ(ValueAt(db, "margin", "xyz", 8), 20.0);
+  EXPECT_FALSE(HoldsAt(db, "margin", "abc", 6));
+  EXPECT_TRUE(HoldsAt(db, "isOpen", "xyz", 8));
+}
+
+TEST(EthPerpMarginTest, SettlementFoldsIntoMargin) {
+  // Full close pipeline: margin@close = margin + pnl - fee + funding.
+  // Constant price and zero initial skew keep funding small but nonzero.
+  Database db = RunContract(
+      "start()@0 . skew(0.0)@0 . frs(0.0)@0 . price(100.0)@[0, 20] .\n"
+      "tranM(abc, 1000.0)@2 . modPos(abc, 2.0)@4 . closePos(abc)@8 .",
+      12);
+  double pnl = ValueAt(db, "pnl", "abc", 8);
+  double fee = ValueAt(db, "finalFee", "abc", 8);
+  double funding = ValueAt(db, "funding", "abc", 8);
+  // Price never moved: zero returns.
+  EXPECT_DOUBLE_EQ(pnl, 0.0);
+  EXPECT_GT(fee, 0.0);
+  double margin_after = ValueAt(db, "margin", "abc", 8);
+  EXPECT_NEAR(margin_after, 1000.0 + pnl - fee + funding, 1e-9);
+  // And it persists.
+  EXPECT_NEAR(ValueAt(db, "margin", "abc", 12), margin_after, 1e-12);
+}
+
+}  // namespace
+}  // namespace dmtl

@@ -1,0 +1,118 @@
+// POSITION and RETURNS modules (paper rules 10-16).
+
+#include <gtest/gtest.h>
+
+#include "tests/contracts/contract_test_util.h"
+
+namespace dmtl {
+namespace {
+
+TEST(EthPerpPositionTest, ZeroPositionOnAccountOpen) {
+  Database db = RunContract("tranM(abc, 60.0)@1 .", 4);
+  auto [s1, n1] = PositionAt(db, "abc", 1);
+  EXPECT_DOUBLE_EQ(s1, 0.0);
+  EXPECT_DOUBLE_EQ(n1, 0.0);
+  auto [s4, n4] = PositionAt(db, "abc", 4);
+  EXPECT_DOUBLE_EQ(s4, 0.0);
+}
+
+TEST(EthPerpPositionTest, Example32OpeningALong) {
+  // The paper's Example 3.2: tranM(abc,60)@t, modPos(abc,0.4)@t+2 with a
+  // price of 70 -> position(abc, 0.4, 28).
+  Database db = RunContract(
+      "price(70.0)@[0, 10] . tranM(abc, 60.0)@1 . modPos(abc, 0.4)@3 .", 6);
+  auto [s2, n2] = PositionAt(db, "abc", 2);
+  EXPECT_DOUBLE_EQ(s2, 0.0);
+  auto [s3, n3] = PositionAt(db, "abc", 3);
+  EXPECT_DOUBLE_EQ(s3, 0.4);
+  EXPECT_DOUBLE_EQ(n3, 28.0);
+  // Persists until the next order.
+  auto [s6, n6] = PositionAt(db, "abc", 6);
+  EXPECT_DOUBLE_EQ(s6, 0.4);
+  EXPECT_DOUBLE_EQ(n6, 28.0);
+}
+
+TEST(EthPerpPositionTest, ModificationAccumulatesSizeAndNotional) {
+  Database db = RunContract(
+      "price(100.0)@[0, 5) . price(120.0)@[5, 10] .\n"
+      "tranM(abc, 500.0)@1 . modPos(abc, 2.0)@3 . modPos(abc, -0.5)@6 .",
+      9);
+  auto [s3, n3] = PositionAt(db, "abc", 3);
+  EXPECT_DOUBLE_EQ(s3, 2.0);
+  EXPECT_DOUBLE_EQ(n3, 200.0);
+  auto [s6, n6] = PositionAt(db, "abc", 6);
+  EXPECT_DOUBLE_EQ(s6, 1.5);
+  EXPECT_DOUBLE_EQ(n6, 200.0 - 0.5 * 120.0);
+}
+
+TEST(EthPerpPositionTest, ShortPositionsCarryNegativeNotional) {
+  Database db = RunContract(
+      "price(50.0)@[0, 8] . tranM(abc, 100.0)@1 . modPos(abc, -0.14)@2 .", 5);
+  auto [s, n] = PositionAt(db, "abc", 2);
+  EXPECT_DOUBLE_EQ(s, -0.14);
+  EXPECT_DOUBLE_EQ(n, -7.0);
+}
+
+TEST(EthPerpPositionTest, OrderBookCollectsBothMethods) {
+  Database db = RunContract(
+      "price(50.0)@[0, 8] . tranM(abc, 100.0)@1 . modPos(abc, 1.0)@3 . "
+      "closePos(abc)@5 .",
+      8);
+  EXPECT_TRUE(HoldsAt(db, "order", "abc", 3));
+  EXPECT_TRUE(HoldsAt(db, "order", "abc", 5));
+  EXPECT_FALSE(HoldsAt(db, "order", "abc", 4));
+}
+
+TEST(EthPerpPositionTest, CloseResetsPosition) {
+  Database db = RunContract(
+      "price(50.0)@[0, 9] . tranM(abc, 100.0)@1 . modPos(abc, 1.0)@3 . "
+      "closePos(abc)@5 .",
+      9);
+  auto [s5, n5] = PositionAt(db, "abc", 5);
+  EXPECT_DOUBLE_EQ(s5, 0.0);
+  EXPECT_DOUBLE_EQ(n5, 0.0);
+  auto [s9, n9] = PositionAt(db, "abc", 9);
+  EXPECT_DOUBLE_EQ(s9, 0.0);
+}
+
+TEST(EthPerpPositionTest, Example33ReturnsOnClose) {
+  // The paper's Example 3.3: position(abc, 0.7, 39) the day before, price
+  // 47 at the close -> PNL = 0.7*47 - 39 = -6.1.
+  Database db = RunContract(
+      "price(55.714285714285715)@[0, 3) . price(47.0)@[3, 6] .\n"
+      "tranM(abc, 100.0)@1 . modPos(abc, 0.7)@2 . closePos(abc)@3 .",
+      6);
+  auto [s2, n2] = PositionAt(db, "abc", 2);
+  EXPECT_DOUBLE_EQ(s2, 0.7);
+  EXPECT_NEAR(n2, 39.0, 1e-12);
+  EXPECT_NEAR(ValueAt(db, "pnl", "abc", 3), 0.7 * 47.0 - 39.0, 1e-12);
+}
+
+TEST(EthPerpPositionTest, PositionChainStopsWithAccount) {
+  Database db = RunContract(
+      "price(50.0)@[0, 9] . tranM(abc, 100.0)@1 . withdraw(abc)@4 .", 9);
+  EXPECT_TRUE(HoldsAt(db, "position", "abc", 3));
+  EXPECT_FALSE(HoldsAt(db, "position", "abc", 4));
+  EXPECT_FALSE(HoldsAt(db, "position", "abc", 7));
+}
+
+TEST(EthPerpPositionTest, ProfitOnLongWhenPriceRises) {
+  Database db = RunContract(
+      "price(100.0)@[0, 4) . price(130.0)@[4, 8] .\n"
+      "tranM(abc, 1000.0)@1 . modPos(abc, 2.0)@2 . closePos(abc)@5 .",
+      8);
+  // Entry notional 200 at price 100; close at 130: pnl = 2*130 - 200 = 60.
+  EXPECT_NEAR(ValueAt(db, "pnl", "abc", 5), 60.0, 1e-12);
+}
+
+TEST(EthPerpPositionTest, ProfitOnShortWhenPriceFalls) {
+  Database db = RunContract(
+      "price(100.0)@[0, 4) . price(80.0)@[4, 8] .\n"
+      "tranM(abc, 1000.0)@1 . modPos(abc, -3.0)@2 . closePos(abc)@5 .",
+      8);
+  // Entry notional -300; close at 80: pnl = -3*80 + 300 = 60.
+  EXPECT_NEAR(ValueAt(db, "pnl", "abc", 5), 60.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace dmtl

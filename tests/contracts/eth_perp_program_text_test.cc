@@ -1,0 +1,117 @@
+// The program text is the paper's artifact form: it must stay parseable,
+// print-stable, parameter-faithful, and in sync with the shipped
+// programs/eth_perp.dmtl file.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "src/contracts/eth_perp_program.h"
+#include "src/contracts/risk_rules.h"
+#include "src/parser/parser.h"
+
+namespace dmtl {
+namespace {
+
+TEST(EthPerpProgramTextTest, PrintParseFixpoint) {
+  auto program = EthPerpProgram();
+  ASSERT_TRUE(program.ok()) << program.status();
+  std::string printed = program->ToString();
+  auto reparsed = Parser::ParseProgram(printed);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(reparsed->ToString(), printed);
+}
+
+TEST(EthPerpProgramTextTest, ParametersAreSubstituted) {
+  MarketParams params;
+  params.maker_fee = 0.001;
+  params.taker_fee = 0.03125;  // exactly representable: prints verbatim
+  params.skew_scale_usd = 5.0e7;
+  params.max_funding_rate = 0.25;
+  std::string text = EthPerpProgramText(params);
+  EXPECT_NE(text.find("0.001"), std::string::npos);
+  EXPECT_NE(text.find("0.03125"), std::string::npos);
+  EXPECT_NE(text.find("50000000"), std::string::npos);
+  EXPECT_NE(text.find("0.25"), std::string::npos);
+  ASSERT_TRUE(Parser::ParseProgram(text).ok());
+}
+
+TEST(EthPerpProgramTextTest, ConventionsDifferOnlyInFeeSides) {
+  MarketParams table;
+  MarketParams printed;
+  printed.fee_convention = FeeConvention::kPrintedRules;
+  auto p1 = EthPerpProgram(table);
+  auto p2 = EthPerpProgram(printed);
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  ASSERT_EQ(p1->size(), p2->size());
+  // Only fee/finalFee rules may differ between conventions.
+  int differing = 0;
+  for (size_t i = 0; i < p1->size(); ++i) {
+    const Rule& a = p1->rules()[i];
+    const Rule& b = p2->rules()[i];
+    if (a.ToString() != b.ToString()) {
+      ++differing;
+      std::string head = PredicateName(a.head.predicate);
+      EXPECT_TRUE(head == "fee" || head == "finalFee") << a.ToString();
+    }
+  }
+  EXPECT_EQ(differing, 8);  // 4 modPos legs + 4 close legs flip
+}
+
+TEST(EthPerpProgramTextTest, ShippedArtifactMatchesBuilder) {
+  if (!std::filesystem::exists("programs/eth_perp.dmtl")) {
+    GTEST_SKIP() << "artifact not found (run from repo root)";
+  }
+  std::ifstream file("programs/eth_perp.dmtl");
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  // Regenerate with `dmtl::EthPerpProgramText()` if this drifts.
+  EXPECT_EQ(buffer.str(), EthPerpProgramText())
+      << "programs/eth_perp.dmtl is stale; regenerate it";
+}
+
+TEST(EthPerpProgramTextTest, RiskModuleTextParsesAndSubstitutes) {
+  RiskParams risk;
+  risk.maintenance_ratio = 0.0123;
+  risk.large_exposure_usd = 7777.0;
+  std::string text = RiskMonitorProgramText(risk);
+  EXPECT_NE(text.find("0.0123"), std::string::npos);
+  EXPECT_NE(text.find("7777"), std::string::npos);
+  ASSERT_TRUE(Parser::ParseProgram(text).ok());
+}
+
+TEST(EthPerpProgramTextTest, EveryPaperModuleContributesRules) {
+  auto program = EthPerpProgram();
+  ASSERT_TRUE(program.ok());
+  // Count rules by head predicate; every module's key predicates appear.
+  std::map<std::string, int> heads;
+  for (const Rule& rule : program->rules()) {
+    heads[PredicateName(rule.head.predicate)]++;
+  }
+  EXPECT_EQ(heads["isOpen"], 2);    // rules 1-2
+  EXPECT_EQ(heads["changeM"], 3);   // rules 4-6
+  EXPECT_EQ(heads["margin"], 4);    // rules 3, 7, 8, 9
+  EXPECT_EQ(heads["position"], 4);  // rules 10, 13, 14, 15
+  EXPECT_EQ(heads["order"], 2);     // rules 11-12
+  EXPECT_EQ(heads["pnl"], 1);       // rule 16
+  EXPECT_EQ(heads["eventContrib"], 4);
+  EXPECT_EQ(heads["event"], 1);
+  EXPECT_EQ(heads["skew"], 2);      // rules 21-22
+  EXPECT_EQ(heads["tdiff"], 3);     // rules 23-25
+  EXPECT_EQ(heads["tdelta"], 1);    // rule 26
+  EXPECT_EQ(heads["rate"], 1);      // rule 27
+  EXPECT_EQ(heads["clampR"], 3);    // rules 28-30
+  EXPECT_EQ(heads["unrFund"], 1);   // rule 31
+  EXPECT_EQ(heads["frs"], 2);       // rules 32-33
+  EXPECT_EQ(heads["indF"], 3);      // rules 34-36
+  EXPECT_EQ(heads["funding"], 1);   // rule 37
+  EXPECT_EQ(heads["fee"], 8);       // 38, 39, 40-43, K=0, 48
+  EXPECT_EQ(heads["finalFee"], 5);  // 44-47 + K=0
+  EXPECT_EQ(heads["marketOpen"], 2);
+}
+
+}  // namespace
+}  // namespace dmtl

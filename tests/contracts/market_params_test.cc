@@ -1,0 +1,70 @@
+#include "src/contracts/market_params.h"
+
+#include <gtest/gtest.h>
+
+namespace dmtl {
+namespace {
+
+TEST(MarketParamsTest, Figure2Defaults) {
+  MarketParams p;
+  EXPECT_DOUBLE_EQ(p.maker_fee, 0.0035);  // fixed by Example 3.6
+  EXPECT_DOUBLE_EQ(p.max_funding_rate, 0.1);
+  EXPECT_DOUBLE_EQ(p.skew_scale_usd, 3.0e8);
+  EXPECT_DOUBLE_EQ(p.seconds_per_day, 86400.0);
+}
+
+TEST(MarketParamsTest, InstantaneousRateFormula) {
+  MarketParams p;
+  double price = 1200.0;
+  double skew = 1.0e4;  // well inside W_max = 250000: no clamping
+  // i = clamp(-K / (3e8/p), -1, 1) * 0.1 / 86400
+  double expected = (-skew / (3.0e8 / price)) * 0.1 / 86400.0;
+  EXPECT_NEAR(p.InstantaneousRate(skew, price), expected, 1e-18);
+  // Opposite skew flips the sign: the heavy side always pays.
+  EXPECT_GT(p.InstantaneousRate(-skew, price), 0.0);
+  EXPECT_LT(p.InstantaneousRate(skew, price), 0.0);
+  EXPECT_DOUBLE_EQ(p.InstantaneousRate(0.0, price), 0.0);
+}
+
+TEST(MarketParamsTest, InstantaneousRateClamps) {
+  MarketParams p;
+  double price = 1200.0;
+  // W_max = 3e8/1200 = 250000; skew far beyond it saturates at +-1.
+  EXPECT_DOUBLE_EQ(p.InstantaneousRate(-1.0e9, price),
+                   0.1 / 86400.0);
+  EXPECT_DOUBLE_EQ(p.InstantaneousRate(1.0e9, price),
+                   -0.1 / 86400.0);
+  // Exactly at the boundary.
+  EXPECT_DOUBLE_EQ(p.InstantaneousRate(-250000.0, price), 0.1 / 86400.0);
+}
+
+TEST(MarketParamsTest, FeeRateSection37Table) {
+  MarketParams p;  // default: kSection37Table
+  // Same sign of skew and delta (increasing the skew) -> taker.
+  EXPECT_DOUBLE_EQ(p.FeeRate(+1000, +1), p.taker_fee);
+  EXPECT_DOUBLE_EQ(p.FeeRate(-1000, -1), p.taker_fee);
+  // Opposite signs (reducing the skew) -> maker.
+  EXPECT_DOUBLE_EQ(p.FeeRate(+1000, -1), p.maker_fee);
+  EXPECT_DOUBLE_EQ(p.FeeRate(-1000, +1), p.maker_fee);
+  // The K=0 edge the paper leaves open: maker.
+  EXPECT_DOUBLE_EQ(p.FeeRate(0, +1), p.maker_fee);
+}
+
+TEST(MarketParamsTest, FeeRatePrintedRulesConventionFlips) {
+  MarketParams p;
+  p.fee_convention = FeeConvention::kPrintedRules;
+  EXPECT_DOUBLE_EQ(p.FeeRate(+1000, +1), p.maker_fee);
+  EXPECT_DOUBLE_EQ(p.FeeRate(-1000, -1), p.maker_fee);
+  EXPECT_DOUBLE_EQ(p.FeeRate(+1000, -1), p.taker_fee);
+  EXPECT_DOUBLE_EQ(p.FeeRate(-1000, +1), p.taker_fee);
+}
+
+TEST(MarketParamsTest, ToStringMentionsConvention) {
+  MarketParams p;
+  EXPECT_NE(p.ToString().find("section-3.7"), std::string::npos);
+  p.fee_convention = FeeConvention::kPrintedRules;
+  EXPECT_NE(p.ToString().find("printed-rules"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dmtl

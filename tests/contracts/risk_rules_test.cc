@@ -1,0 +1,152 @@
+// The RISK MONITOR extension module (paper Section 5): mark-to-market
+// metrics and liquidation alerts layered over the contract state.
+
+#include "src/contracts/risk_rules.h"
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/stratifier.h"
+#include "tests/contracts/contract_test_util.h"
+
+namespace dmtl {
+namespace {
+
+Database RunWithMonitor(const std::string& facts, int64_t horizon,
+                        RiskParams risk = {}, MarketParams market = {}) {
+  auto program = EthPerpWithRiskMonitor(market, risk);
+  EXPECT_TRUE(program.ok()) << program.status();
+  auto db = Parser::ParseDatabase(facts);
+  EXPECT_TRUE(db.ok()) << db.status();
+  EngineOptions options;
+  options.min_time = Rational(0);
+  options.max_time = Rational(horizon);
+  Database out = *db;
+  Status status = Materialize(*program, &out, options);
+  EXPECT_TRUE(status.ok()) << status;
+  return out;
+}
+
+constexpr char kSetup[] =
+    "start()@0 . skew(0.0)@0 . frs(0.0)@0 .\n";
+
+TEST(RiskRulesTest, ModuleParsesAloneAndComposed) {
+  auto monitor = RiskMonitorProgram();
+  ASSERT_TRUE(monitor.ok()) << monitor.status();
+  EXPECT_GE(monitor->size(), 7u);
+  auto combined = EthPerpWithRiskMonitor();
+  ASSERT_TRUE(combined.ok()) << combined.status();
+  EXPECT_TRUE(Stratify(*combined).ok());
+}
+
+TEST(RiskRulesTest, UnrealizedPnlTracksPrice) {
+  Database db = RunWithMonitor(
+      std::string(kSetup) +
+          "price(100.0)@[0, 5) . price(120.0)@[5, 10] .\n"
+          "tranM(abc, 1000.0)@1 . modPos(abc, 2.0)@3 .",
+      9);
+  // Entry at 100 (notional 200); price jumps to 120 at t=5.
+  EXPECT_DOUBLE_EQ(ValueAt(db, "uPnl", "abc", 4), 0.0);
+  EXPECT_DOUBLE_EQ(ValueAt(db, "uPnl", "abc", 5), 40.0);
+  EXPECT_DOUBLE_EQ(ValueAt(db, "uPnl", "abc", 9), 40.0);
+  EXPECT_DOUBLE_EQ(ValueAt(db, "notionalExposure", "abc", 5), 240.0);
+  EXPECT_DOUBLE_EQ(ValueAt(db, "equity", "abc", 5), 1040.0);
+  EXPECT_NEAR(ValueAt(db, "marginRatio", "abc", 5), 1040.0 / 240.0, 1e-12);
+}
+
+TEST(RiskRulesTest, NoRatioWhileFlat) {
+  Database db = RunWithMonitor(
+      std::string(kSetup) + "price(100.0)@[0, 8] . tranM(abc, 500.0)@1 .",
+      6);
+  // Flat position: exposure 0, no marginRatio facts for the account.
+  EXPECT_DOUBLE_EQ(ValueAt(db, "notionalExposure", "abc", 3), 0.0);
+  EXPECT_FALSE(HoldsAt(db, "marginRatio", "abc", 3));
+  EXPECT_FALSE(HoldsAt(db, "liquidatable", "abc", 3));
+}
+
+TEST(RiskRulesTest, LiquidatableWhenPriceMovesAgainstALong) {
+  // Thin margin long: 60 margin on a 10 ETH long at 100 (exposure 1000,
+  // ratio 0.06). A drop to 96 wipes 40 of equity -> ratio (60-40)/960 ~
+  // 0.0208 < 0.05.
+  RiskParams risk;
+  risk.maintenance_ratio = 0.05;
+  Database db = RunWithMonitor(
+      std::string(kSetup) +
+          "price(100.0)@[0, 6) . price(96.0)@[6, 12] .\n"
+          "tranM(abc, 60.0)@1 . modPos(abc, 10.0)@3 .",
+      10, risk);
+  EXPECT_FALSE(HoldsAt(db, "liquidatable", "abc", 5));
+  EXPECT_TRUE(HoldsAt(db, "liquidatable", "abc", 6));
+  EXPECT_TRUE(HoldsAt(db, "liquidatable", "abc", 10));
+  // The alert fires exactly once, on the rising edge.
+  EXPECT_TRUE(HoldsAt(db, "liquidationAlert", "abc", 6));
+  EXPECT_FALSE(HoldsAt(db, "liquidationAlert", "abc", 7));
+}
+
+TEST(RiskRulesTest, AlertReFiresAfterRecovery) {
+  // Price dips, recovers, dips again: two rising edges, two alerts.
+  RiskParams risk;
+  risk.maintenance_ratio = 0.05;
+  Database db = RunWithMonitor(
+      std::string(kSetup) +
+          "price(100.0)@[0, 4) . price(96.0)@[4, 6) . "
+          "price(100.0)@[6, 8) . price(96.0)@[8, 12] .\n"
+          "tranM(abc, 60.0)@1 . modPos(abc, 10.0)@2 .",
+      11, risk);
+  EXPECT_TRUE(HoldsAt(db, "liquidationAlert", "abc", 4));
+  EXPECT_FALSE(HoldsAt(db, "liquidatable", "abc", 6));
+  EXPECT_TRUE(HoldsAt(db, "liquidationAlert", "abc", 8));
+  EXPECT_FALSE(HoldsAt(db, "liquidationAlert", "abc", 9));
+}
+
+TEST(RiskRulesTest, LargeExposureThreshold) {
+  RiskParams risk;
+  risk.large_exposure_usd = 500.0;
+  Database db = RunWithMonitor(
+      std::string(kSetup) +
+          "price(100.0)@[0, 10] .\n"
+          "tranM(abc, 10000.0)@1 . modPos(abc, 4.0)@3 . modPos(abc, 2.0)@6 .",
+      9, risk);
+  // 4 ETH * 100 = 400 < 500; 6 ETH * 100 = 600 > 500.
+  EXPECT_FALSE(HoldsAt(db, "largeExposure", "abc", 4));
+  EXPECT_TRUE(HoldsAt(db, "largeExposure", "abc", 6));
+  EXPECT_TRUE(HoldsAt(db, "largeExposure", "abc", 9));
+}
+
+TEST(RiskRulesTest, ShortPositionsMonitoredSymmetrically) {
+  RiskParams risk;
+  risk.maintenance_ratio = 0.05;
+  // Thin short: price RISE hurts. 60 margin, 10 ETH short at 100;
+  // rise to 104 -> equity 20, exposure 1040 -> ratio ~0.019.
+  Database db = RunWithMonitor(
+      std::string(kSetup) +
+          "price(100.0)@[0, 6) . price(104.0)@[6, 12] .\n"
+          "tranM(abc, 60.0)@1 . modPos(abc, -10.0)@3 .",
+      10, risk);
+  EXPECT_DOUBLE_EQ(ValueAt(db, "uPnl", "abc", 6), -40.0);
+  EXPECT_TRUE(HoldsAt(db, "liquidatable", "abc", 6));
+}
+
+TEST(RiskRulesTest, MonitorDoesNotPerturbTheContract) {
+  // Settlements with and without the monitor attached are identical
+  // (supervision reads state, never writes it).
+  std::string facts = std::string(kSetup) +
+                      "price(100.0)@[0, 12] .\n"
+                      "tranM(abc, 1000.0)@1 . modPos(abc, 2.0)@3 . "
+                      "closePos(abc)@8 .";
+  Database with = RunWithMonitor(facts, 10);
+  auto plain_program = EthPerpProgram();
+  auto db = Parser::ParseDatabase(facts);
+  EngineOptions options;
+  options.min_time = Rational(0);
+  options.max_time = Rational(10);
+  Database without = *db;
+  ASSERT_TRUE(Materialize(*plain_program, &without, options).ok());
+  for (const char* pred : {"pnl", "finalFee", "funding", "margin"}) {
+    EXPECT_DOUBLE_EQ(ValueAt(with, pred, "abc", 8),
+                     ValueAt(without, pred, "abc", 8))
+        << pred;
+  }
+}
+
+}  // namespace
+}  // namespace dmtl

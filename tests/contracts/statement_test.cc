@@ -1,0 +1,108 @@
+#include "src/contracts/statement.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/chain/replayer.h"
+#include "src/chain/subgraph.h"
+#include "src/chain/workload.h"
+#include "src/contracts/eth_perp_program.h"
+
+namespace dmtl {
+namespace {
+
+struct Prepared {
+  Session session;
+  Database db;
+};
+
+Prepared Materialized(uint64_t seed) {
+  WorkloadConfig config;
+  config.num_events = 28;
+  config.num_trades = 5;
+  config.duration_s = 900;
+  config.initial_skew = -900.0;
+  config.seed = seed;
+  Prepared out;
+  out.session = *GenerateSession(config);
+  auto program = EthPerpProgram();
+  out.db = SessionToDatabase(out.session);
+  Status status =
+      Materialize(*program, &out.db, SessionEngineOptions(out.session));
+  EXPECT_TRUE(status.ok()) << status;
+  return out;
+}
+
+TEST(StatementTest, OneStatementPerAccountOneLinePerEvent) {
+  Prepared p = Materialized(21);
+  auto statements = BuildStatements(p.db, p.session);
+  ASSERT_TRUE(statements.ok()) << statements.status();
+  size_t total_lines = 0;
+  std::set<std::string> accounts;
+  for (const AccountStatement& s : *statements) {
+    accounts.insert(s.account);
+    total_lines += s.lines.size();
+    // Lines are in time order.
+    for (size_t i = 1; i < s.lines.size(); ++i) {
+      EXPECT_LE(s.lines[i - 1].time, s.lines[i].time);
+    }
+  }
+  EXPECT_EQ(total_lines, p.session.events.size());
+  std::set<std::string> expected;
+  for (const MarketEvent& e : p.session.events) expected.insert(e.account);
+  EXPECT_EQ(accounts, expected);
+}
+
+TEST(StatementTest, TotalsReconcileWithBalances) {
+  Prepared p = Materialized(22);
+  auto statements = BuildStatements(p.db, p.session);
+  ASSERT_TRUE(statements.ok()) << statements.status();
+  for (const AccountStatement& s : *statements) {
+    // Accounting identity per account:
+    // final = deposits + pnl - fees + funding (all trades settled flat).
+    EXPECT_NEAR(s.final_balance,
+                s.total_deposits + s.total_pnl - s.total_fees +
+                    s.total_funding,
+                1e-6)
+        << s.account;
+    EXPECT_TRUE(s.withdrawn) << s.account;  // generator closes everyone out
+    EXPECT_GT(s.total_deposits, 0.0);
+  }
+}
+
+TEST(StatementTest, FinalBalanceMatchesReferenceWithdrawals) {
+  Prepared p = Materialized(23);
+  auto statements = BuildStatements(p.db, p.session);
+  ASSERT_TRUE(statements.ok());
+  Subgraph subgraph = *Subgraph::Index(p.session);
+  for (const AccountStatement& s : *statements) {
+    ASSERT_EQ(subgraph.Withdrawals().count(s.account), 1u) << s.account;
+    EXPECT_NEAR(s.final_balance, subgraph.Withdrawals().at(s.account), 1e-9)
+        << s.account;
+  }
+}
+
+TEST(StatementTest, RenderingIsReadable) {
+  Prepared p = Materialized(24);
+  auto statements = BuildStatements(p.db, p.session);
+  ASSERT_TRUE(statements.ok());
+  ASSERT_FALSE(statements->empty());
+  std::string text = statements->front().ToString();
+  EXPECT_NE(text.find("statement for"), std::string::npos);
+  EXPECT_NE(text.find("deposit"), std::string::npos);
+  EXPECT_NE(text.find("totals:"), std::string::npos);
+}
+
+TEST(StatementTest, FailsOnUnmaterializedDatabase) {
+  WorkloadConfig config;
+  config.num_events = 12;
+  config.num_trades = 2;
+  config.duration_s = 700;
+  Session session = *GenerateSession(config);
+  Database raw = SessionToDatabase(session);  // facts only, no chase
+  EXPECT_FALSE(BuildStatements(raw, session).ok());
+}
+
+}  // namespace
+}  // namespace dmtl

@@ -1,0 +1,97 @@
+#include "src/engine/reasoner.h"
+
+#include <gtest/gtest.h>
+
+namespace dmtl {
+namespace {
+
+TEST(ReasonerTest, MaterializeAugmentsDatabase) {
+  auto unit = Parser::Parse("q(X) :- p(X) .\n p(a)@[1,3] .");
+  ASSERT_TRUE(unit.ok());
+  Database db = unit->database;
+  Reasoner reasoner;
+  auto stats = reasoner.Materialize(unit->program, &db);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_TRUE(db.Holds("q", {Value::Symbol("a")}, Rational(2)));
+}
+
+TEST(ReasonerTest, RunParsesAndMaterializes) {
+  Database input;
+  input.Insert("p", {Value::Symbol("a")},
+               Interval::Closed(Rational(1), Rational(3)));
+  Reasoner reasoner;
+  auto db = reasoner.Run("q(X) :- p(X) .", input);
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_TRUE(db->Holds("q", {Value::Symbol("a")}, Rational(1)));
+  // Errors propagate.
+  EXPECT_FALSE(reasoner.Run("q(X) :- p(X)", input).ok());
+}
+
+TEST(ReasonerTest, TuplesAtFiltersByTime) {
+  auto unit = Parser::Parse(
+      "margin(acc, 97.0)@[0, 5) .\n"
+      "margin(acc, 100.0)@[5, 9] .\n"
+      "margin(bob, 12.0)@[0, 9] .");
+  ASSERT_TRUE(unit.ok());
+  const Database& db = unit->database;
+  auto at4 = Reasoner::TuplesAt(db, "margin", Rational(4));
+  ASSERT_EQ(at4.size(), 2u);
+  // Deterministic order: sorted tuples.
+  EXPECT_EQ(at4[0][0].AsSymbolName(), "acc");
+  EXPECT_DOUBLE_EQ(at4[0][1].AsDouble(), 97.0);
+  auto at6 = Reasoner::TuplesAt(db, "margin", Rational(6));
+  ASSERT_EQ(at6.size(), 2u);
+  EXPECT_DOUBLE_EQ(at6[0][1].AsDouble(), 100.0);
+  EXPECT_TRUE(Reasoner::TuplesAt(db, "none", Rational(0)).empty());
+}
+
+TEST(ReasonerTest, EntailsCheckedAgainstMaterialization) {
+  auto unit = Parser::Parse(
+      "q(X) :- p(X) .\n"
+      "r(X) :- boxminus[0,2] p(X) .\n"
+      "p(a)@[1, 6] .");
+  ASSERT_TRUE(unit.ok());
+  Database db = unit->database;
+  Reasoner reasoner;
+  ASSERT_TRUE(reasoner.Materialize(unit->program, &db).ok());
+
+  Tuple a = {Value::Symbol("a")};
+  EXPECT_TRUE(Reasoner::Entails(db, "q", a,
+                                Interval::Closed(Rational(2), Rational(5))));
+  EXPECT_FALSE(Reasoner::Entails(db, "q", a,
+                                 Interval::Closed(Rational(2), Rational(7))));
+  EXPECT_TRUE(Reasoner::Entails(db, "r", a,
+                                Interval::Closed(Rational(3), Rational(6))));
+  EXPECT_FALSE(Reasoner::Entails(db, "r", a, Interval::Point(Rational(2))));
+  EXPECT_FALSE(Reasoner::Entails(db, "missing", a,
+                                 Interval::Point(Rational(1))));
+
+  // Textual form.
+  auto yes = Reasoner::Entails(db, "q(a)@[2, 5] .");
+  ASSERT_TRUE(yes.ok());
+  EXPECT_TRUE(*yes);
+  auto no = Reasoner::Entails(db, "q(b)@[2, 5] .");
+  ASSERT_TRUE(no.ok());
+  EXPECT_FALSE(*no);
+  EXPECT_FALSE(Reasoner::Entails(db, "not a fact").ok());
+  EXPECT_FALSE(Reasoner::Entails(db, "q(a)@1 . q(a)@2 .").ok());
+}
+
+TEST(ReasonerTest, SeriesSortsByStartTime) {
+  auto unit = Parser::Parse(
+      "frs(0.0)@[0, 3) .\n"
+      "frs(1.5)@[3, 7) .\n"
+      "frs(0.9)@[7, 9] .");
+  ASSERT_TRUE(unit.ok());
+  auto series = Reasoner::Series(unit->database, "frs");
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_EQ(series[0].first, Rational(0));
+  EXPECT_DOUBLE_EQ(series[0].second[0].AsDouble(), 0.0);
+  EXPECT_EQ(series[1].first, Rational(3));
+  EXPECT_DOUBLE_EQ(series[1].second[0].AsDouble(), 1.5);
+  EXPECT_EQ(series[2].first, Rational(7));
+  EXPECT_DOUBLE_EQ(series[2].second[0].AsDouble(), 0.9);
+}
+
+}  // namespace
+}  // namespace dmtl

@@ -1,0 +1,112 @@
+#include "src/eval/builtin_eval.h"
+
+#include <gtest/gtest.h>
+
+namespace dmtl {
+namespace {
+
+Expr V(int i) { return Expr::Var(i); }
+Expr K(double d) { return Expr::Const(Value::Double(d)); }
+Expr KI(int64_t i) { return Expr::Const(Value::Int(i)); }
+
+TEST(BuiltinEvalTest, ArithmeticPromotion) {
+  Bindings b(0);
+  auto int_sum = EvalExpr(Expr::Binary(Expr::Op::kAdd, KI(2), KI(3)), b);
+  ASSERT_TRUE(int_sum.ok());
+  EXPECT_TRUE(int_sum->is_int());
+  EXPECT_EQ(int_sum->AsInt(), 5);
+
+  auto mixed = EvalExpr(Expr::Binary(Expr::Op::kAdd, KI(2), K(0.5)), b);
+  ASSERT_TRUE(mixed.ok());
+  EXPECT_TRUE(mixed->is_double());
+  EXPECT_DOUBLE_EQ(mixed->AsDouble(), 2.5);
+}
+
+TEST(BuiltinEvalTest, DivisionAlwaysDouble) {
+  Bindings b(0);
+  auto q = EvalExpr(Expr::Binary(Expr::Op::kDiv, KI(1), KI(86400)), b);
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->is_double());
+  EXPECT_DOUBLE_EQ(q->AsDouble(), 1.0 / 86400.0);
+  auto zero = EvalExpr(Expr::Binary(Expr::Op::kDiv, KI(1), KI(0)), b);
+  EXPECT_FALSE(zero.ok());
+  EXPECT_EQ(zero.status().code(), StatusCode::kEvalError);
+}
+
+TEST(BuiltinEvalTest, UnaryAndFunctions) {
+  Bindings b(1);
+  b.Set(0, Value::Double(-3.5));
+  auto neg = EvalExpr(Expr::Unary(Expr::Op::kNeg, V(0)), b);
+  EXPECT_DOUBLE_EQ(neg->AsDouble(), 3.5);
+  auto abs = EvalExpr(Expr::Unary(Expr::Op::kAbs, V(0)), b);
+  EXPECT_DOUBLE_EQ(abs->AsDouble(), 3.5);
+  auto mn = EvalExpr(Expr::Binary(Expr::Op::kMin, V(0), K(1.0)), b);
+  EXPECT_DOUBLE_EQ(mn->AsDouble(), -3.5);
+  auto mx = EvalExpr(Expr::Binary(Expr::Op::kMax, V(0), K(1.0)), b);
+  EXPECT_DOUBLE_EQ(mx->AsDouble(), 1.0);
+  auto abs_int = EvalExpr(Expr::Unary(Expr::Op::kAbs, KI(-4)), b);
+  EXPECT_TRUE(abs_int->is_int());
+  EXPECT_EQ(abs_int->AsInt(), 4);
+}
+
+TEST(BuiltinEvalTest, ErrorsOnUnboundOrNonNumeric) {
+  Bindings b(1);
+  EXPECT_FALSE(EvalExpr(V(0), b).ok());
+  b.Set(0, Value::Symbol("acc"));
+  EXPECT_FALSE(
+      EvalExpr(Expr::Binary(Expr::Op::kAdd, V(0), KI(1)), b).ok());
+}
+
+TEST(BuiltinEvalTest, ComparisonSemantics) {
+  EXPECT_TRUE(*EvalComparison(CmpOp::kEq, Value::Int(1), Value::Double(1.0)));
+  EXPECT_TRUE(*EvalComparison(CmpOp::kLt, Value::Int(1), Value::Double(1.5)));
+  EXPECT_TRUE(*EvalComparison(CmpOp::kGe, Value::Double(2.0), Value::Int(2)));
+  EXPECT_TRUE(*EvalComparison(CmpOp::kEq, Value::Symbol("a"),
+                              Value::Symbol("a")));
+  EXPECT_TRUE(*EvalComparison(CmpOp::kNe, Value::Symbol("a"),
+                              Value::Symbol("b")));
+  EXPECT_TRUE(*EvalComparison(CmpOp::kLt, Value::Symbol("a"),
+                              Value::Symbol("b")));
+  // Cross-kind equality is false, inequality true, ordering an error.
+  EXPECT_FALSE(*EvalComparison(CmpOp::kEq, Value::Symbol("a"), Value::Int(1)));
+  EXPECT_TRUE(*EvalComparison(CmpOp::kNe, Value::Symbol("a"), Value::Int(1)));
+  EXPECT_FALSE(EvalComparison(CmpOp::kLt, Value::Symbol("a"),
+                              Value::Int(1))
+                   .ok());
+}
+
+TEST(BuiltinEvalTest, AssignBindsOrFilters) {
+  BuiltinAtom assign;
+  assign.kind = BuiltinAtom::Kind::kAssign;
+  assign.var = 0;
+  assign.expr = Expr::Binary(Expr::Op::kAdd, KI(2), KI(3));
+  Bindings b(1);
+  auto applied = ApplyBuiltin(assign, &b);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_TRUE(*applied);
+  EXPECT_EQ(b.Get(0).AsInt(), 5);
+  // Re-assigning to a bound variable degrades to an equality check.
+  auto again = ApplyBuiltin(assign, &b);
+  EXPECT_TRUE(*again);
+  Bindings mismatch(1);
+  mismatch.Set(0, Value::Int(7));
+  auto filtered = ApplyBuiltin(assign, &mismatch);
+  EXPECT_FALSE(*filtered);
+}
+
+TEST(BuiltinEvalTest, CompareBuiltinFilters) {
+  BuiltinAtom cmp;
+  cmp.kind = BuiltinAtom::Kind::kCompare;
+  cmp.cmp = CmpOp::kGt;
+  cmp.lhs = V(0);
+  cmp.rhs = K(0.0);
+  Bindings pos(1);
+  pos.Set(0, Value::Double(2.0));
+  EXPECT_TRUE(*ApplyBuiltin(cmp, &pos));
+  Bindings neg(1);
+  neg.Set(0, Value::Double(-2.0));
+  EXPECT_FALSE(*ApplyBuiltin(cmp, &neg));
+}
+
+}  // namespace
+}  // namespace dmtl

@@ -1,0 +1,128 @@
+// Window-restricted metric-atom evaluation: EvalMetricExtent(atom, window)
+// must equal the unrestricted evaluation intersected with the window - the
+// optimization that keeps rule evaluation proportional to the row extent
+// must never change results.
+
+#include "src/eval/operators.h"
+
+#include <gtest/gtest.h>
+
+#include "src/parser/parser.h"
+
+namespace dmtl {
+namespace {
+
+Database TestFacts() {
+  auto db = Parser::ParseDatabase(
+      "p(a)@[0,3] . p(a)@[6,9] . p(a)@20 .\n"
+      "q(a)@[2,7] . q(a)@[15,25] .\n"
+      "r(a, 1.0)@4 . r(a, 2.0)@8 . r(b, 3.0)@4 .\n");
+  EXPECT_TRUE(db.ok()) << db.status();
+  return *db;
+}
+
+// Builds a metric atom from rule text (the body's single literal).
+MetricAtom AtomOf(const std::string& body) {
+  auto rule = Parser::ParseRule("h(A) :- " + body + " .");
+  EXPECT_TRUE(rule.ok()) << rule.status();
+  return rule->body[0].metric;
+}
+
+class WindowRestrictionTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(WindowRestrictionTest, RestrictedEqualsUnrestrictedOnWindow) {
+  Database db = TestFacts();
+  MetricAtom atom = AtomOf(GetParam());
+  Bindings binding(2);
+  binding.Set(0, Value::Symbol("a"));  // A
+
+  ExtentSource source;
+  source.full = &db;
+  IntervalSet everywhere =
+      EvalMetricExtent(atom, binding, source, IntervalSet(Interval::All()));
+
+  std::vector<Interval> windows = {
+      Interval::Point(Rational(5)),
+      Interval::Closed(Rational(0), Rational(10)),
+      Interval::Open(Rational(3), Rational(8)),
+      Interval::Closed(Rational(18), Rational(30)),
+      Interval::AtMost(Rational(7)),
+      Interval::AtLeast(Rational(12)),
+  };
+  for (const Interval& window : windows) {
+    IntervalSet restricted =
+        EvalMetricExtent(atom, binding, source, IntervalSet(window));
+    IntervalSet expected = everywhere.Intersect(IntervalSet(window));
+    EXPECT_EQ(restricted.Intersect(IntervalSet(window)), expected)
+        << "atom: " << GetParam() << " window: " << window.ToString()
+        << " restricted: " << restricted.ToString()
+        << " expected: " << expected.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Atoms, WindowRestrictionTest,
+    ::testing::Values(
+        "p(A)",
+        "boxminus[1,1] p(A)",
+        "boxminus[0,2] p(A)",
+        "diamondminus[0,3] p(A)",
+        "diamondminus[2,5] q(A)",
+        "boxplus[0,2] p(A)",
+        "diamondplus[1,4] q(A)",
+        "diamondminus[0,2] boxminus[0,1] p(A)",
+        "boxminus[1,1] diamondplus[0,2] q(A)",
+        "(p(A) since[0,4] q(A))",
+        "(q(A) since[1,3] p(A))",
+        "(p(A) until[0,4] q(A))",
+        "(q(A) until[2,6] p(A))",
+        "r(A, _)"));
+
+TEST(OperatorsTest, DeltaOccurrenceSubstitution) {
+  Database db = TestFacts();
+  Database delta;
+  delta.Insert("p", {Value::Symbol("a")},
+               Interval::Closed(Rational(6), Rational(9)));
+  MetricAtom atom = AtomOf("diamondminus[0,1] p(A)");
+  Bindings binding(1);
+  binding.Set(0, Value::Symbol("a"));
+  ExtentSource source;
+  source.full = &db;
+  source.delta = &delta;
+  source.delta_occurrence = 0;
+  IntervalSet from_delta =
+      EvalMetricExtent(atom, binding, source, IntervalSet(Interval::All()));
+  // Only the delta portion [6,9] contributes: dilated to [6,10].
+  EXPECT_EQ(from_delta,
+            IntervalSet(Interval::Closed(Rational(6), Rational(10))));
+}
+
+TEST(OperatorsTest, TruthRestrictsToWindow) {
+  Database db;
+  ExtentSource source;
+  source.full = &db;
+  MetricAtom truth = MetricAtom::Truth();
+  Bindings binding(0);
+  IntervalSet window(Interval::Closed(Rational(1), Rational(3)));
+  EXPECT_EQ(EvalMetricExtent(truth, binding, source, window), window);
+  EXPECT_TRUE(EvalMetricExtent(MetricAtom::Falsity(), binding, source,
+                               window)
+                  .IsEmpty());
+}
+
+TEST(OperatorsTest, ChildWindowCoversOperatorReach) {
+  IntervalSet window(Interval::Closed(Rational(10), Rational(20)));
+  Interval rho = Interval::Closed(Rational(1), Rational(3));
+  // Past operators reach back: child window must include [7, 19].
+  IntervalSet past = ChildWindow(MtlOp::kDiamondMinus, rho, window);
+  EXPECT_TRUE(past.Contains(Interval::Closed(Rational(7), Rational(19))));
+  // Future operators reach forward.
+  IntervalSet future = ChildWindow(MtlOp::kBoxPlus, rho, window);
+  EXPECT_TRUE(future.Contains(Interval::Closed(Rational(11), Rational(23))));
+  // Since spans [result - rho.hi, result].
+  IntervalSet since = ChildWindow(MtlOp::kSince, rho, window);
+  EXPECT_TRUE(since.Contains(Interval::Closed(Rational(7), Rational(20))));
+}
+
+}  // namespace
+}  // namespace dmtl

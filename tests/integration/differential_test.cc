@@ -1,0 +1,147 @@
+// Randomized differential testing of the engine: generate random (but
+// stratifiable and safe by construction) temporal programs and fact
+// databases, then check that all three evaluation strategies - semi-naive
+// with chain acceleration, semi-naive without, and naive re-evaluation -
+// produce the exact same materialization. This is the safety net under the
+// engine's two main optimizations.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+#include "src/eval/seminaive.h"
+#include "src/parser/parser.h"
+
+namespace dmtl {
+namespace {
+
+// Program generator over a safe fragment:
+//  - predicates p0..p{k-1} are EDB, d0..d{m-1} are derived in layer order;
+//  - rule bodies use EDB or strictly-lower derived predicates positively,
+//    EDB predicates under negation, and unary operators with small ranges;
+//  - every derived predicate also has one self-propagation (chain) rule.
+class ProgramFuzzer {
+ public:
+  explicit ProgramFuzzer(uint64_t seed) : rng_(seed) {}
+
+  std::string Generate() {
+    std::ostringstream out;
+    int num_edb = 2 + Pick(2);      // p0..p{1,2,3}
+    int num_derived = 2 + Pick(3);  // d0..d{1..4}
+    for (int d = 0; d < num_derived; ++d) {
+      // Base rule from a random lower predicate.
+      out << "d" << d << "(X) :- " << LowerAtom(d, num_edb) << Guard(num_edb)
+          << " .\n";
+      // Chain rule with a random step and blocker.
+      int step = 1 + Pick(2);
+      const char* op = Pick(2) == 0 ? "boxminus" : "diamondminus";
+      out << "d" << d << "(X) :- " << op << "[" << step << "," << step
+          << "] d" << d << "(X), not p0(X) .\n";
+      // A windowed rule exercising dilation/erosion.
+      if (Pick(2) == 0) {
+        out << "d" << d << "(X) :- diamondminus[0," << (1 + Pick(3)) << "] "
+            << LowerAtom(d, num_edb) << " .\n";
+      }
+    }
+    // Facts: random punctual and interval extents on a small timeline.
+    for (int p = 0; p < num_edb; ++p) {
+      int facts = 1 + Pick(4);
+      for (int f = 0; f < facts; ++f) {
+        int lo = Pick(12);
+        int hi = lo + Pick(4);
+        out << "p" << p << "(c" << Pick(3) << ")@[" << lo << "," << hi
+            << "] .\n";
+      }
+    }
+    return out.str();
+  }
+
+ private:
+  int Pick(int n) { return static_cast<int>(rng_() % n); }
+
+  std::string LowerAtom(int d, int num_edb) {
+    // Either an EDB atom or a strictly lower derived one.
+    if (d > 0 && Pick(2) == 0) {
+      return "d" + std::to_string(Pick(d)) + "(X)";
+    }
+    return "p" + std::to_string(Pick(num_edb)) + "(X)";
+  }
+
+  std::string Guard(int num_edb) {
+    switch (Pick(3)) {
+      case 0:
+        return "";
+      case 1:
+        return ", not p" + std::to_string(Pick(num_edb)) + "(X)";
+      default:
+        return ", diamondminus[0,2] p" + std::to_string(Pick(num_edb)) +
+               "(X)";
+    }
+  }
+
+  std::mt19937_64 rng_;
+};
+
+std::string MaterializeWith(const Parser::ParsedUnit& unit,
+                            bool accel, bool naive) {
+  EngineOptions options;
+  options.min_time = Rational(0);
+  options.max_time = Rational(40);
+  options.enable_chain_acceleration = accel;
+  options.naive_evaluation = naive;
+  Database db = unit.database;
+  Status status = Materialize(unit.program, &db, options);
+  EXPECT_TRUE(status.ok()) << status;
+  return db.ToString();
+}
+
+class DifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DifferentialTest, AllStrategiesAgree) {
+  ProgramFuzzer fuzzer(GetParam());
+  std::string text = fuzzer.Generate();
+  auto unit = Parser::Parse(text);
+  ASSERT_TRUE(unit.ok()) << unit.status() << "\nprogram:\n" << text;
+
+  std::string accel = MaterializeWith(*unit, /*accel=*/true, /*naive=*/false);
+  std::string plain = MaterializeWith(*unit, /*accel=*/false,
+                                      /*naive=*/false);
+  std::string naive = MaterializeWith(*unit, /*accel=*/false, /*naive=*/true);
+  EXPECT_EQ(accel, plain) << "chain acceleration diverged on:\n" << text;
+  EXPECT_EQ(plain, naive) << "semi-naive diverged from naive on:\n" << text;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
+                         ::testing::Range<uint64_t>(1, 41));
+
+// A directed differential case: interacting chains with different steps
+// (step-2 chains hop over step-1 blockers).
+TEST(DifferentialDirectedTest, MixedStepChains) {
+  const char* text =
+      "d0(X) :- p0(X) .\n"
+      "d0(X) :- boxminus[2,2] d0(X), not p1(X) .\n"
+      "d1(X) :- d0(X) .\n"
+      "d1(X) :- diamondminus[1,1] d1(X), not p0(X) .\n"
+      "p0(a)@[0,1] . p1(a)@7 . p0(b)@4 .\n";
+  auto unit = Parser::Parse(text);
+  ASSERT_TRUE(unit.ok());
+  std::string accel = MaterializeWith(*unit, true, false);
+  std::string plain = MaterializeWith(*unit, false, false);
+  EXPECT_EQ(accel, plain);
+  // Spot-check the step-2 hop: d0(a) holds at 0..1, then 2,3 via the
+  // chain, 4,5, skips nothing until the blocker at 7 kills the odd chain
+  // branch landing there.
+  auto parsed = Parser::Parse(text);
+  Database db = parsed->database;
+  EngineOptions options;
+  options.min_time = Rational(0);
+  options.max_time = Rational(10);
+  ASSERT_TRUE(Materialize(parsed->program, &db, options).ok());
+  EXPECT_TRUE(db.Holds("d0", {Value::Symbol("a")}, Rational(6)));
+  EXPECT_FALSE(db.Holds("d0", {Value::Symbol("a")}, Rational(7)));
+  EXPECT_TRUE(db.Holds("d0", {Value::Symbol("a")}, Rational(8)));
+}
+
+}  // namespace
+}  // namespace dmtl

@@ -1,0 +1,89 @@
+#include "src/parser/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace dmtl {
+namespace {
+
+std::vector<TokenKind> Kinds(const std::string& text) {
+  auto tokens = Tokenize(text);
+  EXPECT_TRUE(tokens.ok()) << tokens.status();
+  std::vector<TokenKind> kinds;
+  for (const Token& t : *tokens) kinds.push_back(t.kind);
+  return kinds;
+}
+
+TEST(LexerTest, BasicRule) {
+  auto kinds = Kinds("isOpen(A) :- tranM(A, M) .");
+  EXPECT_EQ(kinds, (std::vector<TokenKind>{
+                       TokenKind::kIdent, TokenKind::kLParen,
+                       TokenKind::kVariable, TokenKind::kRParen,
+                       TokenKind::kArrow, TokenKind::kIdent,
+                       TokenKind::kLParen, TokenKind::kVariable,
+                       TokenKind::kComma, TokenKind::kVariable,
+                       TokenKind::kRParen, TokenKind::kDot,
+                       TokenKind::kEof}));
+}
+
+TEST(LexerTest, CaseConvention) {
+  auto tokens = *Tokenize("abc Abc _ _x");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdent);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kVariable);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kAnon);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kVariable);  // named don't-care
+}
+
+TEST(LexerTest, NumbersAndTerminatingDot) {
+  // The trailing '.' is the statement terminator, not a decimal point.
+  auto tokens = *Tokenize("p(3). q(2.5). r(1e3).");
+  EXPECT_EQ(tokens[2].text, "3");
+  EXPECT_EQ(tokens[4].kind, TokenKind::kDot);
+  EXPECT_EQ(tokens[7].text, "2.5");
+  EXPECT_EQ(tokens[12].text, "1e3");
+}
+
+TEST(LexerTest, ScientificNotation) {
+  auto tokens = *Tokenize("300000000.0 1.5e-4 2E+6");
+  EXPECT_EQ(tokens[0].text, "300000000.0");
+  EXPECT_EQ(tokens[1].text, "1.5e-4");
+  EXPECT_EQ(tokens[2].text, "2E+6");
+}
+
+TEST(LexerTest, Comments) {
+  auto tokens = *Tokenize("p(a). % trailing comment\n/* block\ncomment */ q(b).");
+  // Tokens: p ( a ) . q ( b ) . eof
+  EXPECT_EQ(tokens.size(), 11u);
+  EXPECT_EQ(tokens[5].text, "q");
+  EXPECT_EQ(tokens[5].line, 3);
+}
+
+TEST(LexerTest, TwoCharOperators) {
+  auto kinds = Kinds(":- == != <= >= < > =");
+  EXPECT_EQ(kinds, (std::vector<TokenKind>{
+                       TokenKind::kArrow, TokenKind::kEqEq, TokenKind::kNe,
+                       TokenKind::kLe, TokenKind::kGe, TokenKind::kLt,
+                       TokenKind::kGt, TokenKind::kEq, TokenKind::kEof}));
+}
+
+TEST(LexerTest, Strings) {
+  auto tokens = *Tokenize("p(\"hello world\").");
+  EXPECT_EQ(tokens[2].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[2].text, "hello world");
+}
+
+TEST(LexerTest, LineAndColumnTracking) {
+  auto tokens = *Tokenize("p(a).\n  q(b).");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[0].column, 1);
+  EXPECT_EQ(tokens[5].line, 2);
+  EXPECT_EQ(tokens[5].column, 3);
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("p(a) # q").ok());
+  EXPECT_FALSE(Tokenize("\"unterminated").ok());
+  EXPECT_FALSE(Tokenize("/* unterminated").ok());
+}
+
+}  // namespace
+}  // namespace dmtl

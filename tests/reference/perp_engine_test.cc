@@ -1,0 +1,113 @@
+#include "src/reference/perp_engine.h"
+
+#include <gtest/gtest.h>
+
+namespace dmtl {
+namespace {
+
+Session TinySession() {
+  Session s;
+  s.name = "tiny";
+  s.start_time = 0;
+  s.end_time = 100;
+  s.initial_skew = 0;
+  s.prices = {{0, 100.0}};
+  return s;
+}
+
+MarketEvent Ev(int64_t t, EventKind kind, const char* acc, double amount = 0) {
+  MarketEvent e;
+  e.time = t;
+  e.kind = kind;
+  e.account = acc;
+  e.amount = amount;
+  return e;
+}
+
+TEST(ReferencePerpEngineTest, RejectsInvalidSession) {
+  Session s = TinySession();
+  s.events = {Ev(5, EventKind::kClosePosition, "a")};  // close w/o account
+  ReferencePerpEngine engine;
+  EXPECT_FALSE(engine.Run(s).ok());
+}
+
+TEST(ReferencePerpEngineTest, FlatRoundTripHasZeroPnl) {
+  Session s = TinySession();
+  s.events = {Ev(2, EventKind::kTransferMargin, "a", 1000.0),
+              Ev(5, EventKind::kModifyPosition, "a", 2.0),
+              Ev(9, EventKind::kClosePosition, "a")};
+  ReferencePerpEngine engine;
+  ASSERT_TRUE(engine.Run(s).ok());
+  ASSERT_EQ(engine.trades().size(), 1u);
+  EXPECT_DOUBLE_EQ(engine.trades()[0].pnl, 0.0);
+  EXPECT_GT(engine.trades()[0].fee, 0.0);
+}
+
+TEST(ReferencePerpEngineTest, PnlTracksPriceMove) {
+  Session s = TinySession();
+  s.prices = {{0, 100.0}, {7, 130.0}};
+  s.events = {Ev(2, EventKind::kTransferMargin, "a", 1000.0),
+              Ev(5, EventKind::kModifyPosition, "a", 2.0),
+              Ev(9, EventKind::kClosePosition, "a")};
+  ReferencePerpEngine engine;
+  ASSERT_TRUE(engine.Run(s).ok());
+  EXPECT_DOUBLE_EQ(engine.trades()[0].pnl, 2.0 * 130.0 - 200.0);
+}
+
+TEST(ReferencePerpEngineTest, FrsUpdatesOncePerTick) {
+  Session s = TinySession();
+  s.initial_skew = 50000.0;
+  s.events = {Ev(2, EventKind::kTransferMargin, "a", 1000.0),
+              Ev(2, EventKind::kTransferMargin, "b", 1000.0),
+              Ev(8, EventKind::kModifyPosition, "a", 1.0)};
+  ReferencePerpEngine engine;
+  ASSERT_TRUE(engine.Run(s).ok());
+  // Two events share t=2: one FRS point there, one at t=8.
+  ASSERT_EQ(engine.frs_series().size(), 2u);
+  EXPECT_EQ(engine.frs_series()[0].time, 2);
+  EXPECT_EQ(engine.frs_series()[1].time, 8);
+  MarketParams params;
+  double f2 = params.InstantaneousRate(50000.0, 100.0) * 100.0 * 2;
+  EXPECT_NEAR(engine.frs_series()[0].f, f2, 1e-15);
+}
+
+TEST(ReferencePerpEngineTest, SkewFoldsAllContributions) {
+  Session s = TinySession();
+  s.events = {Ev(2, EventKind::kTransferMargin, "a", 1000.0),
+              Ev(2, EventKind::kTransferMargin, "b", 1000.0),
+              Ev(5, EventKind::kModifyPosition, "a", 2.0),
+              Ev(5, EventKind::kModifyPosition, "b", -0.5),
+              Ev(9, EventKind::kClosePosition, "a")};
+  ReferencePerpEngine engine;
+  ASSERT_TRUE(engine.Run(s).ok());
+  EXPECT_DOUBLE_EQ(engine.final_skew(), -0.5);
+}
+
+TEST(ReferencePerpEngineTest, WithdrawalsRecordFinalMargin) {
+  Session s = TinySession();
+  s.events = {Ev(2, EventKind::kTransferMargin, "a", 1000.0),
+              Ev(4, EventKind::kTransferMargin, "a", 500.0),
+              Ev(9, EventKind::kWithdraw, "a")};
+  ReferencePerpEngine engine;
+  ASSERT_TRUE(engine.Run(s).ok());
+  ASSERT_EQ(engine.withdrawals().count("a"), 1u);
+  EXPECT_DOUBLE_EQ(engine.withdrawals().at("a"), 1500.0);
+}
+
+TEST(ReferencePerpEngineTest, FundingSettlesAgainstRecordedF) {
+  Session s = TinySession();
+  s.initial_skew = 40000.0;
+  s.events = {Ev(2, EventKind::kTransferMargin, "a", 100000.0),
+              Ev(10, EventKind::kModifyPosition, "a", 2.0),
+              Ev(40, EventKind::kClosePosition, "a")};
+  ReferencePerpEngine engine;
+  ASSERT_TRUE(engine.Run(s).ok());
+  const auto& frs = engine.frs_series();
+  ASSERT_EQ(frs.size(), 3u);
+  double expected = 2.0 * (frs[2].f - frs[1].f);
+  EXPECT_NEAR(engine.trades()[0].funding, expected, 1e-15);
+  EXPECT_LT(engine.trades()[0].funding, 0.0);  // long pays positive skew
+}
+
+}  // namespace
+}  // namespace dmtl

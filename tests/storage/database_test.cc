@@ -1,0 +1,134 @@
+#include "src/storage/database.h"
+
+#include <gtest/gtest.h>
+
+namespace dmtl {
+namespace {
+
+TEST(RelationTest, InsertReturnsDelta) {
+  Relation rel;
+  Tuple t = {Value::Symbol("a")};
+  IntervalSet d1 = rel.Insert(t, Interval::Closed(Rational(0), Rational(5)));
+  EXPECT_FALSE(d1.IsEmpty());
+  IntervalSet d2 = rel.Insert(t, Interval::Closed(Rational(2), Rational(3)));
+  EXPECT_TRUE(d2.IsEmpty());
+  EXPECT_EQ(rel.NumTuples(), 1u);
+  EXPECT_EQ(rel.NumIntervals(), 1u);
+  EXPECT_TRUE(rel.Contains(t, Rational(4)));
+  EXPECT_FALSE(rel.Contains(t, Rational(6)));
+}
+
+TEST(RelationTest, ApproxIntervalsGrowsMonotonically) {
+  Relation rel;
+  Tuple t = {Value::Int(1)};
+  rel.Insert(t, Interval::Point(Rational(1)));
+  rel.Insert(t, Interval::Point(Rational(3)));
+  size_t approx = rel.approx_intervals();
+  EXPECT_GE(approx, 2u);
+  // Bridging insert coalesces storage but the approx counter never shrinks.
+  rel.Insert(t, Interval::Closed(Rational(1), Rational(3)));
+  EXPECT_EQ(rel.NumIntervals(), 1u);
+  EXPECT_GE(rel.approx_intervals(), approx);
+}
+
+TEST(RelationTest, FirstArgIndexFindsKeyedTuples) {
+  Relation rel;
+  Value acc = Value::Symbol("acc");
+  Value bob = Value::Symbol("bob");
+  rel.Insert({acc, Value::Double(10.0)}, Interval::Point(Rational(1)));
+  rel.Insert({acc, Value::Double(20.0)}, Interval::Point(Rational(2)));
+  rel.Insert({bob, Value::Double(30.0)}, Interval::Point(Rational(3)));
+  const auto* acc_tuples = rel.FindByFirstArg(acc);
+  ASSERT_NE(acc_tuples, nullptr);
+  EXPECT_EQ(acc_tuples->size(), 2u);
+  const auto* bob_tuples = rel.FindByFirstArg(bob);
+  ASSERT_NE(bob_tuples, nullptr);
+  EXPECT_EQ(bob_tuples->size(), 1u);
+  EXPECT_EQ(rel.FindByFirstArg(Value::Symbol("nobody")), nullptr);
+  // New intervals on an existing tuple do not duplicate index entries.
+  rel.Insert({acc, Value::Double(10.0)}, Interval::Point(Rational(9)));
+  EXPECT_EQ(rel.FindByFirstArg(acc)->size(), 2u);
+  // InsertSet also keeps the index in sync.
+  rel.InsertSet({acc, Value::Double(40.0)},
+                IntervalSet(Interval::Point(Rational(5))));
+  EXPECT_EQ(rel.FindByFirstArg(acc)->size(), 3u);
+}
+
+TEST(RelationTest, FirstArgIndexSurvivesCopyAndMove) {
+  Relation rel;
+  Value acc = Value::Symbol("acc");
+  rel.Insert({acc, Value::Int(1)}, Interval::Point(Rational(1)));
+  Relation copy = rel;
+  rel.Clear();  // the copy's index must not point into the original
+  const auto* tuples = copy.FindByFirstArg(acc);
+  ASSERT_NE(tuples, nullptr);
+  ASSERT_EQ(tuples->size(), 1u);
+  EXPECT_EQ((*tuples->front())[1], Value::Int(1));
+  Relation moved = std::move(copy);
+  const auto* moved_tuples = moved.FindByFirstArg(acc);
+  ASSERT_NE(moved_tuples, nullptr);
+  EXPECT_EQ(moved_tuples->size(), 1u);
+  // Copy-assignment over an existing relation rebuilds too.
+  Relation target;
+  target.Insert({Value::Symbol("x")}, Interval::Point(Rational(0)));
+  target = moved;
+  ASSERT_NE(target.FindByFirstArg(acc), nullptr);
+  EXPECT_EQ(target.FindByFirstArg(Value::Symbol("x")), nullptr);
+}
+
+TEST(DatabaseTest, InsertAndFind) {
+  Database db;
+  db.Insert("price", {Value::Double(47.0)},
+            Interval::ClosedOpen(Rational(10), Rational(20)));
+  EXPECT_TRUE(db.Holds("price", {Value::Double(47.0)}, Rational(15)));
+  EXPECT_FALSE(db.Holds("price", {Value::Double(47.0)}, Rational(20)));
+  EXPECT_FALSE(db.Holds("nope", {}, Rational(0)));
+  EXPECT_NE(db.Find("price"), nullptr);
+  EXPECT_EQ(db.Find("nope"), nullptr);
+}
+
+TEST(DatabaseTest, FactsOfEnumeratesPerInterval) {
+  Database db;
+  db.Insert("p", {Value::Int(1)}, Interval::Point(Rational(1)));
+  db.Insert("p", {Value::Int(1)}, Interval::Point(Rational(5)));
+  db.Insert("p", {Value::Int(2)}, Interval::Point(Rational(1)));
+  auto facts = db.FactsOf("p");
+  EXPECT_EQ(facts.size(), 3u);
+}
+
+TEST(DatabaseTest, MergeFrom) {
+  Database a;
+  a.Insert("p", {Value::Int(1)}, Interval::Closed(Rational(0), Rational(2)));
+  Database b;
+  b.Insert("p", {Value::Int(1)}, Interval::Closed(Rational(2), Rational(5)));
+  b.Insert("q", {}, Interval::Point(Rational(9)));
+  a.MergeFrom(b);
+  EXPECT_TRUE(a.Holds("p", {Value::Int(1)}, Rational(4)));
+  EXPECT_TRUE(a.Holds("q", {}, Rational(9)));
+  // Coalesced into one stored interval.
+  EXPECT_EQ(a.Find("p")->NumIntervals(), 1u);
+}
+
+TEST(DatabaseTest, CountsAndToString) {
+  Database db;
+  db.Insert("p", {Value::Int(1)}, Interval::Point(Rational(1)));
+  db.Insert("q", {Value::Symbol("a"), Value::Int(2)},
+            Interval::Closed(Rational(0), Rational(1)));
+  EXPECT_EQ(db.NumPredicates(), 2u);
+  EXPECT_EQ(db.NumTuples(), 2u);
+  EXPECT_EQ(db.NumIntervals(), 2u);
+  // Deterministic, sorted rendering.
+  EXPECT_EQ(db.ToString(), "p(1)@{[1,1]}\nq(a, 2)@{[0,1]}\n");
+}
+
+TEST(DatabaseTest, FactMake) {
+  Fact f = Fact::Make("tranM", {Value::Symbol("acc"), Value::Double(3.0)},
+                      Interval::Point(Rational(7)));
+  EXPECT_EQ(f.ToString(), "tranM(acc, 3)@[7,7]");
+  Database db;
+  db.Insert(f);
+  EXPECT_TRUE(db.Holds("tranM", f.args, Rational(7)));
+}
+
+}  // namespace
+}  // namespace dmtl

@@ -1,0 +1,202 @@
+#include "src/temporal/interval_set.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace dmtl {
+namespace {
+
+Interval C(int lo, int hi) { return Interval::Closed(Rational(lo), Rational(hi)); }
+Interval P(int t) { return Interval::Point(Rational(t)); }
+
+TEST(IntervalSetTest, InsertCoalescesTouching) {
+  IntervalSet set;
+  set.Insert(Interval::ClosedOpen(Rational(1), Rational(3)));
+  set.Insert(C(3, 5));
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.intervals()[0], C(1, 5));
+}
+
+TEST(IntervalSetTest, InsertKeepsDenseGaps) {
+  IntervalSet set;
+  set.Insert(P(5));
+  set.Insert(P(6));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_FALSE(set.Contains(Rational(11, 2)));
+}
+
+TEST(IntervalSetTest, InsertReturnsNewlyCoveredPortion) {
+  IntervalSet set;
+  IntervalSet d1 = set.Insert(C(0, 10));
+  EXPECT_EQ(d1, IntervalSet(C(0, 10)));
+  // Fully contained: no delta.
+  IntervalSet d2 = set.Insert(C(2, 5));
+  EXPECT_TRUE(d2.IsEmpty());
+  // Overlap: only the new part comes back.
+  IntervalSet d3 = set.Insert(C(8, 15));
+  EXPECT_EQ(d3, IntervalSet(Interval::OpenClosed(Rational(10), Rational(15))));
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.intervals()[0], C(0, 15));
+}
+
+TEST(IntervalSetTest, InsertBridgesMultipleComponents) {
+  IntervalSet set;
+  set.Insert(C(0, 2));
+  set.Insert(C(4, 6));
+  set.Insert(C(8, 10));
+  IntervalSet delta = set.Insert(C(1, 9));
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.intervals()[0], C(0, 10));
+  // Delta: (2,4) and (6,8).
+  EXPECT_EQ(delta.size(), 2u);
+  EXPECT_TRUE(delta.Contains(Rational(3)));
+  EXPECT_TRUE(delta.Contains(Rational(7)));
+  EXPECT_FALSE(delta.Contains(Rational(5)));
+}
+
+TEST(IntervalSetTest, ContainsPointAndInterval) {
+  IntervalSet set = IntervalSet::FromIntervals({C(0, 2), C(5, 9)});
+  EXPECT_TRUE(set.Contains(Rational(1)));
+  EXPECT_FALSE(set.Contains(Rational(3)));
+  EXPECT_TRUE(set.Contains(C(6, 8)));
+  // Spans a gap: not contained even though both ends are.
+  EXPECT_FALSE(set.Contains(C(1, 6)));
+}
+
+TEST(IntervalSetTest, IntersectSets) {
+  IntervalSet a = IntervalSet::FromIntervals({C(0, 4), C(8, 12)});
+  IntervalSet b = IntervalSet::FromIntervals({C(2, 9), C(11, 20)});
+  IntervalSet x = a.Intersect(b);
+  EXPECT_EQ(x, IntervalSet::FromIntervals({C(2, 4), C(8, 9), C(11, 12)}));
+}
+
+TEST(IntervalSetTest, IntersectAsymmetricFastPathMatchesSweep) {
+  // Build a large per-tick chain extent and probe with a punctual set; the
+  // binary-search fast path must agree with the naive result.
+  IntervalSet large;
+  for (int t = 0; t < 500; ++t) large.Insert(P(2 * t));
+  IntervalSet small = IntervalSet::FromIntervals({P(40), P(41), P(800)});
+  IntervalSet x = large.Intersect(small);
+  EXPECT_EQ(x, IntervalSet::FromIntervals({P(40), P(800)}));
+  EXPECT_EQ(x, small.Intersect(large));
+}
+
+TEST(IntervalSetTest, Complement) {
+  IntervalSet set = IntervalSet::FromIntervals(
+      {Interval::ClosedOpen(Rational(0), Rational(2)), C(5, 7)});
+  IntervalSet comp = set.Complement();
+  EXPECT_TRUE(comp.Contains(Rational(-1)));
+  EXPECT_TRUE(comp.Contains(Rational(2)));  // open end of [0,2)
+  EXPECT_TRUE(comp.Contains(Rational(3)));
+  EXPECT_FALSE(comp.Contains(Rational(5)));
+  EXPECT_FALSE(comp.Contains(Rational(1)));
+  EXPECT_TRUE(comp.Contains(Rational(100)));
+  // Complement of empty is everything; double complement restores.
+  EXPECT_EQ(IntervalSet().Complement(), IntervalSet(Interval::All()));
+  EXPECT_EQ(set.Complement().Complement(), set);
+}
+
+TEST(IntervalSetTest, Subtract) {
+  IntervalSet a(C(0, 10));
+  IntervalSet b = IntervalSet::FromIntervals({C(2, 3), P(7)});
+  IntervalSet d = a.Subtract(b);
+  EXPECT_TRUE(d.Contains(Rational(1)));
+  EXPECT_FALSE(d.Contains(Rational(2)));
+  EXPECT_FALSE(d.Contains(Rational(5, 2)));
+  EXPECT_TRUE(d.Contains(Rational(4)));
+  EXPECT_FALSE(d.Contains(Rational(7)));
+  EXPECT_TRUE(d.Contains(Rational(8)));
+}
+
+TEST(IntervalSetTest, ShiftAndTransforms) {
+  IntervalSet set = IntervalSet::FromIntervals({P(1), C(5, 6)});
+  EXPECT_EQ(set.Shift(Rational(2)),
+            IntervalSet::FromIntervals({P(3), C(7, 8)}));
+  Interval rho = C(0, 2);
+  IntervalSet dil = set.DiamondMinus(rho);
+  EXPECT_EQ(dil, IntervalSet::FromIntervals({C(1, 3), C(5, 8)}));
+  // Box over a union must treat components separately: a window can never
+  // span a true gap.
+  IntervalSet box = IntervalSet::FromIntervals({C(0, 4), C(6, 20)})
+                        .BoxMinus(C(0, 3));
+  EXPECT_EQ(box, IntervalSet::FromIntervals({C(3, 4), C(9, 20)}));
+}
+
+TEST(IntervalSetTest, DiamondTransformCoalescesOverlaps) {
+  IntervalSet set = IntervalSet::FromIntervals({P(0), P(1), P(2)});
+  IntervalSet dil = set.DiamondMinus(C(0, 1));
+  EXPECT_EQ(dil, IntervalSet(C(0, 3)));
+}
+
+TEST(IntervalSetTest, IsPunctualOnly) {
+  IntervalSet set = IntervalSet::FromIntervals({P(3), P(9)});
+  std::vector<Rational> points;
+  EXPECT_TRUE(set.IsPunctualOnly(&points));
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0], Rational(3));
+  EXPECT_EQ(points[1], Rational(9));
+  set.Insert(C(4, 5));
+  EXPECT_FALSE(set.IsPunctualOnly());
+}
+
+TEST(IntervalSetTest, UnionWith) {
+  IntervalSet a = IntervalSet::FromIntervals({C(0, 2)});
+  IntervalSet b = IntervalSet::FromIntervals({C(1, 5), P(9)});
+  a.UnionWith(b);
+  EXPECT_EQ(a, IntervalSet::FromIntervals({C(0, 5), P(9)}));
+}
+
+// Randomized consistency: set algebra against a dense sample oracle.
+TEST(IntervalSetTest, RandomizedAlgebraAgainstSampledOracle) {
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<int> coord(0, 40);
+  std::uniform_int_distribution<int> kind(0, 2);
+  for (int round = 0; round < 50; ++round) {
+    auto random_set = [&] {
+      IntervalSet s;
+      for (int i = 0; i < 6; ++i) {
+        int a = coord(rng);
+        int b = coord(rng);
+        if (a > b) std::swap(a, b);
+        switch (kind(rng)) {
+          case 0:
+            s.Insert(C(a, b));
+            break;
+          case 1:
+            s.Insert(P(a));
+            break;
+          default:
+            if (a < b) {
+              s.Insert(Interval::ClosedOpen(Rational(a), Rational(b)));
+            } else {
+              s.Insert(P(a));
+            }
+        }
+      }
+      return s;
+    };
+    IntervalSet a = random_set();
+    IntervalSet b = random_set();
+    IntervalSet inter = a.Intersect(b);
+    IntervalSet sub = a.Subtract(b);
+    IntervalSet uni = a;
+    uni.UnionWith(b);
+    for (Rational t(0); t <= Rational(41); t += Rational(1, 2)) {
+      bool in_a = a.Contains(t);
+      bool in_b = b.Contains(t);
+      EXPECT_EQ(inter.Contains(t), in_a && in_b) << "t=" << t.ToString();
+      EXPECT_EQ(sub.Contains(t), in_a && !in_b) << "t=" << t.ToString();
+      EXPECT_EQ(uni.Contains(t), in_a || in_b) << "t=" << t.ToString();
+      EXPECT_EQ(a.Complement().Contains(t), !in_a) << "t=" << t.ToString();
+    }
+    // Normal form: no two stored intervals are unionable.
+    for (size_t i = 0; i + 1 < uni.size(); ++i) {
+      EXPECT_FALSE(uni.intervals()[i].Unionable(uni.intervals()[i + 1]));
+      EXPECT_TRUE(uni.intervals()[i].StartsBefore(uni.intervals()[i + 1]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dmtl

@@ -1,0 +1,130 @@
+#include "src/temporal/interval.h"
+
+#include <gtest/gtest.h>
+
+namespace dmtl {
+namespace {
+
+TEST(IntervalTest, MakeRejectsEmpty) {
+  EXPECT_FALSE(Interval::Make(Bound::Closed(Rational(3)),
+                              Bound::Closed(Rational(2)))
+                   .has_value());
+  // Same point needs both bounds closed.
+  EXPECT_FALSE(Interval::Make(Bound::Open(Rational(3)),
+                              Bound::Closed(Rational(3)))
+                   .has_value());
+  EXPECT_FALSE(Interval::Make(Bound::Closed(Rational(3)),
+                              Bound::Open(Rational(3)))
+                   .has_value());
+  EXPECT_TRUE(Interval::Make(Bound::Closed(Rational(3)),
+                             Bound::Closed(Rational(3)))
+                  .has_value());
+}
+
+TEST(IntervalTest, Punctual) {
+  EXPECT_TRUE(Interval::Point(Rational(5)).IsPunctual());
+  EXPECT_FALSE(Interval::Closed(Rational(1), Rational(2)).IsPunctual());
+  EXPECT_FALSE(Interval::AtLeast(Rational(1)).IsPunctual());
+}
+
+TEST(IntervalTest, Contains) {
+  Interval iv = Interval::ClosedOpen(Rational(1), Rational(3));
+  EXPECT_TRUE(iv.Contains(Rational(1)));
+  EXPECT_TRUE(iv.Contains(Rational(2)));
+  EXPECT_FALSE(iv.Contains(Rational(3)));
+  EXPECT_FALSE(iv.Contains(Rational(0)));
+
+  Interval open = Interval::Open(Rational(1), Rational(3));
+  EXPECT_FALSE(open.Contains(Rational(1)));
+  EXPECT_TRUE(open.Contains(Rational(3, 2)));
+
+  EXPECT_TRUE(Interval::All().Contains(Rational(-1'000'000)));
+  EXPECT_TRUE(Interval::AtLeast(Rational(5)).Contains(Rational(5)));
+  EXPECT_FALSE(Interval::AtMost(Rational(5)).Contains(Rational(6)));
+}
+
+TEST(IntervalTest, ContainsInterval) {
+  Interval big = Interval::Closed(Rational(0), Rational(10));
+  EXPECT_TRUE(big.Contains(Interval::Open(Rational(0), Rational(10))));
+  EXPECT_TRUE(big.Contains(Interval::Point(Rational(10))));
+  EXPECT_FALSE(big.Contains(Interval::Closed(Rational(5), Rational(11))));
+  EXPECT_FALSE(Interval::Open(Rational(0), Rational(10))
+                   .Contains(Interval::Closed(Rational(0), Rational(5))));
+  EXPECT_TRUE(Interval::All().Contains(big));
+}
+
+TEST(IntervalTest, Intersect) {
+  Interval a = Interval::Closed(Rational(1), Rational(5));
+  Interval b = Interval::ClosedOpen(Rational(3), Rational(8));
+  auto x = a.Intersect(b);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_EQ(*x, Interval::Closed(Rational(3), Rational(5)));
+
+  // Touching closed/open endpoints keep the single shared point.
+  auto point = a.Intersect(Interval::Closed(Rational(5), Rational(9)));
+  ASSERT_TRUE(point.has_value());
+  EXPECT_EQ(*point, Interval::Point(Rational(5)));
+
+  // Disjoint.
+  EXPECT_FALSE(a.Intersect(Interval::Closed(Rational(6), Rational(7)))
+                   .has_value());
+  // Touching but open on both sides: empty.
+  EXPECT_FALSE(Interval::ClosedOpen(Rational(1), Rational(5))
+                   .Intersect(Interval::OpenClosed(Rational(5), Rational(9)))
+                   .has_value());
+}
+
+TEST(IntervalTest, UnionableRespectsDenseGaps) {
+  // [5,5] and [6,6] have the open gap (5,6): not unionable.
+  EXPECT_FALSE(Interval::Point(Rational(5))
+                   .Unionable(Interval::Point(Rational(6))));
+  // [1,3) + [3,5] -> [1,5].
+  Interval a = Interval::ClosedOpen(Rational(1), Rational(3));
+  Interval b = Interval::Closed(Rational(3), Rational(5));
+  ASSERT_TRUE(a.Unionable(b));
+  EXPECT_EQ(a.UnionWith(b), Interval::Closed(Rational(1), Rational(5)));
+  // (1,3) + (3,5): the point 3 is missing.
+  EXPECT_FALSE(Interval::Open(Rational(1), Rational(3))
+                   .Unionable(Interval::Open(Rational(3), Rational(5))));
+  // Overlap is always unionable.
+  EXPECT_TRUE(Interval::Closed(Rational(1), Rational(4))
+                  .Unionable(Interval::Closed(Rational(2), Rational(9))));
+}
+
+TEST(IntervalTest, Shift) {
+  Interval iv = Interval::ClosedOpen(Rational(1), Rational(3));
+  EXPECT_EQ(iv.Shift(Rational(2)),
+            Interval::ClosedOpen(Rational(3), Rational(5)));
+  EXPECT_EQ(Interval::AtLeast(Rational(1)).Shift(Rational(-1)),
+            Interval::AtLeast(Rational(0)));
+}
+
+TEST(IntervalTest, StrictlyBefore) {
+  EXPECT_TRUE(Interval::Point(Rational(1))
+                  .StrictlyBefore(Interval::Point(Rational(2))));
+  // Touching [1,3] and [3,5]: no gap.
+  EXPECT_FALSE(Interval::Closed(Rational(1), Rational(3))
+                   .StrictlyBefore(Interval::Closed(Rational(3), Rational(5))));
+  // (1,3) before (3,5): gap at 3.
+  EXPECT_TRUE(Interval::Open(Rational(1), Rational(3))
+                  .StrictlyBefore(Interval::Open(Rational(3), Rational(5))));
+  EXPECT_FALSE(Interval::AtLeast(Rational(0))
+                   .StrictlyBefore(Interval::Point(Rational(9))));
+}
+
+TEST(IntervalTest, Length) {
+  EXPECT_EQ(*Interval::Closed(Rational(2), Rational(7)).Length(),
+            Rational(5));
+  EXPECT_EQ(*Interval::Point(Rational(2)).Length(), Rational(0));
+  EXPECT_FALSE(Interval::AtLeast(Rational(0)).Length().has_value());
+}
+
+TEST(IntervalTest, ToString) {
+  EXPECT_EQ(Interval::ClosedOpen(Rational(1), Rational(3)).ToString(),
+            "[1,3)");
+  EXPECT_EQ(Interval::All().ToString(), "(-inf,+inf)");
+  EXPECT_EQ(Interval::Point(Rational(2)).ToString(), "[2,2]");
+}
+
+}  // namespace
+}  // namespace dmtl

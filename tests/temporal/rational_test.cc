@@ -1,0 +1,144 @@
+#include "src/temporal/rational.h"
+
+#include <gtest/gtest.h>
+
+namespace dmtl {
+namespace {
+
+TEST(RationalTest, DefaultIsZero) {
+  Rational r;
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_EQ(r.numerator(), 0);
+  EXPECT_EQ(r.denominator(), 1);
+}
+
+TEST(RationalTest, NormalizesSign) {
+  Rational r(3, -6);
+  EXPECT_EQ(r.numerator(), -1);
+  EXPECT_EQ(r.denominator(), 2);
+}
+
+TEST(RationalTest, NormalizesGcd) {
+  Rational r(42, 56);
+  EXPECT_EQ(r.numerator(), 3);
+  EXPECT_EQ(r.denominator(), 4);
+}
+
+TEST(RationalTest, Arithmetic) {
+  Rational half(1, 2);
+  Rational third(1, 3);
+  EXPECT_EQ(half + third, Rational(5, 6));
+  EXPECT_EQ(half - third, Rational(1, 6));
+  EXPECT_EQ(half * third, Rational(1, 6));
+  EXPECT_EQ(half / third, Rational(3, 2));
+  EXPECT_EQ(-half, Rational(-1, 2));
+}
+
+TEST(RationalTest, ArithmeticKeepsNormalForm) {
+  Rational a(2, 4);
+  Rational b(2, 4);
+  Rational sum = a + b;
+  EXPECT_EQ(sum.numerator(), 1);
+  EXPECT_EQ(sum.denominator(), 1);
+  EXPECT_TRUE(sum.is_integer());
+}
+
+TEST(RationalTest, Ordering) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LT(Rational(-1), Rational(0));
+  EXPECT_LE(Rational(7), Rational(7));
+  EXPECT_GT(Rational(22, 7), Rational(3));
+  EXPECT_GE(Rational(3), Rational(6, 2));
+  EXPECT_NE(Rational(1, 3), Rational(1, 4));
+}
+
+TEST(RationalTest, LargeTimestampsDoNotOverflow) {
+  // Unix-timestamp scale arithmetic stays exact.
+  Rational t(1'664'274'600);
+  Rational dt = t + Rational(7200) - t;
+  EXPECT_EQ(dt, Rational(7200));
+  Rational product = Rational(1'000'000'007) * Rational(3);
+  EXPECT_EQ(product, Rational(3'000'000'021));
+}
+
+TEST(RationalTest, FloorCeil) {
+  EXPECT_EQ(Rational(7, 2).Floor(), 3);
+  EXPECT_EQ(Rational(7, 2).Ceil(), 4);
+  EXPECT_EQ(Rational(-7, 2).Floor(), -4);
+  EXPECT_EQ(Rational(-7, 2).Ceil(), -3);
+  EXPECT_EQ(Rational(5).Floor(), 5);
+  EXPECT_EQ(Rational(5).Ceil(), 5);
+}
+
+TEST(RationalTest, ToDouble) {
+  EXPECT_DOUBLE_EQ(Rational(1, 4).ToDouble(), 0.25);
+  EXPECT_DOUBLE_EQ(Rational(-3).ToDouble(), -3.0);
+}
+
+TEST(RationalTest, ToString) {
+  EXPECT_EQ(Rational(5).ToString(), "5");
+  EXPECT_EQ(Rational(-7, 2).ToString(), "-7/2");
+}
+
+TEST(RationalTest, FromStringInteger) {
+  auto r = Rational::FromString("42");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, Rational(42));
+}
+
+TEST(RationalTest, FromStringFraction) {
+  auto r = Rational::FromString("-6/4");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, Rational(-3, 2));
+}
+
+TEST(RationalTest, FromStringDecimal) {
+  auto r = Rational::FromString("2.5");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, Rational(5, 2));
+}
+
+TEST(RationalTest, FromStringErrors) {
+  EXPECT_FALSE(Rational::FromString("").ok());
+  EXPECT_FALSE(Rational::FromString("abc").ok());
+  EXPECT_FALSE(Rational::FromString("1/0").ok());
+  EXPECT_FALSE(Rational::FromString("1/x").ok());
+}
+
+TEST(RationalTest, MinMaxAbs) {
+  EXPECT_EQ(Min(Rational(1), Rational(2)), Rational(1));
+  EXPECT_EQ(Max(Rational(1), Rational(2)), Rational(2));
+  EXPECT_EQ(Abs(Rational(-5, 3)), Rational(5, 3));
+  EXPECT_EQ(Abs(Rational(5, 3)), Rational(5, 3));
+}
+
+TEST(RationalTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Rational(2, 4).Hash(), Rational(1, 2).Hash());
+}
+
+// Property sweep: field axioms on a grid of small rationals.
+class RationalPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RationalPropertyTest, AdditionCommutesAndAssociates) {
+  auto [n, d] = GetParam();
+  Rational a(n, d);
+  Rational b(d, 7);
+  Rational c(n - d, 5);
+  EXPECT_EQ(a + b, b + a);
+  EXPECT_EQ((a + b) + c, a + (b + c));
+  EXPECT_EQ(a * b, b * a);
+  EXPECT_EQ(a * (b + c), a * b + a * c);
+  EXPECT_EQ(a - a, Rational(0));
+  if (!a.is_zero()) {
+    EXPECT_EQ(a / a, Rational(1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RationalPropertyTest,
+    ::testing::Combine(::testing::Values(-9, -4, -1, 0, 1, 3, 8, 27),
+                       ::testing::Values(1, 2, 3, 5, 12)));
+
+}  // namespace
+}  // namespace dmtl

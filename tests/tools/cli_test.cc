@@ -1,0 +1,174 @@
+#include "src/tools/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace dmtl {
+namespace {
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "dmtl_cli_test";
+    std::filesystem::create_directories(dir_);
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string WriteFile(const std::string& name, const std::string& text) {
+    std::string path = (dir_ / name).string();
+    std::ofstream f(path);
+    f << text;
+    return path;
+  }
+
+  // Returns (status, stdout).
+  std::pair<Status, std::string> Run(std::vector<std::string> args) {
+    std::ostringstream out;
+    std::ostringstream err;
+    Status status = RunCli(args, out, err);
+    return {status, out.str()};
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(CliTest, RunMaterializesAndPrints) {
+  std::string path = WriteFile("p.dmtl",
+                               "q(X) :- p(X) .\n"
+                               "p(a)@[1,3] .\n");
+  auto [status, out] = Run({"run", path});
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_EQ(out, "p(a)@[1, 3] .\nq(a)@[1, 3] .\n");
+}
+
+TEST_F(CliTest, RunWithHorizonAndQuery) {
+  std::string path = WriteFile("chain.dmtl",
+                               "open(A) :- deposit(A) .\n"
+                               "open(A) :- boxminus open(A) .\n"
+                               "deposit(x)@2 .\n");
+  auto [status, out] =
+      Run({"run", path, "--min", "0", "--max", "4", "--query", "open"});
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_EQ(out,
+            "open(x)@[2, 2] .\nopen(x)@[3, 3] .\nopen(x)@[4, 4] .\n");
+}
+
+TEST_F(CliTest, RunAtTimePoint) {
+  std::string path = WriteFile("p.dmtl",
+                               "q(X) :- p(X) .\n"
+                               "p(a)@[1,3] . p(b)@[5,9] .\n");
+  auto [status, out] = Run({"run", path, "--at", "2"});
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_EQ(out, "p(a)\nq(a)\n");
+  auto [status2, out2] = Run({"run", path, "--query", "q", "--at", "7"});
+  ASSERT_TRUE(status2.ok());
+  EXPECT_EQ(out2, "q(b)@7\n");
+}
+
+TEST_F(CliTest, RunStatsAndOutputFile) {
+  std::string path = WriteFile("p.dmtl", "q(X) :- p(X) .\n p(a)@1 .\n");
+  std::string out_path = (dir_ / "out.dmtl").string();
+  auto [status, out] =
+      Run({"run", path, "--stats", "--output", out_path});
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_NE(out.find("% strata="), std::string::npos);
+  std::ifstream written(out_path);
+  ASSERT_TRUE(written.good());
+  std::stringstream buffer;
+  buffer << written.rdbuf();
+  EXPECT_NE(buffer.str().find("q(a)@[1, 1] ."), std::string::npos);
+}
+
+TEST_F(CliTest, MultipleInputFilesMerge) {
+  std::string rules = WriteFile("rules.dmtl", "q(X) :- p(X) .\n");
+  std::string facts = WriteFile("facts.dmtl", "p(a)@1 .\n");
+  auto [status, out] = Run({"run", rules, facts, "--query", "q"});
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_EQ(out, "q(a)@[1, 1] .\n");
+}
+
+TEST_F(CliTest, CheckReportsStrata) {
+  std::string path = WriteFile("p.dmtl",
+                               "a(X) :- base(X) .\n"
+                               "b(X) :- base(X), not a(X) .\n");
+  auto [status, out] = Run({"check", path});
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_NE(out.find("2 rules"), std::string::npos);
+  EXPECT_NE(out.find("2 strata"), std::string::npos);
+  EXPECT_NE(out.find("stratum 1: b"), std::string::npos);
+}
+
+TEST_F(CliTest, CheckRejectsBadPrograms) {
+  std::string unsafe = WriteFile("bad.dmtl", "p(X, Y) :- q(X) .\n");
+  auto [status, out] = Run({"check", unsafe});
+  EXPECT_EQ(status.code(), StatusCode::kUnsafeRule);
+}
+
+TEST_F(CliTest, DotEmitsGraph) {
+  std::string path = WriteFile("p.dmtl", "b(X) :- a(X), not c(X) .\n");
+  auto [status, out] = Run({"dot", path});
+  ASSERT_TRUE(status.ok());
+  EXPECT_NE(out.find("digraph"), std::string::npos);
+  EXPECT_NE(out.find("style=dashed"), std::string::npos);
+}
+
+TEST_F(CliTest, FmtPrettyPrints) {
+  std::string path =
+      WriteFile("p.dmtl", "q(X):-boxminus[1,1]p(X).\np(a)@1 .\n");
+  auto [status, out] = Run({"fmt", path});
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(out, "q(X) :- boxminus[1,1] p(X) .\np(a)@[1, 1] .\n");
+}
+
+TEST_F(CliTest, ExplainNamesTheDerivingRule) {
+  std::string path = WriteFile("p.dmtl",
+                               "q(X) :- p(X) .\n"
+                               "r(X) :- q(X), not s(X) .\n"
+                               "p(a)@[1,4] . s(a)@3 .\n");
+  auto [status, out] =
+      Run({"run", path, "--explain", "r(a)@[1,2] ."});
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_NE(out.find("r(a)@[1,2]:"), std::string::npos);
+  EXPECT_NE(out.find("r(X) :- q(X), not s(X) ."), std::string::npos);
+  // Input facts have no derivation records.
+  auto [status2, out2] = Run({"run", path, "--explain", "p(a)@2 ."});
+  ASSERT_TRUE(status2.ok());
+  EXPECT_NE(out2.find("no derivation"), std::string::npos);
+}
+
+TEST_F(CliTest, UsageErrors) {
+  EXPECT_EQ(Run({}).first.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Run({"explode", "x"}).first.code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Run({"run"}).first.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Run({"run", "nope", "--min"}).first.code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Run({"run", "--bogus", "f"}).first.code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Run({"run", "/nonexistent/file.dmtl"}).first.code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(CliTest, EthPerpArtifactThroughCli) {
+  if (!std::filesystem::exists("programs/eth_perp.dmtl")) {
+    GTEST_SKIP() << "artifact not found (run from repo root)";
+  }
+  std::string facts = WriteFile("session.dmtl",
+                                "start()@0 . skew(0.0)@0 . frs(0.0)@0 .\n"
+                                "price(100.0)@[0, 20] .\n"
+                                "tranM(abc, 1000.0)@2 .\n"
+                                "modPos(abc, 2.0)@4 .\n"
+                                "closePos(abc)@8 .\n");
+  auto [status, out] = Run({"run", "programs/eth_perp.dmtl", facts, "--min",
+                            "0", "--max", "12", "--query", "pnl"});
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_EQ(out, "pnl(abc, 0.0)@[8, 8] .\n");
+}
+
+}  // namespace
+}  // namespace dmtl

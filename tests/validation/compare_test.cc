@@ -1,0 +1,75 @@
+#include "src/validation/compare.h"
+
+#include <gtest/gtest.h>
+
+namespace dmtl {
+namespace {
+
+TEST(CompareTest, FrsSeriesStats) {
+  std::vector<FrsPoint> a = {{1, 0.0}, {5, 1.0}, {9, 2.0}};
+  std::vector<FrsPoint> b = {{1, 0.0}, {5, 1.0 + 1e-12}, {9, 2.0 - 3e-12}};
+  auto cmp = CompareFrsSeries(a, b);
+  ASSERT_TRUE(cmp.ok()) << cmp.status();
+  EXPECT_EQ(cmp->n, 3u);
+  EXPECT_NEAR(cmp->max_abs_diff, 3e-12, 1e-15);
+  EXPECT_NEAR(cmp->mean_abs_diff, (1e-12 + 3e-12) / 3, 1e-15);
+  EXPECT_NE(cmp->ToString().find("n=3"), std::string::npos);
+}
+
+TEST(CompareTest, FrsSeriesMismatchesRejected) {
+  std::vector<FrsPoint> a = {{1, 0.0}};
+  std::vector<FrsPoint> b = {{1, 0.0}, {2, 0.0}};
+  EXPECT_FALSE(CompareFrsSeries(a, b).ok());
+  std::vector<FrsPoint> c = {{2, 0.0}};
+  EXPECT_FALSE(CompareFrsSeries(a, c).ok());
+}
+
+TradeSettlement Trade(const char* acc, int64_t t, double pnl, double fee,
+                      double funding) {
+  TradeSettlement s;
+  s.account = acc;
+  s.time = t;
+  s.pnl = pnl;
+  s.fee = fee;
+  s.funding = funding;
+  return s;
+}
+
+TEST(CompareTest, TradeErrorStats) {
+  // Perturbations are exact powers of two so the subtraction loses nothing.
+  const double dp = 0x1p-48;
+  const double df = 0x1p-50;
+  std::vector<TradeSettlement> ref = {Trade("a", 5, 1.0, 1.0, -0.5),
+                                      Trade("b", 9, -3.0, 2.0, 0.25)};
+  std::vector<TradeSettlement> datalog = {
+      Trade("b", 9, -3.0, 2.0, 0.25 + df),
+      Trade("a", 5, 1.0 + dp, 1.0, -0.5)};
+  auto report = CompareTrades(ref, datalog);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->matched, 2u);
+  EXPECT_DOUBLE_EQ(report->returns.mean, dp / 2);
+  EXPECT_DOUBLE_EQ(report->returns.max_abs, dp);
+  EXPECT_DOUBLE_EQ(report->fee.mean, 0.0);
+  EXPECT_DOUBLE_EQ(report->funding.mean, df / 2);
+  // Sample stddev over {0, dp} is nonzero.
+  EXPECT_GT(report->returns.stddev, 0.0);
+  EXPECT_NE(report->ToString().find("returns"), std::string::npos);
+}
+
+TEST(CompareTest, TradeSetMismatchRejected) {
+  std::vector<TradeSettlement> ref = {Trade("a", 5, 1, 1, 1)};
+  std::vector<TradeSettlement> missing = {};
+  EXPECT_FALSE(CompareTrades(ref, missing).ok());
+  std::vector<TradeSettlement> wrong_key = {Trade("a", 6, 1, 1, 1)};
+  EXPECT_FALSE(CompareTrades(ref, wrong_key).ok());
+}
+
+TEST(CompareTest, EmptyTradeSetsCompareCleanly) {
+  auto report = CompareTrades({}, {});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->matched, 0u);
+  EXPECT_EQ(report->returns.n, 0u);
+}
+
+}  // namespace
+}  // namespace dmtl

@@ -1,0 +1,5 @@
+// The dmtl command-line reasoner. See src/tools/cli.h for usage.
+
+#include "src/tools/cli.h"
+
+int main(int argc, char** argv) { return dmtl::CliMain(argc, argv); }
