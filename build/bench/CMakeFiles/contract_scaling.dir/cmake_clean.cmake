@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contract_scaling.dir/contract_scaling.cc.o"
+  "CMakeFiles/contract_scaling.dir/contract_scaling.cc.o.d"
+  "contract_scaling"
+  "contract_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contract_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_stress.dir/engine_stress.cc.o"
+  "CMakeFiles/engine_stress.dir/engine_stress.cc.o.d"
+  "engine_stress"
+  "engine_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

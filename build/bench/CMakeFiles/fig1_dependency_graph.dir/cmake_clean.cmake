@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_dependency_graph.dir/fig1_dependency_graph.cc.o"
+  "CMakeFiles/fig1_dependency_graph.dir/fig1_dependency_graph.cc.o.d"
+  "fig1_dependency_graph"
+  "fig1_dependency_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_dependency_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

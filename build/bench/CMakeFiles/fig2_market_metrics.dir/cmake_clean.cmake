@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_market_metrics.dir/fig2_market_metrics.cc.o"
+  "CMakeFiles/fig2_market_metrics.dir/fig2_market_metrics.cc.o.d"
+  "fig2_market_metrics"
+  "fig2_market_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_market_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

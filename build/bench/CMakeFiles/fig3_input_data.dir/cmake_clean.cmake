@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_input_data.dir/fig3_input_data.cc.o"
+  "CMakeFiles/fig3_input_data.dir/fig3_input_data.cc.o.d"
+  "fig3_input_data"
+  "fig3_input_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_input_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_frs_comparison.
+# This may be replaced when dependencies are built.

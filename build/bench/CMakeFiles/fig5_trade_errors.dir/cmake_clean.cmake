@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_trade_errors.dir/fig5_trade_errors.cc.o"
+  "CMakeFiles/fig5_trade_errors.dir/fig5_trade_errors.cc.o.d"
+  "fig5_trade_errors"
+  "fig5_trade_errors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_trade_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_temporal.dir/micro_temporal.cc.o"
+  "CMakeFiles/micro_temporal.dir/micro_temporal.cc.o.d"
+  "micro_temporal"
+  "micro_temporal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_temporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

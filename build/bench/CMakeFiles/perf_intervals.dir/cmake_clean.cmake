@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_intervals.dir/perf_intervals.cc.o"
+  "CMakeFiles/perf_intervals.dir/perf_intervals.cc.o.d"
+  "perf_intervals"
+  "perf_intervals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_intervals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eth_perp_session.dir/eth_perp_session.cpp.o"
+  "CMakeFiles/eth_perp_session.dir/eth_perp_session.cpp.o.d"
+  "eth_perp_session"
+  "eth_perp_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eth_perp_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

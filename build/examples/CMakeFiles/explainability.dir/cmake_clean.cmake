@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explainability.dir/explainability.cpp.o"
+  "CMakeFiles/explainability.dir/explainability.cpp.o.d"
+  "explainability"
+  "explainability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explainability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/risk_monitor.dir/risk_monitor.cpp.o"
+  "CMakeFiles/risk_monitor.dir/risk_monitor.cpp.o.d"
+  "risk_monitor"
+  "risk_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/risk_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

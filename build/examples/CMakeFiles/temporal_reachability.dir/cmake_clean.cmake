@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temporal_reachability.dir/temporal_reachability.cpp.o"
+  "CMakeFiles/temporal_reachability.dir/temporal_reachability.cpp.o.d"
+  "temporal_reachability"
+  "temporal_reachability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temporal_reachability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

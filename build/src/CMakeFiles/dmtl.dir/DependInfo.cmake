@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/dependency_graph.cc" "src/CMakeFiles/dmtl.dir/analysis/dependency_graph.cc.o" "gcc" "src/CMakeFiles/dmtl.dir/analysis/dependency_graph.cc.o.d"
+  "/root/repo/src/analysis/dot_export.cc" "src/CMakeFiles/dmtl.dir/analysis/dot_export.cc.o" "gcc" "src/CMakeFiles/dmtl.dir/analysis/dot_export.cc.o.d"
+  "/root/repo/src/analysis/safety.cc" "src/CMakeFiles/dmtl.dir/analysis/safety.cc.o" "gcc" "src/CMakeFiles/dmtl.dir/analysis/safety.cc.o.d"
+  "/root/repo/src/analysis/stratifier.cc" "src/CMakeFiles/dmtl.dir/analysis/stratifier.cc.o" "gcc" "src/CMakeFiles/dmtl.dir/analysis/stratifier.cc.o.d"
+  "/root/repo/src/ast/atom.cc" "src/CMakeFiles/dmtl.dir/ast/atom.cc.o" "gcc" "src/CMakeFiles/dmtl.dir/ast/atom.cc.o.d"
+  "/root/repo/src/ast/expr.cc" "src/CMakeFiles/dmtl.dir/ast/expr.cc.o" "gcc" "src/CMakeFiles/dmtl.dir/ast/expr.cc.o.d"
+  "/root/repo/src/ast/program.cc" "src/CMakeFiles/dmtl.dir/ast/program.cc.o" "gcc" "src/CMakeFiles/dmtl.dir/ast/program.cc.o.d"
+  "/root/repo/src/ast/rule.cc" "src/CMakeFiles/dmtl.dir/ast/rule.cc.o" "gcc" "src/CMakeFiles/dmtl.dir/ast/rule.cc.o.d"
+  "/root/repo/src/ast/term.cc" "src/CMakeFiles/dmtl.dir/ast/term.cc.o" "gcc" "src/CMakeFiles/dmtl.dir/ast/term.cc.o.d"
+  "/root/repo/src/ast/value.cc" "src/CMakeFiles/dmtl.dir/ast/value.cc.o" "gcc" "src/CMakeFiles/dmtl.dir/ast/value.cc.o.d"
+  "/root/repo/src/chain/events.cc" "src/CMakeFiles/dmtl.dir/chain/events.cc.o" "gcc" "src/CMakeFiles/dmtl.dir/chain/events.cc.o.d"
+  "/root/repo/src/chain/price_feed.cc" "src/CMakeFiles/dmtl.dir/chain/price_feed.cc.o" "gcc" "src/CMakeFiles/dmtl.dir/chain/price_feed.cc.o.d"
+  "/root/repo/src/chain/replayer.cc" "src/CMakeFiles/dmtl.dir/chain/replayer.cc.o" "gcc" "src/CMakeFiles/dmtl.dir/chain/replayer.cc.o.d"
+  "/root/repo/src/chain/subgraph.cc" "src/CMakeFiles/dmtl.dir/chain/subgraph.cc.o" "gcc" "src/CMakeFiles/dmtl.dir/chain/subgraph.cc.o.d"
+  "/root/repo/src/chain/workload.cc" "src/CMakeFiles/dmtl.dir/chain/workload.cc.o" "gcc" "src/CMakeFiles/dmtl.dir/chain/workload.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/dmtl.dir/common/status.cc.o" "gcc" "src/CMakeFiles/dmtl.dir/common/status.cc.o.d"
+  "/root/repo/src/contracts/eth_perp_program.cc" "src/CMakeFiles/dmtl.dir/contracts/eth_perp_program.cc.o" "gcc" "src/CMakeFiles/dmtl.dir/contracts/eth_perp_program.cc.o.d"
+  "/root/repo/src/contracts/market_params.cc" "src/CMakeFiles/dmtl.dir/contracts/market_params.cc.o" "gcc" "src/CMakeFiles/dmtl.dir/contracts/market_params.cc.o.d"
+  "/root/repo/src/contracts/risk_rules.cc" "src/CMakeFiles/dmtl.dir/contracts/risk_rules.cc.o" "gcc" "src/CMakeFiles/dmtl.dir/contracts/risk_rules.cc.o.d"
+  "/root/repo/src/contracts/statement.cc" "src/CMakeFiles/dmtl.dir/contracts/statement.cc.o" "gcc" "src/CMakeFiles/dmtl.dir/contracts/statement.cc.o.d"
+  "/root/repo/src/contracts/trade_extractor.cc" "src/CMakeFiles/dmtl.dir/contracts/trade_extractor.cc.o" "gcc" "src/CMakeFiles/dmtl.dir/contracts/trade_extractor.cc.o.d"
+  "/root/repo/src/engine/reasoner.cc" "src/CMakeFiles/dmtl.dir/engine/reasoner.cc.o" "gcc" "src/CMakeFiles/dmtl.dir/engine/reasoner.cc.o.d"
+  "/root/repo/src/eval/aggregate_eval.cc" "src/CMakeFiles/dmtl.dir/eval/aggregate_eval.cc.o" "gcc" "src/CMakeFiles/dmtl.dir/eval/aggregate_eval.cc.o.d"
+  "/root/repo/src/eval/bindings.cc" "src/CMakeFiles/dmtl.dir/eval/bindings.cc.o" "gcc" "src/CMakeFiles/dmtl.dir/eval/bindings.cc.o.d"
+  "/root/repo/src/eval/builtin_eval.cc" "src/CMakeFiles/dmtl.dir/eval/builtin_eval.cc.o" "gcc" "src/CMakeFiles/dmtl.dir/eval/builtin_eval.cc.o.d"
+  "/root/repo/src/eval/chain_accel.cc" "src/CMakeFiles/dmtl.dir/eval/chain_accel.cc.o" "gcc" "src/CMakeFiles/dmtl.dir/eval/chain_accel.cc.o.d"
+  "/root/repo/src/eval/operators.cc" "src/CMakeFiles/dmtl.dir/eval/operators.cc.o" "gcc" "src/CMakeFiles/dmtl.dir/eval/operators.cc.o.d"
+  "/root/repo/src/eval/rule_eval.cc" "src/CMakeFiles/dmtl.dir/eval/rule_eval.cc.o" "gcc" "src/CMakeFiles/dmtl.dir/eval/rule_eval.cc.o.d"
+  "/root/repo/src/eval/seminaive.cc" "src/CMakeFiles/dmtl.dir/eval/seminaive.cc.o" "gcc" "src/CMakeFiles/dmtl.dir/eval/seminaive.cc.o.d"
+  "/root/repo/src/parser/lexer.cc" "src/CMakeFiles/dmtl.dir/parser/lexer.cc.o" "gcc" "src/CMakeFiles/dmtl.dir/parser/lexer.cc.o.d"
+  "/root/repo/src/parser/parser.cc" "src/CMakeFiles/dmtl.dir/parser/parser.cc.o" "gcc" "src/CMakeFiles/dmtl.dir/parser/parser.cc.o.d"
+  "/root/repo/src/reference/perp_engine.cc" "src/CMakeFiles/dmtl.dir/reference/perp_engine.cc.o" "gcc" "src/CMakeFiles/dmtl.dir/reference/perp_engine.cc.o.d"
+  "/root/repo/src/storage/database.cc" "src/CMakeFiles/dmtl.dir/storage/database.cc.o" "gcc" "src/CMakeFiles/dmtl.dir/storage/database.cc.o.d"
+  "/root/repo/src/storage/serialize.cc" "src/CMakeFiles/dmtl.dir/storage/serialize.cc.o" "gcc" "src/CMakeFiles/dmtl.dir/storage/serialize.cc.o.d"
+  "/root/repo/src/synth/temporal_bench.cc" "src/CMakeFiles/dmtl.dir/synth/temporal_bench.cc.o" "gcc" "src/CMakeFiles/dmtl.dir/synth/temporal_bench.cc.o.d"
+  "/root/repo/src/temporal/interval.cc" "src/CMakeFiles/dmtl.dir/temporal/interval.cc.o" "gcc" "src/CMakeFiles/dmtl.dir/temporal/interval.cc.o.d"
+  "/root/repo/src/temporal/interval_set.cc" "src/CMakeFiles/dmtl.dir/temporal/interval_set.cc.o" "gcc" "src/CMakeFiles/dmtl.dir/temporal/interval_set.cc.o.d"
+  "/root/repo/src/temporal/rational.cc" "src/CMakeFiles/dmtl.dir/temporal/rational.cc.o" "gcc" "src/CMakeFiles/dmtl.dir/temporal/rational.cc.o.d"
+  "/root/repo/src/tools/cli.cc" "src/CMakeFiles/dmtl.dir/tools/cli.cc.o" "gcc" "src/CMakeFiles/dmtl.dir/tools/cli.cc.o.d"
+  "/root/repo/src/validation/compare.cc" "src/CMakeFiles/dmtl.dir/validation/compare.cc.o" "gcc" "src/CMakeFiles/dmtl.dir/validation/compare.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

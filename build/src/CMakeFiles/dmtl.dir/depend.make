@@ -1,0 +1,2 @@
+# Empty dependencies file for dmtl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/dependency_graph_test.cc" "tests/CMakeFiles/dmtl_tests.dir/analysis/dependency_graph_test.cc.o" "gcc" "tests/CMakeFiles/dmtl_tests.dir/analysis/dependency_graph_test.cc.o.d"
+  "/root/repo/tests/analysis/safety_test.cc" "tests/CMakeFiles/dmtl_tests.dir/analysis/safety_test.cc.o" "gcc" "tests/CMakeFiles/dmtl_tests.dir/analysis/safety_test.cc.o.d"
+  "/root/repo/tests/analysis/stratifier_test.cc" "tests/CMakeFiles/dmtl_tests.dir/analysis/stratifier_test.cc.o" "gcc" "tests/CMakeFiles/dmtl_tests.dir/analysis/stratifier_test.cc.o.d"
+  "/root/repo/tests/ast/ast_test.cc" "tests/CMakeFiles/dmtl_tests.dir/ast/ast_test.cc.o" "gcc" "tests/CMakeFiles/dmtl_tests.dir/ast/ast_test.cc.o.d"
+  "/root/repo/tests/ast/value_test.cc" "tests/CMakeFiles/dmtl_tests.dir/ast/value_test.cc.o" "gcc" "tests/CMakeFiles/dmtl_tests.dir/ast/value_test.cc.o.d"
+  "/root/repo/tests/chain/replayer_test.cc" "tests/CMakeFiles/dmtl_tests.dir/chain/replayer_test.cc.o" "gcc" "tests/CMakeFiles/dmtl_tests.dir/chain/replayer_test.cc.o.d"
+  "/root/repo/tests/chain/workload_test.cc" "tests/CMakeFiles/dmtl_tests.dir/chain/workload_test.cc.o" "gcc" "tests/CMakeFiles/dmtl_tests.dir/chain/workload_test.cc.o.d"
+  "/root/repo/tests/common/status_test.cc" "tests/CMakeFiles/dmtl_tests.dir/common/status_test.cc.o" "gcc" "tests/CMakeFiles/dmtl_tests.dir/common/status_test.cc.o.d"
+  "/root/repo/tests/contracts/eth_perp_fees_test.cc" "tests/CMakeFiles/dmtl_tests.dir/contracts/eth_perp_fees_test.cc.o" "gcc" "tests/CMakeFiles/dmtl_tests.dir/contracts/eth_perp_fees_test.cc.o.d"
+  "/root/repo/tests/contracts/eth_perp_funding_test.cc" "tests/CMakeFiles/dmtl_tests.dir/contracts/eth_perp_funding_test.cc.o" "gcc" "tests/CMakeFiles/dmtl_tests.dir/contracts/eth_perp_funding_test.cc.o.d"
+  "/root/repo/tests/contracts/eth_perp_margin_test.cc" "tests/CMakeFiles/dmtl_tests.dir/contracts/eth_perp_margin_test.cc.o" "gcc" "tests/CMakeFiles/dmtl_tests.dir/contracts/eth_perp_margin_test.cc.o.d"
+  "/root/repo/tests/contracts/eth_perp_position_test.cc" "tests/CMakeFiles/dmtl_tests.dir/contracts/eth_perp_position_test.cc.o" "gcc" "tests/CMakeFiles/dmtl_tests.dir/contracts/eth_perp_position_test.cc.o.d"
+  "/root/repo/tests/contracts/eth_perp_program_text_test.cc" "tests/CMakeFiles/dmtl_tests.dir/contracts/eth_perp_program_text_test.cc.o" "gcc" "tests/CMakeFiles/dmtl_tests.dir/contracts/eth_perp_program_text_test.cc.o.d"
+  "/root/repo/tests/contracts/market_params_test.cc" "tests/CMakeFiles/dmtl_tests.dir/contracts/market_params_test.cc.o" "gcc" "tests/CMakeFiles/dmtl_tests.dir/contracts/market_params_test.cc.o.d"
+  "/root/repo/tests/contracts/risk_rules_test.cc" "tests/CMakeFiles/dmtl_tests.dir/contracts/risk_rules_test.cc.o" "gcc" "tests/CMakeFiles/dmtl_tests.dir/contracts/risk_rules_test.cc.o.d"
+  "/root/repo/tests/contracts/statement_test.cc" "tests/CMakeFiles/dmtl_tests.dir/contracts/statement_test.cc.o" "gcc" "tests/CMakeFiles/dmtl_tests.dir/contracts/statement_test.cc.o.d"
+  "/root/repo/tests/engine/reasoner_test.cc" "tests/CMakeFiles/dmtl_tests.dir/engine/reasoner_test.cc.o" "gcc" "tests/CMakeFiles/dmtl_tests.dir/engine/reasoner_test.cc.o.d"
+  "/root/repo/tests/eval/aggregate_eval_test.cc" "tests/CMakeFiles/dmtl_tests.dir/eval/aggregate_eval_test.cc.o" "gcc" "tests/CMakeFiles/dmtl_tests.dir/eval/aggregate_eval_test.cc.o.d"
+  "/root/repo/tests/eval/builtin_eval_test.cc" "tests/CMakeFiles/dmtl_tests.dir/eval/builtin_eval_test.cc.o" "gcc" "tests/CMakeFiles/dmtl_tests.dir/eval/builtin_eval_test.cc.o.d"
+  "/root/repo/tests/eval/chain_accel_test.cc" "tests/CMakeFiles/dmtl_tests.dir/eval/chain_accel_test.cc.o" "gcc" "tests/CMakeFiles/dmtl_tests.dir/eval/chain_accel_test.cc.o.d"
+  "/root/repo/tests/eval/operators_test.cc" "tests/CMakeFiles/dmtl_tests.dir/eval/operators_test.cc.o" "gcc" "tests/CMakeFiles/dmtl_tests.dir/eval/operators_test.cc.o.d"
+  "/root/repo/tests/eval/provenance_test.cc" "tests/CMakeFiles/dmtl_tests.dir/eval/provenance_test.cc.o" "gcc" "tests/CMakeFiles/dmtl_tests.dir/eval/provenance_test.cc.o.d"
+  "/root/repo/tests/eval/rule_eval_edge_test.cc" "tests/CMakeFiles/dmtl_tests.dir/eval/rule_eval_edge_test.cc.o" "gcc" "tests/CMakeFiles/dmtl_tests.dir/eval/rule_eval_edge_test.cc.o.d"
+  "/root/repo/tests/eval/rule_eval_test.cc" "tests/CMakeFiles/dmtl_tests.dir/eval/rule_eval_test.cc.o" "gcc" "tests/CMakeFiles/dmtl_tests.dir/eval/rule_eval_test.cc.o.d"
+  "/root/repo/tests/eval/seminaive_test.cc" "tests/CMakeFiles/dmtl_tests.dir/eval/seminaive_test.cc.o" "gcc" "tests/CMakeFiles/dmtl_tests.dir/eval/seminaive_test.cc.o.d"
+  "/root/repo/tests/eval/since_until_test.cc" "tests/CMakeFiles/dmtl_tests.dir/eval/since_until_test.cc.o" "gcc" "tests/CMakeFiles/dmtl_tests.dir/eval/since_until_test.cc.o.d"
+  "/root/repo/tests/integration/contract_properties_test.cc" "tests/CMakeFiles/dmtl_tests.dir/integration/contract_properties_test.cc.o" "gcc" "tests/CMakeFiles/dmtl_tests.dir/integration/contract_properties_test.cc.o.d"
+  "/root/repo/tests/integration/differential_test.cc" "tests/CMakeFiles/dmtl_tests.dir/integration/differential_test.cc.o" "gcc" "tests/CMakeFiles/dmtl_tests.dir/integration/differential_test.cc.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cc" "tests/CMakeFiles/dmtl_tests.dir/integration/end_to_end_test.cc.o" "gcc" "tests/CMakeFiles/dmtl_tests.dir/integration/end_to_end_test.cc.o.d"
+  "/root/repo/tests/integration/paper_examples_test.cc" "tests/CMakeFiles/dmtl_tests.dir/integration/paper_examples_test.cc.o" "gcc" "tests/CMakeFiles/dmtl_tests.dir/integration/paper_examples_test.cc.o.d"
+  "/root/repo/tests/parser/lexer_test.cc" "tests/CMakeFiles/dmtl_tests.dir/parser/lexer_test.cc.o" "gcc" "tests/CMakeFiles/dmtl_tests.dir/parser/lexer_test.cc.o.d"
+  "/root/repo/tests/parser/parser_test.cc" "tests/CMakeFiles/dmtl_tests.dir/parser/parser_test.cc.o" "gcc" "tests/CMakeFiles/dmtl_tests.dir/parser/parser_test.cc.o.d"
+  "/root/repo/tests/reference/perp_engine_test.cc" "tests/CMakeFiles/dmtl_tests.dir/reference/perp_engine_test.cc.o" "gcc" "tests/CMakeFiles/dmtl_tests.dir/reference/perp_engine_test.cc.o.d"
+  "/root/repo/tests/storage/database_test.cc" "tests/CMakeFiles/dmtl_tests.dir/storage/database_test.cc.o" "gcc" "tests/CMakeFiles/dmtl_tests.dir/storage/database_test.cc.o.d"
+  "/root/repo/tests/storage/serialize_test.cc" "tests/CMakeFiles/dmtl_tests.dir/storage/serialize_test.cc.o" "gcc" "tests/CMakeFiles/dmtl_tests.dir/storage/serialize_test.cc.o.d"
+  "/root/repo/tests/synth/temporal_bench_test.cc" "tests/CMakeFiles/dmtl_tests.dir/synth/temporal_bench_test.cc.o" "gcc" "tests/CMakeFiles/dmtl_tests.dir/synth/temporal_bench_test.cc.o.d"
+  "/root/repo/tests/temporal/interval_bounds_property_test.cc" "tests/CMakeFiles/dmtl_tests.dir/temporal/interval_bounds_property_test.cc.o" "gcc" "tests/CMakeFiles/dmtl_tests.dir/temporal/interval_bounds_property_test.cc.o.d"
+  "/root/repo/tests/temporal/interval_set_test.cc" "tests/CMakeFiles/dmtl_tests.dir/temporal/interval_set_test.cc.o" "gcc" "tests/CMakeFiles/dmtl_tests.dir/temporal/interval_set_test.cc.o.d"
+  "/root/repo/tests/temporal/interval_test.cc" "tests/CMakeFiles/dmtl_tests.dir/temporal/interval_test.cc.o" "gcc" "tests/CMakeFiles/dmtl_tests.dir/temporal/interval_test.cc.o.d"
+  "/root/repo/tests/temporal/mtl_operator_test.cc" "tests/CMakeFiles/dmtl_tests.dir/temporal/mtl_operator_test.cc.o" "gcc" "tests/CMakeFiles/dmtl_tests.dir/temporal/mtl_operator_test.cc.o.d"
+  "/root/repo/tests/temporal/rational_test.cc" "tests/CMakeFiles/dmtl_tests.dir/temporal/rational_test.cc.o" "gcc" "tests/CMakeFiles/dmtl_tests.dir/temporal/rational_test.cc.o.d"
+  "/root/repo/tests/tools/cli_test.cc" "tests/CMakeFiles/dmtl_tests.dir/tools/cli_test.cc.o" "gcc" "tests/CMakeFiles/dmtl_tests.dir/tools/cli_test.cc.o.d"
+  "/root/repo/tests/validation/compare_test.cc" "tests/CMakeFiles/dmtl_tests.dir/validation/compare_test.cc.o" "gcc" "tests/CMakeFiles/dmtl_tests.dir/validation/compare_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dmtl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmtl_cli.dir/dmtl_cli.cc.o"
+  "CMakeFiles/dmtl_cli.dir/dmtl_cli.cc.o.d"
+  "dmtl_cli"
+  "dmtl_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmtl_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
