@@ -3,6 +3,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "src/chain/replayer.h"
 #include "src/chain/subgraph.h"
@@ -59,6 +64,102 @@ inline ExecutedSession Execute(const WorkloadConfig& config,
       Check(ExtractFrsAt(db, out.session.EventTimes()), "extract frs");
   out.trades_datalog = Check(ExtractTrades(db), "extract trades");
   return out;
+}
+
+// Minimal JSON emission for machine-readable benchmark artifacts
+// (BENCH_<name>.json). Handles objects, arrays, and scalar fields with
+// correct comma placement; callers are responsible for balanced
+// Begin/End pairs.
+class JsonBuilder {
+ public:
+  JsonBuilder& BeginObject(std::string_view key = "") {
+    Prefix(key);
+    out_ << "{";
+    stack_.push_back(false);
+    return *this;
+  }
+  JsonBuilder& EndObject() { return End('}'); }
+
+  JsonBuilder& BeginArray(std::string_view key = "") {
+    Prefix(key);
+    out_ << "[";
+    stack_.push_back(false);
+    return *this;
+  }
+  JsonBuilder& EndArray() { return End(']'); }
+
+  JsonBuilder& Field(std::string_view key, std::string_view value) {
+    Prefix(key);
+    Quote(value);
+    return *this;
+  }
+  JsonBuilder& Field(std::string_view key, const char* value) {
+    return Field(key, std::string_view(value));
+  }
+  JsonBuilder& Field(std::string_view key, double value) {
+    Prefix(key);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    out_ << buf;
+    return *this;
+  }
+  JsonBuilder& Field(std::string_view key, size_t value) {
+    Prefix(key);
+    out_ << value;
+    return *this;
+  }
+  JsonBuilder& Field(std::string_view key, int value) {
+    Prefix(key);
+    out_ << value;
+    return *this;
+  }
+  JsonBuilder& Field(std::string_view key, bool value) {
+    Prefix(key);
+    out_ << (value ? "true" : "false");
+    return *this;
+  }
+
+  std::string TakeString() { return out_.str(); }
+
+ private:
+  void Prefix(std::string_view key) {
+    if (!stack_.empty()) {
+      if (stack_.back()) out_ << ",";
+      stack_.back() = true;
+    }
+    if (!key.empty()) {
+      Quote(key);
+      out_ << ":";
+    }
+  }
+  void Quote(std::string_view s) {
+    out_ << '"';
+    for (char c : s) {
+      if (c == '"' || c == '\\') out_ << '\\';
+      out_ << c;
+    }
+    out_ << '"';
+  }
+  JsonBuilder& End(char close) {
+    stack_.pop_back();
+    out_ << close;
+    return *this;
+  }
+
+  std::ostringstream out_;
+  std::vector<bool> stack_;  // per open scope: "has emitted an element"
+};
+
+// Writes a benchmark artifact and echoes the path so harness logs record
+// where the machine-readable results went.
+inline void WriteJson(const std::string& path, const std::string& json) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "FATAL cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  out << json << "\n";
+  std::printf("wrote %s\n", path.c_str());
 }
 
 }  // namespace bench

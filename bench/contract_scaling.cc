@@ -2,16 +2,24 @@
 // as the session grows in events and window length. Shows how the engine's
 // work scales with the trading activity (facts derived ~ accounts x ticks)
 // and that event-driven fixpoint rounds stay proportional to events.
+//
+// Each point runs twice: sequentially (num_threads = 1) and with the
+// thread pool sized to the hardware (num_threads = 0), recording the
+// speedup per point into BENCH_contract_scaling.json. On a single-core
+// host num_threads = 0 resolves to 1 and both columns coincide.
 
 #include <cstdio>
 
+#include "src/common/thread_pool.h"
 #include "bench/bench_util.h"
 
 int main() {
   using namespace dmtl;
+  const size_t hw_threads = ThreadPool::ResolveThreads(0);
   std::printf("=== contract scaling: events x window sweep ===\n");
-  std::printf("%8s %8s %10s %12s %14s %10s\n", "events", "trades",
-              "window(s)", "runtime(s)", "derived facts", "rounds");
+  std::printf("%8s %8s %10s %10s %10s %8s %14s %10s\n", "events", "trades",
+              "window(s)", "seq(s)", "par(s)", "speedup", "derived facts",
+              "rounds");
   struct Point {
     int events;
     int trades;
@@ -21,6 +29,11 @@ int main() {
       {30, 6, 900},    {60, 12, 1800},  {120, 26, 3600},
       {267, 59, 7200}, {400, 90, 7200}, {267, 59, 14400},
   };
+  bench::JsonBuilder json;
+  json.BeginObject();
+  json.Field("bench", "contract_scaling");
+  json.Field("hardware_threads", hw_threads);
+  json.BeginArray("points");
   for (const Point& pt : points) {
     WorkloadConfig config;
     config.name = "scale";
@@ -29,10 +42,34 @@ int main() {
     config.duration_s = pt.window;
     config.initial_skew = -1000.0;
     config.seed = 99;
-    bench::ExecutedSession run = bench::Execute(config);
-    std::printf("%8d %8d %10d %12.3f %14zu %10zu\n", pt.events, pt.trades,
-                pt.window, run.stats.wall_seconds,
-                run.stats.derived_intervals, run.stats.rounds);
+    bench::ExecutedSession seq = bench::Execute(config);
+
+    EngineOptions parallel_options = SessionEngineOptions(seq.session);
+    parallel_options.num_threads = 0;  // hardware concurrency
+    bench::ExecutedSession par =
+        bench::Execute(config, {}, &parallel_options);
+    double speedup = par.stats.wall_seconds > 0
+                         ? seq.stats.wall_seconds / par.stats.wall_seconds
+                         : 0.0;
+    std::printf("%8d %8d %10d %10.3f %10.3f %8.2f %14zu %10zu\n", pt.events,
+                pt.trades, pt.window, seq.stats.wall_seconds,
+                par.stats.wall_seconds, speedup, seq.stats.derived_intervals,
+                seq.stats.rounds);
+    json.BeginObject()
+        .Field("events", pt.events)
+        .Field("trades", pt.trades)
+        .Field("window_s", pt.window)
+        .Field("sequential_s", seq.stats.wall_seconds)
+        .Field("parallel_s", par.stats.wall_seconds)
+        .Field("parallel_threads", par.stats.threads)
+        .Field("speedup", speedup)
+        .Field("derived", seq.stats.derived_intervals)
+        .Field("parallel_derived", par.stats.derived_intervals)
+        .Field("rounds", seq.stats.rounds)
+        .EndObject();
   }
+  json.EndArray();
+  json.EndObject();
+  bench::WriteJson("BENCH_contract_scaling.json", json.TakeString());
   return 0;
 }

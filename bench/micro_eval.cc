@@ -1,8 +1,14 @@
 // Experiment B2 - microbenchmarks of rule evaluation: joins, negation,
-// temporal self-propagation, aggregation and full small-program
-// materialization.
+// temporal self-propagation, aggregation, full small-program
+// materialization, and sequential-vs-parallel fixpoint rounds. A custom
+// main mirrors the results into BENCH_micro_eval.json (google-benchmark's
+// JSON format) unless the caller already passed --benchmark_out.
 
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "src/engine/reasoner.h"
 
@@ -132,5 +138,45 @@ void BM_ParseEthPerpProgram(benchmark::State& state) {
 }
 BENCHMARK(BM_ParseEthPerpProgram);
 
+// Same recursive program and data, materialized with a fixed pool width.
+// Arg is num_threads; Arg(1) is the sequential baseline, so the ratio of
+// the two rows is the intra-round parallel speedup on this machine.
+void BM_TransitiveClosureThreads(benchmark::State& state) {
+  Database db = EdgeFacts(96);
+  auto program = Parser::ParseProgram(
+      "reach(X, Y) :- edge(X, Y) .\n"
+      "reach(X, Z) :- reach(X, Y), edge(Y, Z) .\n"
+      "back(X, Y) :- reach(X, Y), not edge(X, Y) .");
+  EngineOptions options;
+  options.num_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Database out = db;
+    benchmark::DoNotOptimize(Materialize(*program, &out, options));
+  }
+}
+BENCHMARK(BM_TransitiveClosureThreads)->Arg(1)->Arg(2)->Arg(4);
+
 }  // namespace
 }  // namespace dmtl
+
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_micro_eval.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+  }
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int num_args = static_cast<int>(args.size());
+  ::benchmark::Initialize(&num_args, args.data());
+  if (::benchmark::ReportUnrecognizedArguments(num_args, args.data())) {
+    return 1;
+  }
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <deque>
 #include <mutex>
 #include <sstream>
 #include <unordered_map>
@@ -37,7 +38,10 @@ class SymbolTable {
 
  private:
   std::mutex mu_;
-  std::vector<std::string> names_;
+  // Deque, not vector: Name() hands out references that must survive
+  // concurrent Intern() growth (deque never relocates elements), so reader
+  // threads can resolve names while another thread interns new symbols.
+  std::deque<std::string> names_;
   std::unordered_map<std::string, uint32_t> ids_;
 };
 

@@ -1,11 +1,13 @@
 #include "src/eval/seminaive.h"
 
 #include <chrono>
+#include <optional>
 #include <set>
 #include <variant>
 
 #include "src/analysis/safety.h"
 #include "src/analysis/stratifier.h"
+#include "src/common/thread_pool.h"
 #include "src/eval/aggregate_eval.h"
 #include "src/eval/chain_accel.h"
 #include "src/eval/rule_eval.h"
@@ -30,7 +32,9 @@ struct CompiledRule {
 };
 
 // Inserts derived extents (clamped to the horizon window) and accumulates
-// newly covered portions into the delta.
+// newly covered portions into the delta. Single-writer: this is the only
+// path that mutates the shared database, both in sequential evaluation and
+// as the barrier-merge step of parallel rounds.
 class Sink {
  public:
   Sink(Database* db, Database* next_delta, const Interval& window,
@@ -92,6 +96,87 @@ class Sink {
   size_t current_round_ = 0;
 };
 
+// The thread-local counterpart of Sink for parallel rounds: derivations are
+// buffered privately (in emission order) instead of touching the shared
+// store. Freshness - which also drives the chain accelerator's early-stop -
+// is computed against the round-start snapshot plus this task's own overlay,
+// so a task sees its own emissions exactly like the sequential sink would.
+// The shared database is only written when the barrier merge replays these
+// buffers through the Sink above, in rule-index order.
+class BufferedSink {
+ public:
+  struct Emission {
+    PredicateId pred = 0;
+    Tuple tuple;
+    IntervalSet fresh;
+  };
+
+  BufferedSink(const Database* base, const Interval& window,
+               const EngineOptions* options)
+      : base_(base), window_(window), options_(options) {}
+
+  Status Emit(PredicateId pred, const Tuple& tuple,
+              const IntervalSet& extent) {
+    IntervalSet clamped = extent.Intersect(window_);
+    for (const Interval& iv : clamped) {
+      DMTL_ASSIGN_OR_RETURN(bool fresh, EmitOne(pred, tuple, iv));
+      (void)fresh;
+    }
+    return Status::Ok();
+  }
+
+  Result<bool> EmitOne(PredicateId pred, const Tuple& tuple,
+                       const Interval& iv) {
+    auto clipped = IntervalSet(iv).Intersect(window_);
+    bool any_new = false;
+    for (const Interval& part : clipped) {
+      IntervalSet fresh = overlay_.Insert(pred, tuple, part);
+      if (fresh.IsEmpty()) continue;
+      if (const Relation* rel = base_->Find(pred)) {
+        if (const IntervalSet* known = rel->Find(tuple)) {
+          fresh = fresh.Subtract(*known);
+        }
+      }
+      if (fresh.IsEmpty()) continue;
+      any_new = true;
+      // Coarse per-task budget guard (an upper bound: snapshot + private
+      // overlay); the merge step re-checks against the real store.
+      if (base_->approx_intervals() + overlay_.approx_intervals() >
+          options_->max_intervals) {
+        return Status::ResourceExhausted(
+            "materialization exceeded max_intervals=" +
+            std::to_string(options_->max_intervals));
+      }
+      emissions_.push_back(Emission{pred, tuple, std::move(fresh)});
+    }
+    return any_new;
+  }
+
+  void AddChainExtension() { ++chain_extensions_; }
+  size_t chain_extensions() const { return chain_extensions_; }
+
+  const std::vector<Emission>& emissions() const { return emissions_; }
+
+ private:
+  const Database* base_;
+  Database overlay_;  // private coverage: own emissions of this round
+  Interval window_;
+  const EngineOptions* options_;
+  std::vector<Emission> emissions_;
+  size_t chain_extensions_ = 0;
+};
+
+// One unit of parallel work: every evaluation of one rule within a round.
+// Task lists are built deterministically from round-start state, so the
+// dispatch (and the rule-index merge order) is identical across runs.
+struct RoundTask {
+  size_t rule_id = 0;
+  bool initial = false;                // full (non-delta) evaluation
+  bool chain = false;                  // use the chain accelerator
+  std::vector<int> delta_occurrences;  // semi-naive positions to re-evaluate
+  size_t evaluations = 0;              // rule_evaluations this task accounts
+};
+
 Interval HorizonWindow(const EngineOptions& options) {
   Bound lo = options.min_time.has_value() ? Bound::Closed(*options.min_time)
                                           : Bound::Infinite();
@@ -100,6 +185,92 @@ Interval HorizonWindow(const EngineOptions& options) {
   auto window = Interval::Make(lo, hi);
   // Empty windows are a caller error caught at option validation below.
   return window.value_or(Interval::All());
+}
+
+// The semi-naive dispatch decision for one fixpoint round, shared verbatim
+// by the sequential loop and the parallel task builder: which positive
+// occurrences of `rule` must be re-evaluated against `delta`.
+std::vector<int> DeltaOccurrences(const CompiledRule& c,
+                                  const RuleEvaluator& eval,
+                                  const std::set<PredicateId>& stratum_preds,
+                                  const Database& delta) {
+  std::vector<int> occurrences;
+  std::vector<const RelationalAtom*> all_atoms;
+  for (const BodyLiteral& lit : c.rule().body) {
+    if (lit.kind != BodyLiteral::Kind::kMetric || lit.negated) continue;
+    lit.metric.CollectRelationalAtoms(&all_atoms);
+  }
+  for (int occ = 0; occ < eval.num_positive_occurrences(); ++occ) {
+    PredicateId pred = all_atoms[occ]->predicate;
+    if (!stratum_preds.count(pred)) continue;
+    const Relation* changed = delta.Find(pred);
+    if (changed == nullptr || changed->IsEmpty()) continue;
+    occurrences.push_back(occ);
+  }
+  return occurrences;
+}
+
+// Runs one round's tasks across the pool and merges the buffered results
+// into the shared store through `sink` in rule-index order.
+Status RunRoundParallel(const std::vector<RoundTask>& tasks,
+                        const std::vector<CompiledRule>& compiled,
+                        const Database& db, const Database& delta,
+                        const Interval& window, const EngineOptions& options,
+                        ThreadPool* pool,
+                        std::unordered_map<size_t, ChainAccelerator::AllowedCache>*
+                            chain_caches,
+                        size_t round, Sink* sink, EngineStats* stats) {
+  if (tasks.empty()) return Status::Ok();
+
+  std::vector<BufferedSink> sinks;
+  sinks.reserve(tasks.size());
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    sinks.emplace_back(&db, window, &options);
+  }
+
+  DMTL_RETURN_IF_ERROR(pool->ParallelFor(
+      tasks.size(), [&](size_t ti) -> Status {
+        const RoundTask& t = tasks[ti];
+        BufferedSink& out = sinks[ti];
+        const CompiledRule& c = compiled[t.rule_id];
+        PredicateId head = c.rule().head.predicate;
+        auto emit = [&out, head](const Tuple& tuple,
+                                 const IntervalSet& extent) -> Status {
+          return out.Emit(head, tuple, extent);
+        };
+        if (t.chain) {
+          return ChainAccelerator::Extend(
+              c.rule(), *c.chain, db, delta, window,
+              &chain_caches->at(t.rule_id),
+              [&](const Tuple& tuple, const Interval& iv) -> Result<bool> {
+                out.AddChainExtension();
+                return out.EmitOne(head, tuple, iv);
+              });
+        }
+        const auto& eval = std::get<RuleEvaluator>(c.eval);
+        if (t.initial) return eval.Evaluate(db, nullptr, -1, emit);
+        for (int occ : t.delta_occurrences) {
+          DMTL_RETURN_IF_ERROR(eval.Evaluate(db, &delta, occ, emit));
+        }
+        return Status::Ok();
+      }));
+
+  ++stats->parallel_rounds;
+  stats->parallel_tasks += tasks.size();
+  for (size_t ti = 0; ti < tasks.size(); ++ti) {
+    const RoundTask& t = tasks[ti];
+    stats->rule_evaluations += t.evaluations;
+    stats->chain_extensions += sinks[ti].chain_extensions();
+    sink->SetContext(t.rule_id, round);
+    for (const BufferedSink::Emission& e : sinks[ti].emissions()) {
+      for (const Interval& piece : e.fresh) {
+        DMTL_ASSIGN_OR_RETURN(bool fresh, sink->EmitOne(e.pred, e.tuple, piece));
+        (void)fresh;
+      }
+    }
+    ++stats->parallel_merges;
+  }
+  return Status::Ok();
 }
 
 }  // namespace
@@ -116,12 +287,19 @@ std::string DerivationRecord::ToString(const Program& program) const {
 }
 
 std::string EngineStats::ToString() const {
-  return "strata=" + std::to_string(num_strata) +
-         " rounds=" + std::to_string(rounds) +
-         " rule_evals=" + std::to_string(rule_evaluations) +
-         " derived_intervals=" + std::to_string(derived_intervals) +
-         " chain_extensions=" + std::to_string(chain_extensions) +
-         " wall_seconds=" + std::to_string(wall_seconds);
+  std::string out = "strata=" + std::to_string(num_strata) +
+                    " rounds=" + std::to_string(rounds) +
+                    " rule_evals=" + std::to_string(rule_evaluations) +
+                    " derived_intervals=" + std::to_string(derived_intervals) +
+                    " chain_extensions=" + std::to_string(chain_extensions) +
+                    " wall_seconds=" + std::to_string(wall_seconds);
+  if (threads > 1) {
+    out += " threads=" + std::to_string(threads) +
+           " parallel_rounds=" + std::to_string(parallel_rounds) +
+           " parallel_tasks=" + std::to_string(parallel_tasks) +
+           " parallel_merges=" + std::to_string(parallel_merges);
+  }
+  return out;
 }
 
 Status Materialize(const Program& program, Database* db,
@@ -140,6 +318,14 @@ Status Materialize(const Program& program, Database* db,
   DMTL_RETURN_IF_ERROR(CheckSafety(program));
   DMTL_ASSIGN_OR_RETURN(Stratification strat, Stratify(program));
   stats->num_strata = strat.num_strata;
+
+  // Parallel execution: num_threads == 1 (the default) is the historical
+  // sequential engine; anything else routes rule evaluation through a pool
+  // with round-barrier merges (see docs/parallelism.md).
+  size_t num_threads = ThreadPool::ResolveThreads(options.num_threads);
+  stats->threads = num_threads;
+  std::optional<ThreadPool> pool;
+  if (num_threads > 1) pool.emplace(num_threads);
 
   // Compile rules.
   std::vector<CompiledRule> compiled;
@@ -165,7 +351,9 @@ Status Materialize(const Program& program, Database* db,
 
   Interval window = HorizonWindow(options);
 
+  stats->stratum_wall_seconds.assign(strat.num_strata, 0.0);
   for (int s = 0; s < strat.num_strata; ++s) {
+    auto stratum_start = std::chrono::steady_clock::now();
     const std::vector<size_t>& rule_ids = strat.rule_strata[s];
     if (rule_ids.empty()) continue;
 
@@ -180,7 +368,14 @@ Status Materialize(const Program& program, Database* db,
     Database next_delta;
     Sink sink(db, &next_delta, window, options, stats);
     // Guard-allowed caches for chain rules live for the whole stratum.
+    // Pre-created so concurrent tasks only ever look entries up (the map is
+    // never resized while the pool runs; each task mutates its own entry).
     std::unordered_map<size_t, ChainAccelerator::AllowedCache> chain_caches;
+    for (size_t id : rule_ids) {
+      if (!compiled[id].is_aggregate() && compiled[id].chain.has_value()) {
+        chain_caches[id];
+      }
+    }
     auto emit_for = [&](PredicateId pred) {
       return [&sink, pred](const Tuple& tuple,
                            const IntervalSet& extent) -> Status {
@@ -189,7 +384,8 @@ Status Materialize(const Program& program, Database* db,
     };
 
     // Aggregate rules first: their inputs are strictly below this stratum,
-    // so one evaluation is complete.
+    // so one evaluation is complete. Always sequential - the stratum's
+    // plain rules may read their output in the initial round.
     for (size_t id : rule_ids) {
       if (!compiled[id].is_aggregate()) continue;
       ++stats->rule_evaluations;
@@ -200,13 +396,28 @@ Status Materialize(const Program& program, Database* db,
     }
 
     // Initial full round for plain rules.
-    for (size_t id : rule_ids) {
-      if (compiled[id].is_aggregate()) continue;
-      ++stats->rule_evaluations;
-      sink.SetContext(id, 0);
-      const auto& eval = std::get<RuleEvaluator>(compiled[id].eval);
-      DMTL_RETURN_IF_ERROR(eval.Evaluate(
-          *db, nullptr, -1, emit_for(compiled[id].rule().head.predicate)));
+    if (pool.has_value()) {
+      std::vector<RoundTask> tasks;
+      for (size_t id : rule_ids) {
+        if (compiled[id].is_aggregate()) continue;
+        RoundTask t;
+        t.rule_id = id;
+        t.initial = true;
+        t.evaluations = 1;
+        tasks.push_back(std::move(t));
+      }
+      DMTL_RETURN_IF_ERROR(RunRoundParallel(tasks, compiled, *db, delta,
+                                            window, options, &*pool,
+                                            &chain_caches, 0, &sink, stats));
+    } else {
+      for (size_t id : rule_ids) {
+        if (compiled[id].is_aggregate()) continue;
+        ++stats->rule_evaluations;
+        sink.SetContext(id, 0);
+        const auto& eval = std::get<RuleEvaluator>(compiled[id].eval);
+        DMTL_RETURN_IF_ERROR(eval.Evaluate(
+            *db, nullptr, -1, emit_for(compiled[id].rule().head.predicate)));
+      }
     }
     delta = std::move(next_delta);
     next_delta = Database();
@@ -219,6 +430,37 @@ Status Materialize(const Program& program, Database* db,
                                          " exceeded max_rounds");
       }
       ++stats->rounds;
+
+      if (pool.has_value()) {
+        std::vector<RoundTask> tasks;
+        for (size_t id : rule_ids) {
+          if (compiled[id].is_aggregate()) continue;
+          const CompiledRule& c = compiled[id];
+          RoundTask t;
+          t.rule_id = id;
+          if (c.chain.has_value()) {
+            t.chain = true;
+            t.evaluations = 1;
+          } else if (options.naive_evaluation) {
+            t.initial = true;
+            t.evaluations = 1;
+          } else {
+            const auto& eval = std::get<RuleEvaluator>(c.eval);
+            t.delta_occurrences =
+                DeltaOccurrences(c, eval, stratum_preds, delta);
+            if (t.delta_occurrences.empty()) continue;
+            t.evaluations = t.delta_occurrences.size();
+          }
+          tasks.push_back(std::move(t));
+        }
+        DMTL_RETURN_IF_ERROR(
+            RunRoundParallel(tasks, compiled, *db, delta, window, options,
+                             &*pool, &chain_caches, rounds, &sink, stats));
+        delta = std::move(next_delta);
+        next_delta = Database();
+        continue;
+      }
+
       for (size_t id : rule_ids) {
         if (compiled[id].is_aggregate()) continue;
         const CompiledRule& c = compiled[id];
@@ -244,16 +486,7 @@ Status Materialize(const Program& program, Database* db,
         }
         // Semi-naive: one pass per positive occurrence of a predicate that
         // changed this round.
-        std::vector<const RelationalAtom*> all_atoms;
-        for (const BodyLiteral& lit : c.rule().body) {
-          if (lit.kind != BodyLiteral::Kind::kMetric || lit.negated) continue;
-          lit.metric.CollectRelationalAtoms(&all_atoms);
-        }
-        for (int occ = 0; occ < eval.num_positive_occurrences(); ++occ) {
-          PredicateId pred = all_atoms[occ]->predicate;
-          if (!stratum_preds.count(pred)) continue;
-          const Relation* changed = delta.Find(pred);
-          if (changed == nullptr || changed->IsEmpty()) continue;
+        for (int occ : DeltaOccurrences(c, eval, stratum_preds, delta)) {
           ++stats->rule_evaluations;
           DMTL_RETURN_IF_ERROR(
               eval.Evaluate(*db, &delta, occ, emit_for(head)));
@@ -262,6 +495,10 @@ Status Materialize(const Program& program, Database* db,
       delta = std::move(next_delta);
       next_delta = Database();
     }
+    stats->stratum_wall_seconds[s] =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      stratum_start)
+            .count();
   }
 
   stats->wall_seconds =

@@ -46,6 +46,24 @@ struct EngineOptions {
   // semi-naively; for the ablation benchmark.
   bool naive_evaluation = false;
 
+  // Number of evaluation threads. 1 (the default) is the sequential engine,
+  // byte-for-byte identical to historical runs. 0 resolves to
+  // std::thread::hardware_concurrency(); N > 1 uses a fixed pool of N.
+  //
+  // With more than one thread, the non-aggregate rules of each fixpoint
+  // round are evaluated concurrently against the round-start snapshot of
+  // the database, each task buffering its derivations privately; at the
+  // round barrier the buffers are merged into the shared store in
+  // rule-index order (see docs/parallelism.md). The materialized database
+  // is identical to the sequential result - the round barrier of semi-naive
+  // evaluation is the synchronization point, and insertion stays
+  // single-writer. A fact that a later-indexed rule would have derived from
+  // an earlier rule's output *within the same round* is instead derived one
+  // round later, so provenance round numbers (and the rounds counter) may
+  // differ from the sequential run on programs with such intra-round
+  // feeding; the derived fact set never does.
+  int num_threads = 1;
+
   // When set, every newly derived fact piece is appended here with the
   // rule that produced it - the "why" behind each contract state change
   // (the explainability the paper argues for, as data). Opt-in: a full
@@ -61,6 +79,14 @@ struct EngineStats {
   size_t derived_intervals = 0;   // newly covered interval pieces inserted
   size_t chain_extensions = 0;    // facts emitted by the accelerator
   double wall_seconds = 0;
+
+  // --- parallel execution (num_threads != 1) ------------------------------
+  size_t threads = 1;             // resolved pool width
+  size_t parallel_rounds = 0;     // rounds evaluated through the pool
+  size_t parallel_tasks = 0;      // rule tasks dispatched to the pool
+  size_t parallel_merges = 0;     // per-task buffers merged at barriers
+  // Wall time per stratum (index = stratum number), sequential or parallel.
+  std::vector<double> stratum_wall_seconds;
 
   std::string ToString() const;
 };

@@ -24,6 +24,21 @@ struct Fact {
 };
 
 // The extent of one predicate: ground tuple -> coalesced interval set.
+//
+// Thread-safety / invalidation contract: Relation is single-writer. Every
+// const member (Find, FindByFirstArg, Contains, data(), the counters) is a
+// pure read - nothing is lazily built or cached under const - so any number
+// of concurrent readers are safe as long as no thread is inside a mutating
+// member (Insert, InsertSet, Clear, assignment). The parallel engine relies
+// on exactly this: rule-evaluation tasks read relations concurrently between
+// round barriers, and all insertion happens on one thread at the barrier.
+//
+// The first-argument secondary index is maintained *eagerly* inside Insert
+// (a new tuple appends one entry; new intervals on existing tuples leave it
+// untouched), never rebuilt on the read path. Its Tuple pointers stay valid
+// across further inserts because unordered_map keys are node-stable; they
+// are invalidated only by Clear and by assignment, like any other pointer
+// into the relation.
 class Relation {
  public:
   using Map = std::unordered_map<Tuple, IntervalSet, TupleHash>;
@@ -44,11 +59,13 @@ class Relation {
   const IntervalSet* Find(const Tuple& tuple) const;
   bool Contains(const Tuple& tuple, const Rational& t) const;
 
-  // Tuples whose first argument equals `v`, via an incrementally-maintained
-  // secondary index. Joins that arrive with the leading argument bound -
-  // the dominant pattern in the contract, where almost every predicate is
-  // keyed by account - probe this instead of scanning the whole relation.
-  // Returns nullptr when no tuple matches.
+  // Tuples whose first argument equals `v`, via the eagerly-maintained
+  // secondary index (see the class comment for the invalidation contract).
+  // Joins that arrive with the leading argument bound - the dominant
+  // pattern in the contract, where almost every predicate is keyed by
+  // account - probe this instead of scanning the whole relation. A pure
+  // read: safe to call from concurrent reader threads. Returns nullptr
+  // when no tuple matches.
   const std::vector<const Tuple*>* FindByFirstArg(const Value& v) const;
 
   bool IsEmpty() const { return data_.empty(); }
@@ -71,14 +88,20 @@ class Relation {
  private:
   Map data_;
   size_t approx_intervals_ = 0;
-  // Secondary index: first argument -> tuples. Lazily (re)built; a new
-  // *tuple* invalidates it, new intervals on existing tuples do not.
+  // Secondary index: first argument -> tuples. Updated eagerly by Insert
+  // when a new *tuple* appears (new intervals on existing tuples do not
+  // touch it); never mutated under const.
   std::unordered_map<Value, std::vector<const Tuple*>> first_arg_index_;
 };
 
 // The temporal database D: all facts, grouped by predicate. Serves as both
 // the input database and the materialization target (the chase only ever
 // inserts - DatalogMTL state evolution is monotone, as the paper stresses).
+//
+// Inherits Relation's single-writer contract: concurrent readers are safe
+// whenever no thread is mutating. The engine's parallel rounds evaluate
+// rules against a frozen Database snapshot and funnel every insert through
+// the single-threaded barrier merge.
 class Database {
  public:
   Database() = default;

@@ -1,5 +1,6 @@
 #include "src/tools/cli.h"
 
+#include <cstdlib>
 #include <iostream>
 #include <optional>
 
@@ -27,6 +28,7 @@ constexpr char kUsage[] =
     "  --max T         derivation horizon upper bound (rational)\n"
     "  --no-accel      disable chain acceleration\n"
     "  --naive         naive (non-semi-naive) evaluation\n"
+    "  --threads N     evaluation threads (0 = hardware, default 1)\n"
     "  --query PRED    print only facts of PRED\n"
     "  --at TIME       print only tuples holding at TIME\n"
     "  --stats         print engine statistics\n"
@@ -76,6 +78,15 @@ Result<CliOptions> ParseArgs(const std::vector<std::string>& args) {
       options.engine.enable_chain_acceleration = false;
     } else if (arg == "--naive") {
       options.engine.naive_evaluation = true;
+    } else if (arg == "--threads") {
+      DMTL_ASSIGN_OR_RETURN(std::string text, next());
+      char* end = nullptr;
+      long value = std::strtol(text.c_str(), &end, 10);
+      if (end == text.c_str() || *end != '\0' || value < 0) {
+        return Status::InvalidArgument("--threads needs a non-negative int, got '" +
+                                       text + "'");
+      }
+      options.engine.num_threads = static_cast<int>(value);
     } else if (arg == "--query") {
       DMTL_ASSIGN_OR_RETURN(std::string pred, next());
       options.query = pred;

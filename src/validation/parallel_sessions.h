@@ -1,0 +1,59 @@
+#ifndef DMTL_VALIDATION_PARALLEL_SESSIONS_H_
+#define DMTL_VALIDATION_PARALLEL_SESSIONS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/chain/workload.h"
+#include "src/common/status.h"
+#include "src/contracts/market_params.h"
+#include "src/eval/seminaive.h"
+#include "src/storage/database.h"
+
+namespace dmtl {
+
+// The "millions of users" scaling axis: trading sessions are independent of
+// one another (every contract predicate is keyed by account, and accounts
+// never interact across sessions), so a fleet of account-sharded sessions
+// materializes embarrassingly parallel. This driver runs N sessions across
+// a thread pool, one full materialization per shard, and returns results in
+// shard order - the output is identical to running the shards in a
+// sequential loop, whatever the pool width.
+
+// The outcome of one materialized shard.
+struct SessionShardResult {
+  std::string name;
+  Session session;
+  Database db;         // the materialized shard database
+  EngineStats stats;
+};
+
+struct ParallelSessionsOptions {
+  // Pool width for the shard loop: 0 = hardware concurrency, 1 = run the
+  // shards sequentially on the calling thread.
+  int num_threads = 0;
+  MarketParams params;
+  // Per-shard engine options. The session horizon (min_time/max_time) is
+  // always overwritten from each shard's own window, and `provenance` is
+  // ignored (a shared record vector cannot be appended to concurrently).
+  // Defaults to the sequential engine inside each shard - the shard loop is
+  // the outer parallelism axis; set engine.num_threads > 1 only for few,
+  // huge shards.
+  EngineOptions engine;
+};
+
+// Derives `num_shards` independent account-sharded session configs from a
+// base config: same shape and volume, disjoint seeds, suffixed names.
+std::vector<WorkloadConfig> ShardConfigs(const WorkloadConfig& base,
+                                         int num_shards);
+
+// Generates and materializes every shard (ETH-PERP program, shard-local
+// horizon) across the pool. Results are in shard order; on failure the
+// lowest-indexed shard's error is returned.
+Result<std::vector<SessionShardResult>> RunParallelSessions(
+    const std::vector<WorkloadConfig>& shards,
+    const ParallelSessionsOptions& options = {});
+
+}  // namespace dmtl
+
+#endif  // DMTL_VALIDATION_PARALLEL_SESSIONS_H_

@@ -1,0 +1,316 @@
+// Parallel-vs-sequential equivalence: materializing with num_threads of
+// 1, 2, and 8 must produce identical database contents and Series()
+// output, and cover the same derived intervals in provenance. Covers the
+// ETH-PERP contract program, randomized synthetic programs (the same safe
+// fragment the differential test fuzzes), and directed recursive cases.
+//
+// Provenance *attribution* (which rule / which round first derived a
+// piece) can legitimately differ between sequential and parallel runs:
+// sequential evaluation has program-order visibility within a round,
+// while parallel tasks evaluate against the round-start snapshot (see the
+// EngineOptions::num_threads doc in seminaive.h). So seq-vs-par we
+// compare provenance *coverage* - the union of derived pieces per
+// (predicate, tuple) - which is invariant. Across parallel widths
+// (2 vs 8 threads) the schedule is width-independent, so there the full
+// provenance text must match byte for byte.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+#include <sstream>
+
+#include "src/chain/replayer.h"
+#include "src/chain/workload.h"
+#include "src/contracts/eth_perp_program.h"
+#include "src/engine/reasoner.h"
+#include "src/eval/seminaive.h"
+#include "src/parser/parser.h"
+
+namespace dmtl {
+namespace {
+
+struct RunResult {
+  std::string db_text;
+  std::string series_text;
+  std::string provenance_text;
+  std::string provenance_coverage;
+  size_t derived_intervals = 0;
+};
+
+// Union of provenance pieces per (predicate, tuple), rendered sorted.
+// Attribution-independent: equal whenever two runs derived the same facts.
+std::string ProvenanceCoverage(const std::vector<DerivationRecord>& records) {
+  std::map<std::pair<PredicateId, std::string>, IntervalSet> coverage;
+  for (const DerivationRecord& record : records) {
+    coverage[{record.predicate, TupleToString(record.tuple)}].Insert(
+        record.piece);
+  }
+  std::ostringstream out;
+  for (const auto& [key, set] : coverage) {
+    out << key.first << " " << key.second << " @ " << set.ToString() << "\n";
+  }
+  return out.str();
+}
+
+std::string SeriesText(const Database& db, std::string_view pred) {
+  std::ostringstream out;
+  for (const auto& [t, tuple] : Reasoner::Series(db, pred)) {
+    out << t << " " << TupleToString(tuple) << "\n";
+  }
+  return out.str();
+}
+
+RunResult MaterializeWithThreads(const Program& program, const Database& input,
+                                 EngineOptions options, int num_threads,
+                                 std::string_view series_pred) {
+  std::vector<DerivationRecord> provenance;
+  options.num_threads = num_threads;
+  options.provenance = &provenance;
+  Database db = input;
+  EngineStats stats;
+  Status status = Materialize(program, &db, options, &stats);
+  EXPECT_TRUE(status.ok()) << status << " (num_threads=" << num_threads << ")";
+  RunResult out;
+  out.db_text = db.ToString();
+  out.series_text = SeriesText(db, series_pred);
+  std::ostringstream prov;
+  for (const DerivationRecord& record : provenance) {
+    prov << record.ToString(program) << "\n";
+  }
+  out.provenance_text = prov.str();
+  out.provenance_coverage = ProvenanceCoverage(provenance);
+  out.derived_intervals = stats.derived_intervals;
+  return out;
+}
+
+void ExpectEquivalentAcrossThreadCounts(const Program& program,
+                                        const Database& input,
+                                        const EngineOptions& options,
+                                        std::string_view series_pred,
+                                        const std::string& label) {
+  RunResult seq = MaterializeWithThreads(program, input, options, 1,
+                                         series_pred);
+  std::vector<RunResult> parallel;
+  for (int threads : {2, 8}) {
+    RunResult par = MaterializeWithThreads(program, input, options, threads,
+                                           series_pred);
+    EXPECT_EQ(seq.db_text, par.db_text)
+        << label << ": database diverged at num_threads=" << threads;
+    EXPECT_EQ(seq.series_text, par.series_text)
+        << label << ": Series() diverged at num_threads=" << threads;
+    EXPECT_EQ(seq.provenance_coverage, par.provenance_coverage)
+        << label << ": provenance coverage diverged at num_threads="
+        << threads;
+    parallel.push_back(std::move(par));
+  }
+  // Pool width must not change anything: the parallel schedule is
+  // deterministic, so 2 and 8 threads agree byte for byte - including
+  // provenance attribution and the stats counters.
+  ASSERT_EQ(parallel.size(), 2u);
+  EXPECT_EQ(parallel[0].db_text, parallel[1].db_text) << label;
+  EXPECT_EQ(parallel[0].series_text, parallel[1].series_text) << label;
+  EXPECT_EQ(parallel[0].provenance_text, parallel[1].provenance_text)
+      << label << ": parallel provenance is not width-independent";
+  EXPECT_EQ(parallel[0].derived_intervals, parallel[1].derived_intervals)
+      << label;
+}
+
+// --- randomized synthetic programs (mirrors differential_test's fragment) --
+
+class ProgramFuzzer {
+ public:
+  explicit ProgramFuzzer(uint64_t seed) : rng_(seed) {}
+
+  std::string Generate() {
+    std::ostringstream out;
+    int num_edb = 2 + Pick(2);
+    int num_derived = 2 + Pick(3);
+    for (int d = 0; d < num_derived; ++d) {
+      out << "d" << d << "(X) :- " << LowerAtom(d, num_edb) << Guard(num_edb)
+          << " .\n";
+      int step = 1 + Pick(2);
+      const char* op = Pick(2) == 0 ? "boxminus" : "diamondminus";
+      out << "d" << d << "(X) :- " << op << "[" << step << "," << step
+          << "] d" << d << "(X), not p0(X) .\n";
+      if (Pick(2) == 0) {
+        out << "d" << d << "(X) :- diamondminus[0," << (1 + Pick(3)) << "] "
+            << LowerAtom(d, num_edb) << " .\n";
+      }
+    }
+    for (int p = 0; p < num_edb; ++p) {
+      int facts = 1 + Pick(4);
+      for (int f = 0; f < facts; ++f) {
+        int lo = Pick(12);
+        int hi = lo + Pick(4);
+        out << "p" << p << "(c" << Pick(3) << ")@[" << lo << "," << hi
+            << "] .\n";
+      }
+    }
+    return out.str();
+  }
+
+ private:
+  int Pick(int n) { return static_cast<int>(rng_() % n); }
+
+  std::string LowerAtom(int d, int num_edb) {
+    if (d > 0 && Pick(2) == 0) {
+      return "d" + std::to_string(Pick(d)) + "(X)";
+    }
+    return "p" + std::to_string(Pick(num_edb)) + "(X)";
+  }
+
+  std::string Guard(int num_edb) {
+    switch (Pick(3)) {
+      case 0:
+        return "";
+      case 1:
+        return ", not p" + std::to_string(Pick(num_edb)) + "(X)";
+      default:
+        return ", diamondminus[0,2] p" + std::to_string(Pick(num_edb)) +
+               "(X)";
+    }
+  }
+
+  std::mt19937_64 rng_;
+};
+
+class ParallelFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParallelFuzzTest, ThreadCountsAgree) {
+  ProgramFuzzer fuzzer(GetParam());
+  std::string text = fuzzer.Generate();
+  auto unit = Parser::Parse(text);
+  ASSERT_TRUE(unit.ok()) << unit.status() << "\nprogram:\n" << text;
+  EngineOptions options;
+  options.min_time = Rational(0);
+  options.max_time = Rational(40);
+  ExpectEquivalentAcrossThreadCounts(unit->program, unit->database, options,
+                                     "d0", "fuzz program:\n" + text);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelFuzzTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+// Without the chain accelerator the fixpoint takes one round per tick -
+// many more rounds and barrier merges to keep consistent.
+TEST(ParallelEvalTest, ThreadCountsAgreeWithoutChainAcceleration) {
+  ProgramFuzzer fuzzer(7);
+  auto unit = Parser::Parse(fuzzer.Generate());
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  EngineOptions options;
+  options.min_time = Rational(0);
+  options.max_time = Rational(40);
+  options.enable_chain_acceleration = false;
+  ExpectEquivalentAcrossThreadCounts(unit->program, unit->database, options,
+                                     "d0", "no-accel fuzz program");
+}
+
+TEST(ParallelEvalTest, ThreadCountsAgreeUnderNaiveEvaluation) {
+  ProgramFuzzer fuzzer(11);
+  auto unit = Parser::Parse(fuzzer.Generate());
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  EngineOptions options;
+  options.min_time = Rational(0);
+  options.max_time = Rational(40);
+  options.naive_evaluation = true;
+  ExpectEquivalentAcrossThreadCounts(unit->program, unit->database, options,
+                                     "d0", "naive fuzz program");
+}
+
+// Mutually recursive rules in one stratum: the shape where sequential
+// evaluation can see an earlier rule's same-round output.
+TEST(ParallelEvalTest, RecursiveTransitiveClosure) {
+  const char* text =
+      "reach(X, Y) :- edge(X, Y) .\n"
+      "reach(X, Z) :- reach(X, Y), edge(Y, Z) .\n"
+      "back(X, Y) :- reach(X, Y), not edge(X, Y) .\n"
+      "edge(a, b)@[0,10] . edge(b, c)@[2,8] . edge(c, d)@[3,6] .\n"
+      "edge(d, a)@[4,5] . edge(c, a)@[0,4] .\n";
+  auto unit = Parser::Parse(text);
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  EngineOptions options;
+  options.min_time = Rational(0);
+  options.max_time = Rational(20);
+  ExpectEquivalentAcrossThreadCounts(unit->program, unit->database, options,
+                                     "reach", "transitive closure");
+}
+
+TEST(ParallelEvalTest, AutoThreadsMatchesSequential) {
+  const char* text =
+      "q(X) :- p(X) .\n"
+      "q(X) :- boxminus[1,1] q(X), not stop(X) .\n"
+      "p(a)@0 . p(b)@2 . stop(a)@6 .\n";
+  auto unit = Parser::Parse(text);
+  ASSERT_TRUE(unit.ok());
+  EngineOptions options;
+  options.min_time = Rational(0);
+  options.max_time = Rational(30);
+
+  RunResult seq = MaterializeWithThreads(unit->program, unit->database,
+                                         options, 1, "q");
+  // num_threads = 0 resolves to hardware concurrency (>= 1).
+  RunResult autop = MaterializeWithThreads(unit->program, unit->database,
+                                           options, 0, "q");
+  EXPECT_EQ(seq.db_text, autop.db_text);
+  EXPECT_EQ(seq.series_text, autop.series_text);
+  EXPECT_EQ(seq.provenance_coverage, autop.provenance_coverage);
+}
+
+// The full contract program on a synthetic trading session - the paper's
+// workload, including aggregates, negation, and the accelerated chains.
+TEST(ParallelEvalTest, EthPerpSessionEquivalence) {
+  WorkloadConfig config;
+  config.name = "parallel-eq";
+  config.num_events = 24;
+  config.num_trades = 5;
+  config.duration_s = 600;
+  config.initial_skew = -500.0;
+  config.seed = 123;
+  auto session = GenerateSession(config);
+  ASSERT_TRUE(session.ok()) << session.status();
+
+  auto program = EthPerpProgram({});
+  ASSERT_TRUE(program.ok()) << program.status();
+  Database input = SessionToDatabase(*session);
+  EngineOptions options = SessionEngineOptions(*session);
+  ExpectEquivalentAcrossThreadCounts(*program, input, options, "frs",
+                                     "ETH-PERP session");
+}
+
+TEST(ParallelEvalTest, ParallelStatsAreReported) {
+  const char* text =
+      "a(X) :- p(X) .\n"
+      "b(X) :- p(X) .\n"
+      "c(X) :- a(X), b(X) .\n"
+      "p(x)@[0,5] . p(y)@[2,9] .\n";
+  auto unit = Parser::Parse(text);
+  ASSERT_TRUE(unit.ok());
+  EngineOptions options;
+  options.num_threads = 4;
+  Database db = unit->database;
+  EngineStats stats;
+  ASSERT_TRUE(Materialize(unit->program, &db, options, &stats).ok());
+  EXPECT_EQ(stats.threads, 4u);
+  EXPECT_GE(stats.parallel_rounds, 1u);
+  EXPECT_GE(stats.parallel_tasks, 3u);
+  EXPECT_GE(stats.parallel_merges, 3u);
+  EXPECT_EQ(stats.stratum_wall_seconds.size(),
+            static_cast<size_t>(stats.num_strata));
+  EXPECT_NE(stats.ToString().find("threads=4"), std::string::npos);
+}
+
+TEST(ParallelEvalTest, SequentialStatsOmitParallelCounters) {
+  const char* text = "a(X) :- p(X) .\np(x)@[0,5] .\n";
+  auto unit = Parser::Parse(text);
+  ASSERT_TRUE(unit.ok());
+  Database db = unit->database;
+  EngineStats stats;
+  ASSERT_TRUE(Materialize(unit->program, &db, {}, &stats).ok());
+  EXPECT_EQ(stats.threads, 1u);
+  EXPECT_EQ(stats.parallel_rounds, 0u);
+  EXPECT_EQ(stats.ToString().find("parallel_rounds"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dmtl

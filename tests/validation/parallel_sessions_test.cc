@@ -1,0 +1,91 @@
+#include "src/validation/parallel_sessions.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dmtl {
+namespace {
+
+WorkloadConfig SmallBase() {
+  WorkloadConfig base;
+  base.name = "shardtest";
+  base.num_events = 24;
+  base.num_trades = 5;
+  base.duration_s = 600;
+  base.seed = 7;
+  return base;
+}
+
+TEST(ShardConfigsTest, ProducesDistinctNamedShards) {
+  std::vector<WorkloadConfig> shards = ShardConfigs(SmallBase(), 4);
+  ASSERT_EQ(shards.size(), 4u);
+  std::set<std::string> names;
+  std::set<uint64_t> seeds;
+  for (const WorkloadConfig& shard : shards) {
+    names.insert(shard.name);
+    seeds.insert(shard.seed);
+    EXPECT_EQ(shard.num_events, 24);
+    EXPECT_EQ(shard.num_trades, 5);
+  }
+  EXPECT_EQ(names.size(), 4u);
+  EXPECT_EQ(seeds.size(), 4u);
+  EXPECT_TRUE(ShardConfigs(SmallBase(), 0).empty());
+}
+
+TEST(ParallelSessionsTest, PoolWidthDoesNotChangeResults) {
+  std::vector<WorkloadConfig> shards = ShardConfigs(SmallBase(), 3);
+
+  ParallelSessionsOptions sequential;
+  sequential.num_threads = 1;
+  auto seq = RunParallelSessions(shards, sequential);
+  ASSERT_TRUE(seq.ok()) << seq.status();
+
+  ParallelSessionsOptions parallel;
+  parallel.num_threads = 4;
+  auto par = RunParallelSessions(shards, parallel);
+  ASSERT_TRUE(par.ok()) << par.status();
+
+  ASSERT_EQ(seq->size(), par->size());
+  for (size_t i = 0; i < seq->size(); ++i) {
+    EXPECT_EQ((*seq)[i].name, (*par)[i].name);
+    EXPECT_EQ((*seq)[i].db.ToString(), (*par)[i].db.ToString())
+        << "shard " << i << " diverged";
+    EXPECT_EQ((*seq)[i].stats.derived_intervals,
+              (*par)[i].stats.derived_intervals);
+  }
+}
+
+TEST(ParallelSessionsTest, ResultsArriveInShardOrder) {
+  std::vector<WorkloadConfig> shards = ShardConfigs(SmallBase(), 5);
+  ParallelSessionsOptions options;
+  options.num_threads = 4;
+  auto results = RunParallelSessions(shards, options);
+  ASSERT_TRUE(results.ok()) << results.status();
+  ASSERT_EQ(results->size(), 5u);
+  for (size_t i = 0; i < results->size(); ++i) {
+    EXPECT_EQ((*results)[i].name, shards[i].name);
+    EXPECT_GT((*results)[i].stats.derived_intervals, 0u);
+    EXPECT_GT((*results)[i].db.NumIntervals(), 0u);
+  }
+}
+
+TEST(ParallelSessionsTest, ShardErrorPropagates) {
+  std::vector<WorkloadConfig> shards = ShardConfigs(SmallBase(), 3);
+  // An infeasible shard: more trades than events can carry.
+  shards[1].num_events = 2;
+  shards[1].num_trades = 50;
+  ParallelSessionsOptions options;
+  options.num_threads = 4;
+  auto results = RunParallelSessions(shards, options);
+  EXPECT_FALSE(results.ok());
+}
+
+TEST(ParallelSessionsTest, EmptyShardListIsOk) {
+  auto results = RunParallelSessions({}, {});
+  ASSERT_TRUE(results.ok());
+  EXPECT_TRUE(results->empty());
+}
+
+}  // namespace
+}  // namespace dmtl
