@@ -1,7 +1,8 @@
 // Experiment B7 - engine ablations for the design choices DESIGN.md calls
-// out: (a) chain acceleration on/off, (b) semi-naive vs naive evaluation.
-// Both variants must produce identical materializations; the ablation
-// quantifies the cost of turning each optimization off.
+// out: (a) chain acceleration on/off, (b) semi-naive vs naive evaluation,
+// (c) cost-based join planning on/off. All variants must produce identical
+// materializations; the ablation quantifies the cost of turning each
+// optimization off.
 
 #include <cstdio>
 
@@ -12,13 +13,14 @@ namespace {
 using namespace dmtl;
 
 double RunWith(const WorkloadConfig& config, bool accel, bool naive,
-               EngineStats* stats) {
+               bool planning, EngineStats* stats) {
   Session session = bench::Check(GenerateSession(config), "generate");
   Program program = bench::Check(EthPerpProgram(), "program");
   Database db = SessionToDatabase(session);
   EngineOptions options = SessionEngineOptions(session);
   options.enable_chain_acceleration = accel;
   options.naive_evaluation = naive;
+  options.enable_join_planning = planning;
   bench::Check(Materialize(program, &db, options, stats), "materialize");
   return stats->wall_seconds;
 }
@@ -40,23 +42,34 @@ int main() {
 
   EngineStats accel_stats;
   double accel = RunWith(config, /*accel=*/true, /*naive=*/false,
-                         &accel_stats);
+                         /*planning=*/true, &accel_stats);
+  EngineStats noplan_stats;
+  double noplan = RunWith(config, /*accel=*/true, /*naive=*/false,
+                          /*planning=*/false, &noplan_stats);
   EngineStats plain_stats;
   double plain = RunWith(config, /*accel=*/false, /*naive=*/false,
-                         &plain_stats);
+                         /*planning=*/true, &plain_stats);
   EngineStats naive_stats;
   double naive = RunWith(config, /*accel=*/false, /*naive=*/true,
-                         &naive_stats);
+                         /*planning=*/true, &naive_stats);
 
   std::printf("%-32s %12s %10s %12s\n", "configuration", "runtime(s)",
               "rounds", "rule evals");
-  std::printf("%-32s %12.3f %10zu %12zu\n", "semi-naive + chain accel",
+  std::printf("%-32s %12.3f %10zu %12zu\n", "semi-naive + accel + planner",
               accel, accel_stats.rounds, accel_stats.rule_evaluations);
+  std::printf("%-32s %12.3f %10zu %12zu\n", "semi-naive + accel, no planner",
+              noplan, noplan_stats.rounds, noplan_stats.rule_evaluations);
   std::printf("%-32s %12.3f %10zu %12zu\n", "semi-naive, no acceleration",
               plain, plain_stats.rounds, plain_stats.rule_evaluations);
   std::printf("%-32s %12.3f %10zu %12zu\n", "naive re-evaluation",
               naive, naive_stats.rounds, naive_stats.rule_evaluations);
   std::printf("\nspeedup from chain acceleration: %.1fx\n", plain / accel);
   std::printf("speedup of semi-naive over naive: %.1fx\n", naive / plain);
+  std::printf("speedup from join planning:       %.2fx\n", noplan / accel);
+  std::printf("planner: %zu indexes, %zu probes (%zu hits), %zu tuples "
+              "pruned\n",
+              accel_stats.planner_indexes_built,
+              accel_stats.planner_index_probes, accel_stats.planner_probe_hits,
+              accel_stats.planner_pruned_tuples);
   return 0;
 }

@@ -61,6 +61,9 @@ int main() {
         .Field("window_s", pt.window)
         .Field("sequential_s", seq.stats.wall_seconds)
         .Field("parallel_s", par.stats.wall_seconds)
+        // 0 = "hardware concurrency" as requested; parallel_threads is the
+        // pool width that request actually resolved to on this host.
+        .Field("requested_threads", static_cast<size_t>(0))
         .Field("parallel_threads", par.stats.threads)
         .Field("speedup", speedup)
         .Field("derived", seq.stats.derived_intervals)

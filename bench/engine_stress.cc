@@ -113,6 +113,7 @@ int main() {
 
   ParallelSessionsOptions parallel;
   parallel.num_threads = 0;  // hardware concurrency
+  const size_t par_threads = parallel.ResolvedThreads();
   auto par_start = std::chrono::steady_clock::now();
   auto par = RunParallelSessions(shards, parallel);
   double par_s = Seconds(par_start);
@@ -126,8 +127,8 @@ int main() {
   std::printf("%8s %10s %12s %14s\n", "mode", "threads", "runtime(s)",
               "derived");
   std::printf("%8s %10d %12.3f %14zu\n", "seq", 1, seq_s, seq_derived);
-  std::printf("%8s %10zu %12.3f %14zu\n", "par", ThreadPool::ResolveThreads(0),
-              par_s, par_derived);
+  std::printf("%8s %10zu %12.3f %14zu\n", "par", par_threads, par_s,
+              par_derived);
   std::printf("speedup: %.2fx over %d shards\n", speedup, kShards);
 
   json.BeginObject("sharded_sessions")
@@ -135,7 +136,11 @@ int main() {
       .Field("events_per_shard", base.num_events)
       .Field("sequential_s", seq_s)
       .Field("parallel_s", par_s)
-      .Field("parallel_threads", ThreadPool::ResolveThreads(0))
+      // 0 = "hardware concurrency" as requested; parallel_threads is the
+      // shard-pool width the request resolved to (see
+      // ParallelSessionsOptions::ResolvedThreads), not a re-derivation.
+      .Field("requested_threads", static_cast<size_t>(0))
+      .Field("parallel_threads", par_threads)
       .Field("speedup", speedup)
       .Field("sequential_derived", seq_derived)
       .Field("parallel_derived", par_derived)

@@ -15,15 +15,23 @@ std::string VarName(const Rule& rule, int var) {
 
 }  // namespace
 
-Status CheckSafety(const Rule& rule) {
+std::set<int> PositiveLiteralVars(const Rule& rule) {
   std::set<int> bound;
-  // Positive relational atoms bind their variables.
   for (const BodyLiteral& lit : rule.body) {
     if (lit.kind == BodyLiteral::Kind::kMetric && !lit.negated) {
       std::vector<int> vars;
       lit.metric.CollectVars(&vars);
       bound.insert(vars.begin(), vars.end());
     }
+  }
+  return bound;
+}
+
+Status CheckSafety(const Rule& rule) {
+  // Positive relational atoms bind their variables; timestamp() binds its
+  // target.
+  std::set<int> bound = PositiveLiteralVars(rule);
+  for (const BodyLiteral& lit : rule.body) {
     if (lit.kind == BodyLiteral::Kind::kBuiltin &&
         lit.builtin.kind == BuiltinAtom::Kind::kTimestamp) {
       bound.insert(lit.builtin.var);

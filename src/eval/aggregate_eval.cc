@@ -115,12 +115,14 @@ Result<Value> Aggregate(AggKind kind, const std::vector<Value>& values) {
 
 }  // namespace
 
-Result<AggregateEvaluator> AggregateEvaluator::Create(const Rule& rule) {
+Result<AggregateEvaluator> AggregateEvaluator::Create(
+    const Rule& rule, bool enable_join_planning) {
   if (!rule.head.aggregate.has_value()) {
     return Status::InvalidArgument("rule has no aggregate head: " +
                                    rule.ToString());
   }
-  DMTL_ASSIGN_OR_RETURN(RuleEvaluator body, RuleEvaluator::Create(rule));
+  DMTL_ASSIGN_OR_RETURN(RuleEvaluator body,
+                        RuleEvaluator::Create(rule, enable_join_planning));
   return AggregateEvaluator(std::move(body));
 }
 

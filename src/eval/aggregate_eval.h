@@ -21,9 +21,15 @@ namespace dmtl {
 // strictly lower), so a single evaluation per materialization suffices.
 class AggregateEvaluator {
  public:
-  static Result<AggregateEvaluator> Create(const Rule& rule);
+  static Result<AggregateEvaluator> Create(const Rule& rule,
+                                           bool enable_join_planning = true);
 
   const Rule& rule() const { return body_eval_.rule(); }
+
+  // Planner counters of the body evaluator (null when planning is off).
+  const PlannerStats* planner_stats() const {
+    return body_eval_.planner_stats();
+  }
 
   Status Evaluate(const Database& db, const RuleEvaluator::EmitFn& emit) const;
 

@@ -13,6 +13,9 @@ IntervalSet RelationalExtent(const RelationalAtom& atom,
   if (db == nullptr) return IntervalSet();
   const Relation* rel = db->Find(atom.predicate);
   if (rel == nullptr) return IntervalSet();
+  // Everything below intersects with `window`; an empty window cannot
+  // contribute anything.
+  if (window.IsEmpty()) return IntervalSet();
 
   bool ground = true;
   for (const Term& t : atom.args) {
@@ -29,9 +32,13 @@ IntervalSet RelationalExtent(const RelationalAtom& atom,
     return set == nullptr ? IntervalSet() : set->Intersect(window);
   }
   // Existential: union over all tuples agreeing on the resolved positions.
+  // The hull precheck skips tuples whose whole stored extent lies outside
+  // the window's hull - their contribution to the union is empty anyway.
   IntervalSet out;
+  Interval window_hull = window.Hull();
   auto consider = [&](const Tuple& tuple, const IntervalSet& set) {
     if (tuple.size() != atom.args.size()) return;
+    if (!set.Hull().Overlaps(window_hull)) return;
     for (size_t i = 0; i < atom.args.size(); ++i) {
       if (binding.IsResolved(atom.args[i]) &&
           binding.Resolve(atom.args[i]) != tuple[i]) {

@@ -299,6 +299,13 @@ std::string EngineStats::ToString() const {
            " parallel_tasks=" + std::to_string(parallel_tasks) +
            " parallel_merges=" + std::to_string(parallel_merges);
   }
+  if (planner_indexes_built + planner_index_probes + planner_pruned_tuples >
+      0) {
+    out += " planner_indexes=" + std::to_string(planner_indexes_built) +
+           " planner_probes=" + std::to_string(planner_index_probes) +
+           " planner_probe_hits=" + std::to_string(planner_probe_hits) +
+           " planner_pruned=" + std::to_string(planner_pruned_tuples);
+  }
   return out;
 }
 
@@ -332,13 +339,16 @@ Status Materialize(const Program& program, Database* db,
   compiled.reserve(program.rules().size());
   for (const Rule& rule : program.rules()) {
     if (rule.head.aggregate.has_value()) {
-      DMTL_ASSIGN_OR_RETURN(AggregateEvaluator agg,
-                            AggregateEvaluator::Create(rule));
+      DMTL_ASSIGN_OR_RETURN(
+          AggregateEvaluator agg,
+          AggregateEvaluator::Create(rule, options.enable_join_planning));
       compiled.push_back(CompiledRule{
           std::variant<RuleEvaluator, AggregateEvaluator>(std::move(agg)),
           std::nullopt});
     } else {
-      DMTL_ASSIGN_OR_RETURN(RuleEvaluator eval, RuleEvaluator::Create(rule));
+      DMTL_ASSIGN_OR_RETURN(
+          RuleEvaluator eval,
+          RuleEvaluator::Create(rule, options.enable_join_planning));
       std::optional<ChainAccelerator::ChainInfo> chain;
       if (options.enable_chain_acceleration) {
         chain = ChainAccelerator::Detect(rule, strat.predicate_stratum);
@@ -499,6 +509,25 @@ Status Materialize(const Program& program, Database* db,
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       stratum_start)
             .count();
+  }
+
+  // Fold each rule's planner counters into the run stats (the pool has
+  // joined; relaxed loads are fully ordered behind the round barriers).
+  for (const CompiledRule& c : compiled) {
+    const PlannerStats* ps =
+        c.is_aggregate() ? std::get<AggregateEvaluator>(c.eval).planner_stats()
+                         : std::get<RuleEvaluator>(c.eval).planner_stats();
+    if (ps == nullptr) continue;
+    stats->planner_indexes_built +=
+        ps->indexes_built.load(std::memory_order_relaxed);
+    stats->planner_index_probes +=
+        ps->index_probes.load(std::memory_order_relaxed);
+    stats->planner_probe_hits +=
+        ps->index_probe_hits.load(std::memory_order_relaxed);
+    stats->planner_pruned_tuples +=
+        ps->envelope_pruned.load(std::memory_order_relaxed);
+    stats->rule_plan_cost.push_back(
+        ps->last_plan_cost.load(std::memory_order_relaxed));
   }
 
   stats->wall_seconds =

@@ -46,6 +46,15 @@ struct EngineOptions {
   // semi-naively; for the ablation benchmark.
   bool naive_evaluation = false;
 
+  // Cost-based join planning for positive body literals: literals are
+  // reordered by estimated selectivity (the semi-naive delta literal pinned
+  // first), atoms probe on-demand bound-signature indexes
+  // (Relation::GetIndex), and candidates whose temporal envelope cannot
+  // intersect the row extent are pruned before unification. A pure
+  // optimization - the materialized database is identical with it on or
+  // off; disable only for the ablation benchmark.
+  bool enable_join_planning = true;
+
   // Number of evaluation threads. 1 (the default) is the sequential engine,
   // byte-for-byte identical to historical runs. 0 resolves to
   // std::thread::hardware_concurrency(); N > 1 uses a fixed pool of N.
@@ -79,6 +88,15 @@ struct EngineStats {
   size_t derived_intervals = 0;   // newly covered interval pieces inserted
   size_t chain_extensions = 0;    // facts emitted by the accelerator
   double wall_seconds = 0;
+
+  // --- join planner (enable_join_planning) --------------------------------
+  size_t planner_indexes_built = 0;  // bound-signature indexes materialized
+  size_t planner_index_probes = 0;   // index lookups issued
+  size_t planner_probe_hits = 0;     // lookups that found a posting list
+  size_t planner_pruned_tuples = 0;  // candidates skipped by envelope/hull
+  // Estimated cost of each rule's most recent plan, indexed like
+  // program.rules(); empty when planning is off.
+  std::vector<double> rule_plan_cost;
 
   // --- parallel execution (num_threads != 1) ------------------------------
   size_t threads = 1;             // resolved pool width

@@ -1,6 +1,7 @@
 #include "src/storage/database.h"
 
 #include <algorithm>
+#include <bit>
 
 namespace dmtl {
 
@@ -32,7 +33,66 @@ Relation& Relation::operator=(const Relation& other) {
   for (const auto& [tuple, set] : data_) {
     if (!tuple.empty()) first_arg_index_[tuple[0]].push_back(&tuple);
   }
+  // Bound-signature indexes point into the *source's* data_; drop them and
+  // let the next probe rebuild against our own storage.
+  indexes_.clear();
   return *this;
+}
+
+Relation::Relation(Relation&& other) noexcept
+    : data_(std::move(other.data_)),
+      approx_intervals_(other.approx_intervals_),
+      first_arg_index_(std::move(other.first_arg_index_)),
+      indexes_(std::move(other.indexes_)) {
+  other.approx_intervals_ = 0;
+}
+
+Relation& Relation::operator=(Relation&& other) noexcept {
+  if (this == &other) return *this;
+  data_ = std::move(other.data_);
+  approx_intervals_ = other.approx_intervals_;
+  first_arg_index_ = std::move(other.first_arg_index_);
+  indexes_ = std::move(other.indexes_);
+  other.approx_intervals_ = 0;
+  return *this;
+}
+
+void Relation::IndexTuple(BoundIndex* index, const Tuple& tuple,
+                          const IntervalSet& extent, bool new_tuple,
+                          const Interval& iv) {
+  if (tuple.size() <= index->positions.back()) return;  // can never unify
+  Tuple key;
+  key.reserve(index->positions.size());
+  for (size_t p : index->positions) key.push_back(tuple[p]);
+  PostingList& list = index->buckets[std::move(key)];
+  if (new_tuple) list.entries.push_back(IndexEntry{&tuple, &extent});
+  list.Widen(iv);
+}
+
+const Relation::BoundIndex* Relation::GetIndex(uint64_t signature,
+                                               bool* built_now) const {
+  if (built_now != nullptr) *built_now = false;
+  if (signature == 0) return nullptr;
+  std::lock_guard<std::mutex> lock(index_mutex_);
+  auto it = indexes_.find(signature);
+  if (it != indexes_.end()) return it->second.get();
+  auto index = std::make_unique<BoundIndex>();
+  for (uint64_t bits = signature; bits != 0; bits &= bits - 1) {
+    index->positions.push_back(static_cast<size_t>(std::countr_zero(bits)));
+  }
+  for (const auto& [tuple, set] : data_) {
+    // Stored sets are never empty, so the whole hull widens the envelope.
+    if (!set.IsEmpty()) IndexTuple(index.get(), tuple, set, true, set.Hull());
+  }
+  const BoundIndex* ptr = index.get();
+  indexes_.emplace(signature, std::move(index));
+  if (built_now != nullptr) *built_now = true;
+  return ptr;
+}
+
+size_t Relation::num_indexes() const {
+  std::lock_guard<std::mutex> lock(index_mutex_);
+  return indexes_.size();
 }
 
 IntervalSet Relation::Insert(const Tuple& tuple, const Interval& iv) {
@@ -44,6 +104,15 @@ IntervalSet Relation::Insert(const Tuple& tuple, const Interval& iv) {
   }
   IntervalSet fresh = it->second.Insert(iv);
   approx_intervals_ += fresh.size();
+  if (!fresh.IsEmpty() && !indexes_.empty()) {
+    // Single-writer contract: no reader runs concurrently with Insert, so
+    // the lock is uncontended; it keeps TSan and accidental misuse honest.
+    // An already-covered insertion (fresh empty) cannot widen any envelope.
+    std::lock_guard<std::mutex> lock(index_mutex_);
+    for (auto& [sig, index] : indexes_) {
+      IndexTuple(index.get(), it->first, it->second, inserted, iv);
+    }
+  }
   return fresh;
 }
 

@@ -1,6 +1,10 @@
 #ifndef DMTL_STORAGE_DATABASE_H_
 #define DMTL_STORAGE_DATABASE_H_
 
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -27,11 +31,14 @@ struct Fact {
 //
 // Thread-safety / invalidation contract: Relation is single-writer. Every
 // const member (Find, FindByFirstArg, Contains, data(), the counters) is a
-// pure read - nothing is lazily built or cached under const - so any number
-// of concurrent readers are safe as long as no thread is inside a mutating
-// member (Insert, InsertSet, Clear, assignment). The parallel engine relies
-// on exactly this: rule-evaluation tasks read relations concurrently between
-// round barriers, and all insertion happens on one thread at the barrier.
+// pure read, so any number of concurrent readers are safe as long as no
+// thread is inside a mutating member (Insert, InsertSet, Clear, assignment).
+// The parallel engine relies on exactly this: rule-evaluation tasks read
+// relations concurrently between round barriers, and all insertion happens
+// on one thread at the barrier. The single exception to "const is a pure
+// read" is GetIndex, which may build a bound-signature index lazily; it is
+// serialized by a dedicated mutex and therefore safe to call from any number
+// of concurrent reader threads.
 //
 // The first-argument secondary index is maintained *eagerly* inside Insert
 // (a new tuple appends one entry; new intervals on existing tuples leave it
@@ -43,13 +50,46 @@ class Relation {
  public:
   using Map = std::unordered_map<Tuple, IntervalSet, TupleHash>;
 
+  // --- on-demand bound-signature indexes ---------------------------------
+  // A signature is a bitmask over argument positions (bit i set = position i
+  // is bound at probe time). The index maps the projection of a tuple onto
+  // those positions to the posting list of matching tuples. Each posting
+  // list carries the convex hull of every stored interval of its tuples
+  // ("temporal envelope"): enumeration can skip the entire list, or single
+  // entries via IntervalSet::Hull, when the probe's time window cannot
+  // intersect it.
+  struct IndexEntry {
+    const Tuple* tuple = nullptr;
+    const IntervalSet* extent = nullptr;  // the live set stored in data_
+  };
+  struct PostingList {
+    std::vector<IndexEntry> entries;
+    // Hull of every interval of every entry; never shrinks. Engaged as soon
+    // as the list has an entry (stored sets are non-empty).
+    std::optional<Interval> envelope;
+
+    void Widen(const Interval& iv) {
+      envelope = envelope.has_value() ? envelope->Hull(iv) : iv;
+    }
+  };
+  struct BoundIndex {
+    std::vector<size_t> positions;  // ascending; decoded from the signature
+    std::unordered_map<Tuple, PostingList, TupleHash> buckets;
+
+    const PostingList* Lookup(const Tuple& key) const {
+      auto it = buckets.find(key);
+      return it == buckets.end() ? nullptr : &it->second;
+    }
+  };
+
   Relation() = default;
-  // The secondary index points into data_, so copies rebuild it; moves keep
-  // it (unordered_map nodes are address-stable across container moves).
+  // The secondary indexes point into data_, so copies drop them (rebuilt
+  // lazily on the next probe); moves keep them (unordered_map nodes are
+  // address-stable across container moves).
   Relation(const Relation& other);
   Relation& operator=(const Relation& other);
-  Relation(Relation&&) = default;
-  Relation& operator=(Relation&&) = default;
+  Relation(Relation&& other) noexcept;
+  Relation& operator=(Relation&& other) noexcept;
 
   // Adds (tuple, iv); returns the newly covered portion (empty when the
   // fact was already entailed by stored intervals).
@@ -68,6 +108,21 @@ class Relation {
   // when no tuple matches.
   const std::vector<const Tuple*>* FindByFirstArg(const Value& v) const;
 
+  // Returns the index for `signature` (a non-zero bitmask of argument
+  // positions, all < 64), building it on first request. Thread-safe against
+  // concurrent readers (serialized internally); maintained incrementally by
+  // Insert under the single-writer contract. Tuples too short to cover the
+  // signature's highest position are omitted - they can never unify with an
+  // atom that has a term at that position. Sets `built_now` (if non-null) to
+  // whether this call constructed the index. Returns nullptr for signature
+  // 0 (probe with no bound positions - just scan).
+  const BoundIndex* GetIndex(uint64_t signature,
+                             bool* built_now = nullptr) const;
+
+  // Number of bound-signature indexes currently materialized (for tests and
+  // stats).
+  size_t num_indexes() const;
+
   bool IsEmpty() const { return data_.empty(); }
   size_t NumTuples() const { return data_.size(); }
   size_t NumIntervals() const;
@@ -82,16 +137,30 @@ class Relation {
   void Clear() {
     data_.clear();
     first_arg_index_.clear();
+    indexes_.clear();
     approx_intervals_ = 0;
   }
 
  private:
+  // Adds the tuple (already in data_) to one bound-signature index and
+  // widens the affected envelope by `iv`.
+  static void IndexTuple(BoundIndex* index, const Tuple& tuple,
+                         const IntervalSet& extent, bool new_tuple,
+                         const Interval& iv);
+
   Map data_;
   size_t approx_intervals_ = 0;
   // Secondary index: first argument -> tuples. Updated eagerly by Insert
   // when a new *tuple* appears (new intervals on existing tuples do not
   // touch it); never mutated under const.
   std::unordered_map<Value, std::vector<const Tuple*>> first_arg_index_;
+  // Lazily built bound-signature indexes, keyed by signature bitmask.
+  // Guarded by index_mutex_: GetIndex may build under const from concurrent
+  // reader threads. unique_ptr values keep BoundIndex addresses stable
+  // across map growth, so a returned pointer stays valid for the relation's
+  // lifetime (until Clear/assignment, like all other pointers into it).
+  mutable std::mutex index_mutex_;
+  mutable std::unordered_map<uint64_t, std::unique_ptr<BoundIndex>> indexes_;
 };
 
 // The temporal database D: all facts, grouped by predicate. Serves as both

@@ -53,6 +53,18 @@ Bound SubBounds(const Bound& a, const Bound& b) {
 
 }  // namespace
 
+bool Interval::Overlaps(const Interval& other) const {
+  const Bound& lo = CompareLower(lo_, other.lo_) >= 0 ? lo_ : other.lo_;
+  const Bound& hi = CompareUpper(hi_, other.hi_) <= 0 ? hi_ : other.hi_;
+  return BoundsNonEmpty(lo, hi);
+}
+
+Interval Interval::Hull(const Interval& other) const {
+  Bound lo = CompareLower(lo_, other.lo_) <= 0 ? lo_ : other.lo_;
+  Bound hi = CompareUpper(hi_, other.hi_) >= 0 ? hi_ : other.hi_;
+  return Interval(lo, hi);
+}
+
 std::optional<Interval> Interval::Make(Bound lo, Bound hi) {
   if (!BoundsNonEmpty(lo, hi)) return std::nullopt;
   if (lo.infinite) lo.open = true;

@@ -69,6 +69,14 @@ class Interval {
   // Set intersection; nullopt when disjoint.
   std::optional<Interval> Intersect(const Interval& other) const;
 
+  // True iff the intersection is non-empty. Cheaper than Intersect() when
+  // only the yes/no answer matters (the join planner's envelope prechecks).
+  bool Overlaps(const Interval& other) const;
+
+  // The smallest interval containing both (their convex hull); always
+  // non-empty since intervals are.
+  Interval Hull(const Interval& other) const;
+
   // True when the union of the two intervals is itself an interval
   // (they overlap or touch without a gap, e.g. [1,3) and [3,5]).
   bool Unionable(const Interval& other) const;

@@ -310,6 +310,12 @@ IntervalSet IntervalSet::Until(const IntervalSet& m2,
   return out;
 }
 
+Interval IntervalSet::Hull() const {
+  // Normalized storage keeps components sorted, so the hull is spanned by
+  // the first lower and last upper bound.
+  return intervals_.front().Hull(intervals_.back());
+}
+
 bool IntervalSet::IsPunctualOnly(std::vector<Rational>* points) const {
   for (const Interval& iv : intervals_) {
     if (!iv.IsPunctual()) return false;

@@ -62,6 +62,12 @@ class IntervalSet {
   // Where (M1 Until_rho M2) holds, analogously.
   IntervalSet Until(const IntervalSet& m2, const Interval& rho) const;
 
+  // The convex hull <lo of first component, hi of last component>. O(1) on
+  // the normalized representation; must not be called on an empty set. The
+  // join planner uses hulls as cheap overlap prefilters before paying for
+  // exact Intersect.
+  Interval Hull() const;
+
   // True iff every component is a single point; fills `points` if non-null.
   bool IsPunctualOnly(std::vector<Rational>* points = nullptr) const;
 

@@ -8,6 +8,7 @@
 #include "src/analysis/safety.h"
 #include "src/analysis/stratifier.h"
 #include "src/engine/reasoner.h"
+#include "src/eval/rule_eval.h"
 #include "src/storage/serialize.h"
 
 namespace dmtl {
@@ -28,6 +29,9 @@ constexpr char kUsage[] =
     "  --max T         derivation horizon upper bound (rational)\n"
     "  --no-accel      disable chain acceleration\n"
     "  --naive         naive (non-semi-naive) evaluation\n"
+    "  --no-plan       disable cost-based join planning\n"
+    "  --explain-plan  print each rule's join order, probed index\n"
+    "                  signatures, and planner counters after the run\n"
     "  --threads N     evaluation threads (0 = hardware, default 1)\n"
     "  --query PRED    print only facts of PRED\n"
     "  --at TIME       print only tuples holding at TIME\n"
@@ -45,6 +49,7 @@ struct CliOptions {
   bool stats = false;
   std::optional<std::string> output;
   std::optional<std::string> explain;
+  bool explain_plan = false;
 };
 
 Result<CliOptions> ParseArgs(const std::vector<std::string>& args) {
@@ -78,6 +83,10 @@ Result<CliOptions> ParseArgs(const std::vector<std::string>& args) {
       options.engine.enable_chain_acceleration = false;
     } else if (arg == "--naive") {
       options.engine.naive_evaluation = true;
+    } else if (arg == "--no-plan") {
+      options.engine.enable_join_planning = false;
+    } else if (arg == "--explain-plan") {
+      options.explain_plan = true;
     } else if (arg == "--threads") {
       DMTL_ASSIGN_OR_RETURN(std::string text, next());
       char* end = nullptr;
@@ -108,6 +117,32 @@ Result<CliOptions> ParseArgs(const std::vector<std::string>& args) {
     return Status::InvalidArgument("no input files");
   }
   return options;
+}
+
+// Prints each rule's chosen join plan against the materialized database
+// (the plan a full non-delta pass would use now), then the run's planner
+// counters. Comment-prefixed so the output stays a loadable program.
+void PrintJoinPlans(const Program& program, const Database& db,
+                    const EngineStats& stats, std::ostream& out) {
+  out << "% join plans (over the materialized database):\n";
+  const std::vector<Rule>& rules = program.rules();
+  for (size_t i = 0; i < rules.size(); ++i) {
+    auto eval = RuleEvaluator::Create(rules[i], /*enable_join_planning=*/true);
+    if (!eval.ok()) continue;
+    out << "% rule " << i << ":\n";
+    std::string plan = eval->ExplainPlan(db);
+    size_t start = 0;
+    while (start < plan.size()) {
+      size_t end = plan.find('\n', start);
+      if (end == std::string::npos) end = plan.size();
+      out << "%   " << plan.substr(start, end - start) << "\n";
+      start = end + 1;
+    }
+  }
+  out << "% planner: " << stats.planner_indexes_built << " indexes built, "
+      << stats.planner_index_probes << " probes ("
+      << stats.planner_probe_hits << " hits), "
+      << stats.planner_pruned_tuples << " tuples pruned\n";
 }
 
 Result<Parser::ParsedUnit> LoadAll(const std::vector<std::string>& files) {
@@ -186,6 +221,9 @@ Status CommandRun(const CliOptions& options, std::ostream& out) {
   }
   if (options.output.has_value()) {
     DMTL_RETURN_IF_ERROR(WriteDatabaseFile(db, *options.output));
+  }
+  if (options.explain_plan) {
+    PrintJoinPlans(unit.program, db, stats, out);
   }
   if (options.stats) {
     out << "% " << stats.ToString() << "\n";

@@ -8,6 +8,10 @@
 
 namespace dmtl {
 
+size_t ParallelSessionsOptions::ResolvedThreads() const {
+  return ThreadPool::ResolveThreads(num_threads);
+}
+
 std::vector<WorkloadConfig> ShardConfigs(const WorkloadConfig& base,
                                          int num_shards) {
   std::vector<WorkloadConfig> shards;
@@ -34,7 +38,7 @@ Result<std::vector<SessionShardResult>> RunParallelSessions(
   // the compiled AST read-only with every task.
   DMTL_ASSIGN_OR_RETURN(Program program, EthPerpProgram(options.params));
 
-  ThreadPool pool(ThreadPool::ResolveThreads(options.num_threads));
+  ThreadPool pool(options.ResolvedThreads());
   DMTL_RETURN_IF_ERROR(pool.ParallelFor(
       shards.size(), [&](size_t i) -> Status {
         SessionShardResult& out = results[i];

@@ -40,6 +40,11 @@ struct ParallelSessionsOptions {
   // the outer parallelism axis; set engine.num_threads > 1 only for few,
   // huge shards.
   EngineOptions engine;
+
+  // The concrete pool width RunParallelSessions uses for these options
+  // (num_threads = 0 resolved against the hardware). Benches report this
+  // instead of the raw request so the JSON records what actually ran.
+  size_t ResolvedThreads() const;
 };
 
 // Derives `num_shards` independent account-sharded session configs from a

@@ -121,6 +121,117 @@ TEST(DatabaseTest, CountsAndToString) {
   EXPECT_EQ(db.ToString(), "p(1)@{[1,1]}\nq(a, 2)@{[0,1]}\n");
 }
 
+TEST(RelationIndexTest, GetIndexBuildsLooksUpAndTracksEnvelope) {
+  Relation rel;
+  rel.Insert({Value::Symbol("a"), Value::Int(1)},
+             Interval::Closed(Rational(0), Rational(5)));
+  rel.Insert({Value::Symbol("a"), Value::Int(2)},
+             Interval::Closed(Rational(10), Rational(20)));
+  rel.Insert({Value::Symbol("b"), Value::Int(3)},
+             Interval::Point(Rational(7)));
+
+  bool built_now = false;
+  const Relation::BoundIndex* index = rel.GetIndex(0b01, &built_now);
+  ASSERT_NE(index, nullptr);
+  EXPECT_TRUE(built_now);
+  EXPECT_EQ(rel.num_indexes(), 1u);
+  ASSERT_EQ(index->positions, std::vector<size_t>{0});
+
+  const Relation::PostingList* list =
+      index->Lookup(Tuple{Value::Symbol("a")});
+  ASSERT_NE(list, nullptr);
+  EXPECT_EQ(list->entries.size(), 2u);
+  // Envelope = hull over both a-tuples' extents.
+  ASSERT_TRUE(list->envelope.has_value());
+  EXPECT_TRUE(list->envelope->Contains(Rational(0)));
+  EXPECT_TRUE(list->envelope->Contains(Rational(20)));
+  EXPECT_FALSE(list->envelope->Contains(Rational(21)));
+  EXPECT_EQ(index->Lookup(Tuple{Value::Symbol("z")}), nullptr);
+
+  // Second request reuses the built index.
+  rel.GetIndex(0b01, &built_now);
+  EXPECT_FALSE(built_now);
+  EXPECT_EQ(rel.num_indexes(), 1u);
+
+  // Signature 0 means "nothing bound": no index, callers scan.
+  EXPECT_EQ(rel.GetIndex(0), nullptr);
+}
+
+TEST(RelationIndexTest, InsertMaintainsExistingIndexes) {
+  Relation rel;
+  rel.Insert({Value::Symbol("a"), Value::Int(1)},
+             Interval::Closed(Rational(0), Rational(2)));
+  const Relation::BoundIndex* index = rel.GetIndex(0b10);
+  ASSERT_NE(index, nullptr);
+  EXPECT_EQ(index->Lookup(Tuple{Value::Int(9)}), nullptr);
+
+  // New tuple: appended to its posting list. New interval on an existing
+  // tuple: envelope widens without duplicating the entry.
+  rel.Insert({Value::Symbol("b"), Value::Int(9)},
+             Interval::Closed(Rational(5), Rational(6)));
+  const Relation::PostingList* list = index->Lookup(Tuple{Value::Int(9)});
+  ASSERT_NE(list, nullptr);
+  EXPECT_EQ(list->entries.size(), 1u);
+  rel.Insert({Value::Symbol("b"), Value::Int(9)},
+             Interval::Closed(Rational(50), Rational(60)));
+  EXPECT_EQ(list->entries.size(), 1u);
+  ASSERT_TRUE(list->envelope.has_value());
+  EXPECT_TRUE(list->envelope->Contains(Rational(60)));
+  // The entry's extent pointer is the live stored set.
+  EXPECT_TRUE(list->entries[0].extent->Contains(Rational(55)));
+}
+
+TEST(RelationIndexTest, ShortTuplesAreOmittedFromHighPositionIndexes) {
+  Relation rel;
+  rel.Insert({Value::Symbol("a")}, Interval::Point(Rational(1)));
+  rel.Insert({Value::Symbol("a"), Value::Int(7)}, Interval::Point(Rational(2)));
+  // Index on position 1: the unary tuple can never unify with a two-term
+  // atom, so only the binary tuple is indexed.
+  const Relation::BoundIndex* index = rel.GetIndex(0b10);
+  ASSERT_NE(index, nullptr);
+  const Relation::PostingList* list = index->Lookup(Tuple{Value::Int(7)});
+  ASSERT_NE(list, nullptr);
+  EXPECT_EQ(list->entries.size(), 1u);
+}
+
+TEST(RelationIndexTest, CopyDropsIndexesMoveKeepsThem) {
+  Relation rel;
+  rel.Insert({Value::Symbol("a"), Value::Int(1)},
+             Interval::Point(Rational(1)));
+  rel.GetIndex(0b01);
+  ASSERT_EQ(rel.num_indexes(), 1u);
+
+  // Copies must not inherit indexes: entries point into the source's data_.
+  Relation copy = rel;
+  EXPECT_EQ(copy.num_indexes(), 0u);
+  bool built_now = false;
+  copy.GetIndex(0b01, &built_now);
+  EXPECT_TRUE(built_now);
+
+  Relation assigned;
+  assigned = rel;
+  EXPECT_EQ(assigned.num_indexes(), 0u);
+
+  // Moves keep them: unordered_map nodes are address-stable across moves.
+  Relation moved = std::move(rel);
+  EXPECT_EQ(moved.num_indexes(), 1u);
+  built_now = true;
+  const Relation::BoundIndex* index = moved.GetIndex(0b01, &built_now);
+  EXPECT_FALSE(built_now);
+  ASSERT_NE(index, nullptr);
+  EXPECT_NE(index->Lookup(Tuple{Value::Symbol("a")}), nullptr);
+}
+
+TEST(RelationIndexTest, ClearDropsIndexes) {
+  Relation rel;
+  rel.Insert({Value::Int(1)}, Interval::Point(Rational(1)));
+  rel.GetIndex(0b01);
+  ASSERT_EQ(rel.num_indexes(), 1u);
+  rel.Clear();
+  EXPECT_EQ(rel.num_indexes(), 0u);
+  EXPECT_TRUE(rel.IsEmpty());
+}
+
 TEST(DatabaseTest, FactMake) {
   Fact f = Fact::Make("tranM", {Value::Symbol("acc"), Value::Double(3.0)},
                       Interval::Point(Rational(7)));

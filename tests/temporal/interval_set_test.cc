@@ -55,6 +55,80 @@ TEST(IntervalSetTest, InsertBridgesMultipleComponents) {
   EXPECT_FALSE(delta.Contains(Rational(5)));
 }
 
+TEST(IntervalSetTest, InsertDeltaAtTouchingEndpoints) {
+  // Closed meets closed at one point: the shared endpoint is already
+  // covered, so the delta opens there.
+  IntervalSet set;
+  set.Insert(C(0, 5));
+  IntervalSet d1 = set.Insert(C(5, 10));
+  EXPECT_EQ(d1, IntervalSet(Interval::OpenClosed(Rational(5), Rational(10))));
+  EXPECT_EQ(set.size(), 1u);
+
+  // Half-open meets closed: nothing at 5 was covered, the delta keeps its
+  // closed lower bound.
+  IntervalSet half;
+  half.Insert(Interval::ClosedOpen(Rational(0), Rational(5)));
+  IntervalSet d2 = half.Insert(C(5, 10));
+  EXPECT_EQ(d2, IntervalSet(C(5, 10)));
+  EXPECT_EQ(half.size(), 1u);
+  EXPECT_EQ(half.intervals()[0], C(0, 10));
+
+  // Open meets open across a shared endpoint: the point between them is
+  // genuinely new and shows up as a punctual delta component.
+  IntervalSet open;
+  open.Insert(Interval::Open(Rational(0), Rational(5)));
+  open.Insert(Interval::Open(Rational(5), Rational(10)));
+  EXPECT_EQ(open.size(), 2u);
+  IntervalSet d3 = open.Insert(P(5));
+  EXPECT_EQ(d3, IntervalSet(P(5)));
+  EXPECT_EQ(open.size(), 1u);
+  EXPECT_EQ(open.intervals()[0], Interval::Open(Rational(0), Rational(10)));
+}
+
+TEST(IntervalSetTest, InsertDeltaWithPointIntervals) {
+  IntervalSet set;
+  set.Insert(C(0, 5));
+  // Point already covered (endpoint of a closed interval): empty delta.
+  EXPECT_TRUE(set.Insert(P(5)).IsEmpty());
+  EXPECT_TRUE(set.Insert(P(3)).IsEmpty());
+  // Point outside: comes back verbatim, and stays a separate component
+  // across a dense gap.
+  IntervalSet d = set.Insert(P(7));
+  EXPECT_EQ(d, IntervalSet(P(7)));
+  EXPECT_EQ(set.size(), 2u);
+  // Filling the open gap (5,7) bridges everything into one interval.
+  IntervalSet gap = set.Insert(Interval::Open(Rational(5), Rational(7)));
+  EXPECT_EQ(gap, IntervalSet(Interval::Open(Rational(5), Rational(7))));
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.intervals()[0], C(0, 7));
+}
+
+TEST(IntervalSetTest, InsertDeltaOpenVersusClosedOverlap) {
+  // Overlapping an open interval with a closed superset: the delta is
+  // exactly the two endpoints the open interval was missing.
+  IntervalSet set;
+  set.Insert(Interval::Open(Rational(2), Rational(4)));
+  IntervalSet d = set.Insert(C(2, 4));
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_TRUE(d.Contains(Rational(2)));
+  EXPECT_TRUE(d.Contains(Rational(4)));
+  EXPECT_FALSE(d.Contains(Rational(3)));
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.intervals()[0], C(2, 4));
+}
+
+TEST(IntervalSetTest, HullSpansFirstToLast) {
+  IntervalSet set = IntervalSet::FromIntervals({C(0, 2), P(5), C(8, 10)});
+  EXPECT_EQ(set.Hull(), C(0, 10));
+  EXPECT_EQ(IntervalSet(P(3)).Hull(), P(3));
+  // Unbounded components stretch the hull to infinity.
+  IntervalSet unbounded;
+  unbounded.Insert(C(0, 1));
+  unbounded.Insert(Interval::AtLeast(Rational(9)));
+  EXPECT_TRUE(unbounded.Hull().hi().infinite);
+  EXPECT_FALSE(unbounded.Hull().lo().infinite);
+}
+
 TEST(IntervalSetTest, ContainsPointAndInterval) {
   IntervalSet set = IntervalSet::FromIntervals({C(0, 2), C(5, 9)});
   EXPECT_TRUE(set.Contains(Rational(1)));

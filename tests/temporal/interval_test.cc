@@ -119,6 +119,34 @@ TEST(IntervalTest, Length) {
   EXPECT_FALSE(Interval::AtLeast(Rational(0)).Length().has_value());
 }
 
+TEST(IntervalTest, Overlaps) {
+  Interval a = Interval::Closed(Rational(0), Rational(5));
+  EXPECT_TRUE(a.Overlaps(Interval::Closed(Rational(3), Rational(8))));
+  EXPECT_TRUE(a.Overlaps(Interval::Point(Rational(5))));  // shared endpoint
+  EXPECT_FALSE(a.Overlaps(Interval::Closed(Rational(6), Rational(9))));
+  // Touching endpoints with an open bound on either side: disjoint.
+  EXPECT_FALSE(a.Overlaps(Interval::Open(Rational(5), Rational(9))));
+  EXPECT_FALSE(Interval::ClosedOpen(Rational(0), Rational(5))
+                   .Overlaps(Interval::Point(Rational(5))));
+  EXPECT_TRUE(a.Overlaps(Interval::All()));
+  EXPECT_TRUE(Interval::AtMost(Rational(0)).Overlaps(
+      Interval::AtLeast(Rational(0))));
+  EXPECT_FALSE(Interval::AtMost(Rational(0)).Overlaps(
+      Interval::AtLeast(Rational(1))));
+}
+
+TEST(IntervalTest, Hull) {
+  Interval a = Interval::Closed(Rational(0), Rational(2));
+  Interval b = Interval::Open(Rational(5), Rational(9));
+  // Hull spans the gap and keeps the outermost bound kinds.
+  EXPECT_EQ(a.Hull(b), *Interval::Make(Bound::Closed(Rational(0)),
+                                       Bound::Open(Rational(9))));
+  EXPECT_EQ(b.Hull(a), a.Hull(b));
+  // A contained interval contributes nothing.
+  EXPECT_EQ(a.Hull(Interval::Point(Rational(1))), a);
+  EXPECT_EQ(a.Hull(Interval::All()), Interval::All());
+}
+
 TEST(IntervalTest, ToString) {
   EXPECT_EQ(Interval::ClosedOpen(Rational(1), Rational(3)).ToString(),
             "[1,3)");

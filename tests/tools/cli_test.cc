@@ -177,6 +177,35 @@ TEST_F(CliTest, UsageErrors) {
             StatusCode::kInvalidArgument);
 }
 
+TEST_F(CliTest, NoPlanMatchesDefaultRun) {
+  std::string path = WriteFile("join.dmtl",
+                               "r(X, Z) :- p(X, Y), q(Y, Z) .\n"
+                               "p(a, b)@[0,4] . p(a, c)@[10,12] .\n"
+                               "q(b, d)@[1,2] . q(c, e)@[50,60] .\n");
+  auto [on_status, on_out] = Run({"run", path});
+  ASSERT_TRUE(on_status.ok()) << on_status;
+  auto [off_status, off_out] = Run({"run", path, "--no-plan"});
+  ASSERT_TRUE(off_status.ok()) << off_status;
+  EXPECT_EQ(on_out, off_out);
+  EXPECT_NE(on_out.find("r(a, d)@[1, 2] ."), std::string::npos) << on_out;
+}
+
+TEST_F(CliTest, ExplainPlanPrintsJoinOrderAndCounters) {
+  std::string path = WriteFile("join.dmtl",
+                               "r(X, Z) :- p(X, Y), q(Y, Z) .\n"
+                               "p(a, b)@[0,4] . p(a, c)@[10,12] .\n"
+                               "q(b, d)@[1,2] . q(c, e)@[50,60] .\n");
+  auto [status, out] = Run({"run", path, "--explain-plan"});
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_NE(out.find("% join plans"), std::string::npos) << out;
+  EXPECT_NE(out.find("% rule 0:"), std::string::npos) << out;
+  EXPECT_NE(out.find("est_cost"), std::string::npos) << out;
+  EXPECT_NE(out.find("% planner:"), std::string::npos) << out;
+  // The plan output is comment-prefixed: every line of the section starts
+  // with '%', so the overall output stays loadable as a program.
+  EXPECT_NE(out.find("p(a, b)@[0, 4] ."), std::string::npos) << out;
+}
+
 TEST_F(CliTest, EthPerpArtifactThroughCli) {
   if (!std::filesystem::exists("programs/eth_perp.dmtl")) {
     GTEST_SKIP() << "artifact not found (run from repo root)";

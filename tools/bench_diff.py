@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json artifacts and flag timing regressions.
+
+Usage: tools/bench_diff.py BASELINE.json CANDIDATE.json [--threshold 0.10]
+
+Walks both JSON trees in parallel, pairs array elements positionally, and
+compares every time-like numeric leaf (keys ending in "_s" or "_seconds",
+or named "runtime_s"). A leaf that got more than `threshold` slower in the
+candidate is a regression; the script prints every compared leaf with its
+delta and exits 1 if any leaf regressed. Non-timing numeric leaves (counts,
+speedups, thread widths) are reported when they differ but never fail the
+diff. Stdlib only - runs anywhere python3 exists.
+"""
+
+import argparse
+import json
+import sys
+
+
+def is_time_key(key):
+    return key.endswith("_s") or key.endswith("_seconds") or key == "runtime_s"
+
+
+def walk(base, cand, path, out):
+    """Collects (path, key_is_time, base_val, cand_val) leaf pairs."""
+    if isinstance(base, dict) and isinstance(cand, dict):
+        for key in sorted(set(base) | set(cand)):
+            if key not in base or key not in cand:
+                out.append((f"{path}.{key}" if path else key, None,
+                            base.get(key), cand.get(key)))
+                continue
+            walk(base[key], cand[key], f"{path}.{key}" if path else key, out)
+    elif isinstance(base, list) and isinstance(cand, list):
+        for i in range(max(len(base), len(cand))):
+            sub = f"{path}[{i}]"
+            if i >= len(base) or i >= len(cand):
+                out.append((sub, None,
+                            base[i] if i < len(base) else None,
+                            cand[i] if i < len(cand) else None))
+                continue
+            walk(base[i], cand[i], sub, out)
+    else:
+        key = path.rsplit(".", 1)[-1].split("[", 1)[0]
+        out.append((path, is_time_key(key), base, cand))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="fractional slowdown that counts as a "
+                             "regression (default 0.10 = 10%%)")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        base = json.load(f)
+    with open(args.candidate) as f:
+        cand = json.load(f)
+
+    leaves = []
+    walk(base, cand, "", leaves)
+
+    regressions = []
+    improvements = []
+    for path, is_time, b, c in leaves:
+        if is_time is None:
+            print(f"  shape mismatch at {path}: baseline={b!r} "
+                  f"candidate={c!r}")
+            continue
+        if not is_time:
+            if b != c and not isinstance(b, str):
+                print(f"  note  {path}: {b!r} -> {c!r}")
+            continue
+        if not isinstance(b, (int, float)) or not isinstance(c, (int, float)):
+            print(f"  shape mismatch at {path}: baseline={b!r} "
+                  f"candidate={c!r}")
+            continue
+        delta = (c - b) / b if b > 0 else 0.0
+        line = f"{path}: {b:.4f}s -> {c:.4f}s ({delta:+.1%})"
+        if delta > args.threshold:
+            regressions.append(line)
+            print(f"  REGRESSION {line}")
+        elif delta < -args.threshold:
+            improvements.append(line)
+            print(f"  improved   {line}")
+        else:
+            print(f"  ok         {line}")
+
+    print(f"\n{len(regressions)} regression(s), {len(improvements)} "
+          f"improvement(s) beyond {args.threshold:.0%}")
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
