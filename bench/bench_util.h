@@ -150,6 +150,47 @@ class JsonBuilder {
   std::vector<bool> stack_;  // per open scope: "has emitted an element"
 };
 
+// Best-effort git revision of the working tree; "unknown" outside a
+// checkout (benchmarks run from the repository root, see bench targets).
+inline std::string GitSha() {
+  std::string sha = "unknown";
+  if (FILE* pipe = ::popen("git rev-parse HEAD 2>/dev/null", "r")) {
+    char buf[80] = {0};
+    if (std::fgets(buf, sizeof(buf), pipe) != nullptr) {
+      std::string line(buf);
+      while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+        line.pop_back();
+      }
+      if (!line.empty()) sha = line;
+    }
+    ::pclose(pipe);
+  }
+  return sha;
+}
+
+// The CMake build type the binary was compiled under (DMTL_BUILD_TYPE is
+// injected by bench/CMakeLists.txt; the NDEBUG fallback covers builds that
+// bypass it).
+inline const char* BuildType() {
+#ifdef DMTL_BUILD_TYPE
+  return DMTL_BUILD_TYPE;
+#elif defined(NDEBUG)
+  return "Release";
+#else
+  return "Debug";
+#endif
+}
+
+// Emits the provenance context block every BENCH_*.json artifact carries:
+// which revision and build type produced the numbers. bench_diff.py ignores
+// string fields, so these never trip the regression gate.
+inline void WriteContext(JsonBuilder* json) {
+  json->BeginObject("context");
+  json->Field("git_sha", GitSha());
+  json->Field("build_type", BuildType());
+  json->EndObject();
+}
+
 // Writes a benchmark artifact and echoes the path so harness logs record
 // where the machine-readable results went.
 inline void WriteJson(const std::string& path, const std::string& json) {

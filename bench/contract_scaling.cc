@@ -33,6 +33,7 @@ int main() {
   json.BeginObject();
   json.Field("bench", "contract_scaling");
   json.Field("hardware_threads", hw_threads);
+  bench::WriteContext(&json);
   json.BeginArray("points");
   for (const Point& pt : points) {
     WorkloadConfig config;

@@ -32,6 +32,7 @@ int main() {
   json.BeginObject();
   json.Field("bench", "engine_stress");
   json.Field("hardware_threads", ThreadPool::ResolveThreads(0));
+  bench::WriteContext(&json);
 
   std::printf("=== engine stress: synthetic DatalogMTL patterns ===\n");
   std::printf("%-20s %6s %7s %9s %12s %14s %8s\n", "pattern", "depth",

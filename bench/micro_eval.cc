@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "src/engine/reasoner.h"
 
 namespace dmtl {
@@ -138,6 +139,35 @@ void BM_ParseEthPerpProgram(benchmark::State& state) {
 }
 BENCHMARK(BM_ParseEthPerpProgram);
 
+// Interval-delta propagation on the memo's home turf: a long recursive
+// propagation joined against wide guard extents, so every fixpoint round
+// re-reads the guards' operator-path outputs. Arg is
+// enable_interval_deltas; the ratio of the two rows is the memoization win.
+void BM_OperatorDelta(benchmark::State& state) {
+  auto program = Parser::ParseProgram(
+      "tick(A) :- diamondminus[1,1] tick(A), diamondminus[0,30] open(A), "
+      "boxminus[1,1] sane(A) .\n"
+      "alarm(A) :- diamondminus[0,2] tick(A), diamondminus[0,10] open(A) .");
+  Database db;
+  for (int a = 0; a < 8; ++a) {
+    db.Insert("tick", {Value::Int(a)}, Interval::Point(Rational(a % 3)));
+    db.Insert("open", {Value::Int(a)},
+              Interval::Closed(Rational(0), Rational(2000)));
+    db.Insert("sane", {Value::Int(a)},
+              Interval::Closed(Rational(0), Rational(2000)));
+  }
+  EngineOptions options;
+  options.min_time = Rational(0);
+  options.max_time = Rational(1500);
+  options.enable_chain_acceleration = false;
+  options.enable_interval_deltas = state.range(0) != 0;
+  for (auto _ : state) {
+    Database out = db;
+    benchmark::DoNotOptimize(Materialize(*program, &out, options));
+  }
+}
+BENCHMARK(BM_OperatorDelta)->Arg(0)->Arg(1);
+
 // Same recursive program and data, materialized with a fixed pool width.
 // Arg is num_threads; Arg(1) is the sequential baseline, so the ratio of
 // the two rows is the intra-round parallel speedup on this machine.
@@ -172,6 +202,10 @@ int main(int argc, char** argv) {
     args.push_back(format_flag.data());
   }
   int num_args = static_cast<int>(args.size());
+  // Provenance for the JSON artifact's context block; strings are ignored
+  // by tools/bench_diff.py.
+  ::benchmark::AddCustomContext("git_sha", dmtl::bench::GitSha());
+  ::benchmark::AddCustomContext("build_type", dmtl::bench::BuildType());
   ::benchmark::Initialize(&num_args, args.data());
   if (::benchmark::ReportUnrecognizedArguments(num_args, args.data())) {
     return 1;

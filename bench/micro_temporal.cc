@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "src/temporal/interval_set.h"
 
 namespace dmtl {
@@ -108,6 +110,58 @@ void BM_SinceOperator(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SinceOperator)->Arg(64)->Arg(256);
+
+// Batched construction: one sort + one coalescing sweep (FromIntervals)
+// versus the per-interval Insert loop over the same stream. The stream is
+// emitted out of order so the bulk path cannot ride the append fast path.
+void BM_IntervalSetBulkInsert(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  std::vector<Interval> stream;
+  stream.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    // Stride through residue classes: maximally unsorted, partially
+    // coalescing input.
+    int t = (i * 7919) % n;
+    stream.push_back(Interval::Closed(Rational(2 * t), Rational(2 * t + 1)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IntervalSet::FromIntervals(stream));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_IntervalSetBulkInsert)->Arg(128)->Arg(1024)->Arg(8192);
+
+// The per-interval reference for the bulk row above (same stream).
+void BM_IntervalSetBulkInsertReference(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  std::vector<Interval> stream;
+  stream.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    int t = (i * 7919) % n;
+    stream.push_back(Interval::Closed(Rational(2 * t), Rational(2 * t + 1)));
+  }
+  for (auto _ : state) {
+    IntervalSet set;
+    for (const Interval& iv : stream) set.Insert(iv);
+    benchmark::DoNotOptimize(set);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_IntervalSetBulkInsertReference)->Arg(128)->Arg(1024)->Arg(8192);
+
+// Bulk merge-union of two offset tick chains: the single two-pointer sweep
+// UnionWith runs versus inserting the other set's components one by one.
+void BM_IntervalSetUnionWith(benchmark::State& state) {
+  IntervalSet a = TickChain(static_cast<int>(state.range(0)));
+  IntervalSet b = a.Shift(Rational(1, 2));
+  for (auto _ : state) {
+    IntervalSet merged = a;
+    merged.UnionWith(b);
+    benchmark::DoNotOptimize(merged);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_IntervalSetUnionWith)->Arg(1024)->Arg(8192);
 
 void BM_ContainsBinarySearch(benchmark::State& state) {
   IntervalSet set = TickChain(static_cast<int>(state.range(0)));

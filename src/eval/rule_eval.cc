@@ -8,6 +8,7 @@
 
 #include "src/analysis/safety.h"
 #include "src/eval/builtin_eval.h"
+#include "src/eval/op_memo.h"
 
 namespace dmtl {
 
@@ -397,7 +398,7 @@ RuleEvaluator::ExecutionPlan RuleEvaluator::BuildPlan(
 
 Status RuleEvaluator::EvaluatePositivePlanned(
     const Database& db, const Database* delta, int delta_occurrence,
-    std::vector<BindingRow>* rows) const {
+    std::vector<BindingRow>* rows, OperatorMemo* memo) const {
   PlannerStats* stats = planner_stats_.get();
   ExecutionPlan plan = BuildPlan(db, delta, delta_occurrence, stats);
   uint64_t probes = 0;
@@ -424,6 +425,7 @@ Status RuleEvaluator::EvaluatePositivePlanned(
       const BodyLiteral& lit;
       const ExtentSource& source;
       const BindingRow* row = nullptr;
+      OperatorMemo* memo = nullptr;
       std::vector<std::optional<Interval>> windows;  // per-atom prune window
       std::vector<BindingRow>* out = nullptr;
       uint64_t* probes;
@@ -431,33 +433,44 @@ Status RuleEvaluator::EvaluatePositivePlanned(
       uint64_t* pruned;
 
       Status Emit(const Bindings& binding, const IntervalSet* leaf_set) {
-        IntervalSet extent;
+        IntervalSet joined;
         switch (lplan.shape) {
           case LiteralShape::kBareAtom:
             // EvalMetricExtent on a ground bare atom is Find + Intersect;
             // the enumeration already holds the found set.
-            extent = leaf_set->Intersect(row->extent);
+            joined = leaf_set->Intersect(row->extent);
             break;
           case LiteralShape::kUnaryChain: {
+            const std::vector<PathStep>& path = lplan.atoms[0].path;
+            if (memo != nullptr && step.literal_delta_offset < 0) {
+              // Interval-delta propagation: the memo holds the full
+              // un-windowed path output of this leaf (exactly what the
+              // windowed chain below computes, by the ChildWindow
+              // identity), refreshed across rounds with just the newly
+              // derived intervals. Delta-restricted literals read from the
+              // transient delta database and are never memoized.
+              joined = row->extent.Intersect(
+                  memo->Lookup(step.p, path, leaf_set));
+              break;
+            }
             // Replicates EvalRec exactly: child windows root-to-leaf, the
             // leaf lookup (already in hand), operators leaf-to-root.
             IntervalSet window = row->extent;
-            const std::vector<PathStep>& path = lplan.atoms[0].path;
             for (const PathStep& s : path) {
               window = ChildWindow(s.op, s.range, window);
             }
-            extent = leaf_set->Intersect(window);
+            IntervalSet extent = leaf_set->Intersect(window);
             for (auto it = path.rbegin(); it != path.rend(); ++it) {
               extent = ApplyUnaryOp(it->op, it->range, extent);
             }
+            joined = row->extent.Intersect(extent);
             break;
           }
           case LiteralShape::kGeneral:
-            extent = EvalMetricExtent(lit.metric, binding, source,
-                                      row->extent);
+            joined = row->extent.Intersect(
+                EvalMetricExtent(lit.metric, binding, source, row->extent));
             break;
         }
-        IntervalSet joined = row->extent.Intersect(extent);
         if (joined.IsEmpty()) return Status::Ok();
         out->push_back(BindingRow{binding, std::move(joined)});
         return Status::Ok();
@@ -516,8 +529,8 @@ Status RuleEvaluator::EvaluatePositivePlanned(
     };
 
     std::vector<BindingRow> next_rows;
-    Enumerator enumerator{atoms,   step,  lplan,   lit,    source, nullptr,
-                          {},      &next_rows, &probes, &hits, &pruned};
+    Enumerator enumerator{atoms,   step, lplan,      lit,     source, nullptr,
+                          memo,    {},   &next_rows, &probes, &hits,  &pruned};
     enumerator.windows.resize(atoms.size());
     for (const BindingRow& row : *rows) {
       // Per-row temporal prune windows (row extents are never empty). A
@@ -604,7 +617,8 @@ std::string RuleEvaluator::ExplainPlan(const Database& db) const {
 
 Status RuleEvaluator::EvaluateRows(const Database& db, const Database* delta,
                                    int delta_occurrence,
-                                   std::vector<BindingRow>* out) const {
+                                   std::vector<BindingRow>* out,
+                                   OperatorMemo* memo) const {
   BindingRow seed{Bindings(rule_.num_vars()), IntervalSet(Interval::All())};
   std::vector<BindingRow> rows;
   rows.push_back(std::move(seed));
@@ -612,7 +626,7 @@ Status RuleEvaluator::EvaluateRows(const Database& db, const Database* delta,
   // Stage 1: positive literals.
   if (planning_) {
     DMTL_RETURN_IF_ERROR(
-        EvaluatePositivePlanned(db, delta, delta_occurrence, &rows));
+        EvaluatePositivePlanned(db, delta, delta_occurrence, &rows, memo));
     if (rows.empty()) {
       out->clear();
       return Status::Ok();
@@ -742,14 +756,15 @@ Status RuleEvaluator::EvaluateRows(const Database& db, const Database* delta,
 }
 
 Status RuleEvaluator::Evaluate(const Database& db, const Database* delta,
-                               int delta_occurrence,
-                               const EmitFn& emit) const {
+                               int delta_occurrence, const EmitFn& emit,
+                               OperatorMemo* memo) const {
   if (rule_.head.aggregate.has_value()) {
     return Status::Internal(
         "aggregate rules must go through AggregateEvaluator");
   }
   std::vector<BindingRow> rows;
-  DMTL_RETURN_IF_ERROR(EvaluateRows(db, delta, delta_occurrence, &rows));
+  DMTL_RETURN_IF_ERROR(
+      EvaluateRows(db, delta, delta_occurrence, &rows, memo));
   for (const BindingRow& row : rows) {
     Tuple tuple;
     tuple.reserve(rule_.head.args.size());

@@ -14,6 +14,8 @@
 
 namespace dmtl {
 
+class OperatorMemo;
+
 // Runtime counters of the join planner, shared by every copy of one
 // evaluator. Relaxed atomics: per-rule tasks never run concurrently with
 // each other within a round (one task per rule), and round barriers order
@@ -81,14 +83,18 @@ class RuleEvaluator {
   // Runs stages 1-5 and emits one (head tuple, extent) per surviving row.
   // `delta_occurrence` in [0, num_positive_occurrences) restricts that
   // occurrence to `delta`; -1 evaluates fully. Not usable on aggregate
-  // heads (see AggregateEvaluator).
+  // heads (see AggregateEvaluator). A non-null `memo` enables
+  // interval-delta propagation: unary-chain literal extents are served from
+  // the rule's OperatorMemo (round-boundary snapshot semantics; the engine
+  // refreshes the memo at barriers).
   Status Evaluate(const Database& db, const Database* delta,
-                  int delta_occurrence, const EmitFn& emit) const;
+                  int delta_occurrence, const EmitFn& emit,
+                  OperatorMemo* memo = nullptr) const;
 
   // Like Evaluate but stops after stage 5, returning the surviving rows.
   Status EvaluateRows(const Database& db, const Database* delta,
-                      int delta_occurrence,
-                      std::vector<BindingRow>* rows) const;
+                      int delta_occurrence, std::vector<BindingRow>* rows,
+                      OperatorMemo* memo = nullptr) const;
 
   // Human-readable description of the join order, index signatures, and
   // prunability the planner would choose for a full (non-delta) pass over
@@ -106,12 +112,9 @@ class RuleEvaluator {
     kGeneral,     // anything else (binary ops, truth/falsity, multi-atom)
   };
 
-  // One unary-operator step on the root-to-atom path of a relational atom
-  // inside its literal's metric tree.
-  struct PathStep {
-    MtlOp op = MtlOp::kDiamondMinus;
-    Interval range = Interval::Point(Rational(0));
-  };
+  // One operator step on the root-to-atom path of a relational atom inside
+  // its literal's metric tree (shared with the operator memo).
+  using PathStep = OpPathStep;
   // Static per-atom facts, computed once at Plan() time.
   struct AtomPlan {
     std::vector<PathStep> path;  // root-to-atom operator chain
@@ -158,10 +161,12 @@ class RuleEvaluator {
   ExecutionPlan BuildPlan(const Database& db, const Database* delta,
                           int delta_occurrence, PlannerStats* stats) const;
 
-  // Stage 1 under the planner: reordered, index-probed, envelope-pruned.
+  // Stage 1 under the planner: reordered, index-probed, envelope-pruned,
+  // and (with a memo) delta-propagated.
   Status EvaluatePositivePlanned(const Database& db, const Database* delta,
                                  int delta_occurrence,
-                                 std::vector<BindingRow>* rows) const;
+                                 std::vector<BindingRow>* rows,
+                                 OperatorMemo* memo) const;
 
   Rule rule_;
   // Indices into rule_.body per stage.

@@ -1,8 +1,10 @@
 #include "src/eval/seminaive.h"
 
 #include <chrono>
+#include <memory>
 #include <optional>
 #include <set>
+#include <unordered_map>
 #include <variant>
 
 #include "src/analysis/safety.h"
@@ -10,6 +12,7 @@
 #include "src/common/thread_pool.h"
 #include "src/eval/aggregate_eval.h"
 #include "src/eval/chain_accel.h"
+#include "src/eval/op_memo.h"
 #include "src/eval/rule_eval.h"
 
 namespace dmtl {
@@ -45,38 +48,26 @@ class Sink {
         options_(options),
         stats_(stats) {}
 
+  // Bulk emission: one window clamp (the horizon is a single interval, so
+  // the clip is the fast Intersect(Interval) overload), one coalescing
+  // merge into the store, one delta recording - no per-interval
+  // IntervalSet temporaries.
   Status Emit(PredicateId pred, const Tuple& tuple,
               const IntervalSet& extent) {
     IntervalSet clamped = extent.Intersect(window_);
-    for (const Interval& iv : clamped) {
-      DMTL_ASSIGN_OR_RETURN(bool fresh, EmitOne(pred, tuple, iv));
-      (void)fresh;
-    }
-    return Status::Ok();
+    if (clamped.IsEmpty()) return Status::Ok();
+    return Record(pred, tuple, db_->InsertSet(pred, tuple, clamped));
   }
 
   Result<bool> EmitOne(PredicateId pred, const Tuple& tuple,
                        const Interval& iv) {
-    auto clipped = IntervalSet(iv).Intersect(window_);
-    bool any_new = false;
-    for (const Interval& part : clipped) {
-      IntervalSet fresh = db_->Insert(pred, tuple, part);
-      if (fresh.IsEmpty()) continue;
-      any_new = true;
-      stats_->derived_intervals += fresh.size();
-      if (db_->approx_intervals() > options_.max_intervals) {
-        return Status::ResourceExhausted(
-            "materialization exceeded max_intervals=" +
-            std::to_string(options_.max_intervals));
-      }
-      next_delta_->InsertSet(pred, tuple, fresh);
-      if (options_.provenance != nullptr) {
-        for (const Interval& piece : fresh) {
-          options_.provenance->push_back(
-              {pred, tuple, piece, current_rule_, current_round_});
-        }
-      }
-    }
+    // Two intervals intersect to at most one interval: clip without any
+    // IntervalSet temporary.
+    auto part = iv.Intersect(window_);
+    if (!part.has_value()) return false;
+    IntervalSet fresh = db_->Insert(pred, tuple, *part);
+    bool any_new = !fresh.IsEmpty();
+    DMTL_RETURN_IF_ERROR(Record(pred, tuple, fresh));
     return any_new;
   }
 
@@ -87,6 +78,27 @@ class Sink {
   }
 
  private:
+  // Accounts the newly covered portion of an insertion: stats, budget,
+  // next-round delta, provenance.
+  Status Record(PredicateId pred, const Tuple& tuple,
+                const IntervalSet& fresh) {
+    if (fresh.IsEmpty()) return Status::Ok();
+    stats_->derived_intervals += fresh.size();
+    if (db_->approx_intervals() > options_.max_intervals) {
+      return Status::ResourceExhausted(
+          "materialization exceeded max_intervals=" +
+          std::to_string(options_.max_intervals));
+    }
+    next_delta_->InsertSet(pred, tuple, fresh);
+    if (options_.provenance != nullptr) {
+      for (const Interval& piece : fresh) {
+        options_.provenance->push_back(
+            {pred, tuple, piece, current_rule_, current_round_});
+      }
+    }
+    return Status::Ok();
+  }
+
   Database* db_;
   Database* next_delta_;
   Interval window_;
@@ -118,38 +130,18 @@ class BufferedSink {
   Status Emit(PredicateId pred, const Tuple& tuple,
               const IntervalSet& extent) {
     IntervalSet clamped = extent.Intersect(window_);
-    for (const Interval& iv : clamped) {
-      DMTL_ASSIGN_OR_RETURN(bool fresh, EmitOne(pred, tuple, iv));
-      (void)fresh;
-    }
+    if (clamped.IsEmpty()) return Status::Ok();
+    DMTL_ASSIGN_OR_RETURN(
+        bool fresh, Buffer(pred, tuple, overlay_.InsertSet(pred, tuple, clamped)));
+    (void)fresh;
     return Status::Ok();
   }
 
   Result<bool> EmitOne(PredicateId pred, const Tuple& tuple,
                        const Interval& iv) {
-    auto clipped = IntervalSet(iv).Intersect(window_);
-    bool any_new = false;
-    for (const Interval& part : clipped) {
-      IntervalSet fresh = overlay_.Insert(pred, tuple, part);
-      if (fresh.IsEmpty()) continue;
-      if (const Relation* rel = base_->Find(pred)) {
-        if (const IntervalSet* known = rel->Find(tuple)) {
-          fresh = fresh.Subtract(*known);
-        }
-      }
-      if (fresh.IsEmpty()) continue;
-      any_new = true;
-      // Coarse per-task budget guard (an upper bound: snapshot + private
-      // overlay); the merge step re-checks against the real store.
-      if (base_->approx_intervals() + overlay_.approx_intervals() >
-          options_->max_intervals) {
-        return Status::ResourceExhausted(
-            "materialization exceeded max_intervals=" +
-            std::to_string(options_->max_intervals));
-      }
-      emissions_.push_back(Emission{pred, tuple, std::move(fresh)});
-    }
-    return any_new;
+    auto part = iv.Intersect(window_);
+    if (!part.has_value()) return false;
+    return Buffer(pred, tuple, overlay_.Insert(pred, tuple, *part));
   }
 
   void AddChainExtension() { ++chain_extensions_; }
@@ -158,6 +150,30 @@ class BufferedSink {
   const std::vector<Emission>& emissions() const { return emissions_; }
 
  private:
+  // Buffers the genuinely new portion of one insertion (overlay freshness
+  // minus what the round-start snapshot already covers) as a single
+  // Emission. Returns whether anything new was buffered.
+  Result<bool> Buffer(PredicateId pred, const Tuple& tuple,
+                      IntervalSet fresh) {
+    if (fresh.IsEmpty()) return false;
+    if (const Relation* rel = base_->Find(pred)) {
+      if (const IntervalSet* known = rel->Find(tuple)) {
+        fresh = fresh.Subtract(*known);
+      }
+    }
+    if (fresh.IsEmpty()) return false;
+    // Coarse per-task budget guard (an upper bound: snapshot + private
+    // overlay); the merge step re-checks against the real store.
+    if (base_->approx_intervals() + overlay_.approx_intervals() >
+        options_->max_intervals) {
+      return Status::ResourceExhausted(
+          "materialization exceeded max_intervals=" +
+          std::to_string(options_->max_intervals));
+    }
+    emissions_.push_back(Emission{pred, tuple, std::move(fresh)});
+    return true;
+  }
+
   const Database* base_;
   Database overlay_;  // private coverage: own emissions of this round
   Interval window_;
@@ -214,6 +230,7 @@ std::vector<int> DeltaOccurrences(const CompiledRule& c,
 // into the shared store through `sink` in rule-index order.
 Status RunRoundParallel(const std::vector<RoundTask>& tasks,
                         const std::vector<CompiledRule>& compiled,
+                        const std::vector<std::unique_ptr<OperatorMemo>>& memos,
                         const Database& db, const Database& delta,
                         const Interval& window, const EngineOptions& options,
                         ThreadPool* pool,
@@ -248,9 +265,13 @@ Status RunRoundParallel(const std::vector<RoundTask>& tasks,
               });
         }
         const auto& eval = std::get<RuleEvaluator>(c.eval);
-        if (t.initial) return eval.Evaluate(db, nullptr, -1, emit);
+        // Memos are per-rule and each rule is one task, so the task owns
+        // its memo exclusively for the round; the ParallelFor join makes
+        // the barrier-time refresh single-threaded.
+        OperatorMemo* memo = memos.empty() ? nullptr : memos[t.rule_id].get();
+        if (t.initial) return eval.Evaluate(db, nullptr, -1, emit, memo);
         for (int occ : t.delta_occurrences) {
-          DMTL_RETURN_IF_ERROR(eval.Evaluate(db, &delta, occ, emit));
+          DMTL_RETURN_IF_ERROR(eval.Evaluate(db, &delta, occ, emit, memo));
         }
         return Status::Ok();
       }));
@@ -263,10 +284,7 @@ Status RunRoundParallel(const std::vector<RoundTask>& tasks,
     stats->chain_extensions += sinks[ti].chain_extensions();
     sink->SetContext(t.rule_id, round);
     for (const BufferedSink::Emission& e : sinks[ti].emissions()) {
-      for (const Interval& piece : e.fresh) {
-        DMTL_ASSIGN_OR_RETURN(bool fresh, sink->EmitOne(e.pred, e.tuple, piece));
-        (void)fresh;
-      }
+      DMTL_RETURN_IF_ERROR(sink->Emit(e.pred, e.tuple, e.fresh));
     }
     ++stats->parallel_merges;
   }
@@ -297,8 +315,17 @@ std::string EngineStats::ToString() const {
     out += " threads=" + std::to_string(threads) +
            " parallel_rounds=" + std::to_string(parallel_rounds) +
            " parallel_tasks=" + std::to_string(parallel_tasks) +
-           " parallel_merges=" + std::to_string(parallel_merges);
+           " parallel_merges=" + std::to_string(parallel_merges) +
+           " seq_rounds_forced=" + std::to_string(sequential_rounds_forced);
   }
+  if (memo_hits + memo_misses + memo_refreshes + memo_invalidations > 0) {
+    out += " memo_hits=" + std::to_string(memo_hits) +
+           " memo_misses=" + std::to_string(memo_misses) +
+           " memo_refreshes=" + std::to_string(memo_refreshes) +
+           " memo_invalidations=" + std::to_string(memo_invalidations);
+  }
+  out += " delta_intervals=" + std::to_string(delta_intervals) +
+         " bulk_merges=" + std::to_string(bulk_merges);
   if (planner_indexes_built + planner_index_probes + planner_pruned_tuples >
       0) {
     out += " planner_indexes=" + std::to_string(planner_indexes_built) +
@@ -361,6 +388,18 @@ Status Materialize(const Program& program, Database* db,
 
   Interval window = HorizonWindow(options);
 
+  // Interval-delta propagation: one operator memo per rule (exclusive to
+  // that rule's task in parallel rounds). The memo hook sits in the join
+  // planner's unary-chain fast path, so it is only effective with planning.
+  std::vector<std::unique_ptr<OperatorMemo>> memos;
+  if (options.enable_interval_deltas && options.enable_join_planning) {
+    memos.resize(compiled.size());
+    for (size_t i = 0; i < compiled.size(); ++i) {
+      memos[i] = std::make_unique<OperatorMemo>();
+    }
+  }
+  uint64_t bulk_merges_at_start = IntervalSet::BulkMergeCount();
+
   stats->stratum_wall_seconds.assign(strat.num_strata, 0.0);
   for (int s = 0; s < strat.num_strata; ++s) {
     auto stratum_start = std::chrono::steady_clock::now();
@@ -393,6 +432,26 @@ Status Materialize(const Program& program, Database* db,
       };
     };
 
+    // Round-barrier memo maintenance: for every grounding that grew this
+    // round, refresh (or invalidate) each rule's memoized operator-path
+    // outputs with just the newly covered intervals. Runs after the round's
+    // merges and before the delta swap, so memo values always equal the
+    // operator applied to the round-start snapshot of each leaf.
+    auto refresh_memos = [&](const Database& fresh_round) {
+      if (memos.empty()) return;
+      for (const auto& [pred, rel] : fresh_round.relations()) {
+        const Relation* live = db->Find(pred);
+        if (live == nullptr) continue;
+        for (const auto& [tuple, fresh] : rel.data()) {
+          const IntervalSet* leaf = live->Find(tuple);
+          if (leaf == nullptr) continue;
+          for (size_t id : rule_ids) {
+            if (memos[id] != nullptr) memos[id]->OnLeafChanged(leaf, fresh);
+          }
+        }
+      }
+    };
+
     // Aggregate rules first: their inputs are strictly below this stratum,
     // so one evaluation is complete. Always sequential - the stratum's
     // plain rules may read their output in the initial round.
@@ -402,7 +461,8 @@ Status Materialize(const Program& program, Database* db,
       sink.SetContext(id, 0);
       const auto& agg = std::get<AggregateEvaluator>(compiled[id].eval);
       DMTL_RETURN_IF_ERROR(
-          agg.Evaluate(*db, emit_for(compiled[id].rule().head.predicate)));
+          agg.Evaluate(*db, emit_for(compiled[id].rule().head.predicate),
+                       memos.empty() ? nullptr : memos[id].get()));
     }
 
     // Initial full round for plain rules.
@@ -416,8 +476,8 @@ Status Materialize(const Program& program, Database* db,
         t.evaluations = 1;
         tasks.push_back(std::move(t));
       }
-      DMTL_RETURN_IF_ERROR(RunRoundParallel(tasks, compiled, *db, delta,
-                                            window, options, &*pool,
+      DMTL_RETURN_IF_ERROR(RunRoundParallel(tasks, compiled, memos, *db,
+                                            delta, window, options, &*pool,
                                             &chain_caches, 0, &sink, stats));
     } else {
       for (size_t id : rule_ids) {
@@ -426,22 +486,33 @@ Status Materialize(const Program& program, Database* db,
         sink.SetContext(id, 0);
         const auto& eval = std::get<RuleEvaluator>(compiled[id].eval);
         DMTL_RETURN_IF_ERROR(eval.Evaluate(
-            *db, nullptr, -1, emit_for(compiled[id].rule().head.predicate)));
+            *db, nullptr, -1, emit_for(compiled[id].rule().head.predicate),
+            memos.empty() ? nullptr : memos[id].get()));
       }
     }
+    refresh_memos(next_delta);
     delta = std::move(next_delta);
     next_delta = Database();
 
     // Fixpoint rounds.
     size_t rounds = 0;
-    while (delta.NumIntervals() > 0) {
+    size_t delta_size = delta.NumIntervals();
+    while (delta_size > 0) {
       if (++rounds > options.max_rounds) {
         return Status::ResourceExhausted("stratum " + std::to_string(s) +
                                          " exceeded max_rounds");
       }
       ++stats->rounds;
+      stats->delta_intervals += delta_size;
 
-      if (pool.has_value()) {
+      // Work-size heuristic: at small deltas, dispatching tasks and merging
+      // buffers costs more than the parallelism buys; run the round inline.
+      bool use_pool =
+          pool.has_value() && (options.parallel_min_round_intervals == 0 ||
+                               delta_size >= options.parallel_min_round_intervals);
+      if (pool.has_value() && !use_pool) ++stats->sequential_rounds_forced;
+
+      if (use_pool) {
         std::vector<RoundTask> tasks;
         for (size_t id : rule_ids) {
           if (compiled[id].is_aggregate()) continue;
@@ -464,46 +535,47 @@ Status Materialize(const Program& program, Database* db,
           tasks.push_back(std::move(t));
         }
         DMTL_RETURN_IF_ERROR(
-            RunRoundParallel(tasks, compiled, *db, delta, window, options,
-                             &*pool, &chain_caches, rounds, &sink, stats));
-        delta = std::move(next_delta);
-        next_delta = Database();
-        continue;
-      }
+            RunRoundParallel(tasks, compiled, memos, *db, delta, window,
+                             options, &*pool, &chain_caches, rounds, &sink,
+                             stats));
+      } else {
+        for (size_t id : rule_ids) {
+          if (compiled[id].is_aggregate()) continue;
+          const CompiledRule& c = compiled[id];
+          const auto& eval = std::get<RuleEvaluator>(c.eval);
+          PredicateId head = c.rule().head.predicate;
+          OperatorMemo* memo = memos.empty() ? nullptr : memos[id].get();
 
-      for (size_t id : rule_ids) {
-        if (compiled[id].is_aggregate()) continue;
-        const CompiledRule& c = compiled[id];
-        const auto& eval = std::get<RuleEvaluator>(c.eval);
-        PredicateId head = c.rule().head.predicate;
-
-        sink.SetContext(id, rounds);
-        if (c.chain.has_value()) {
-          ++stats->rule_evaluations;
-          DMTL_RETURN_IF_ERROR(ChainAccelerator::Extend(
-              c.rule(), *c.chain, *db, delta, window, &chain_caches[id],
-              [&](const Tuple& tuple, const Interval& iv) -> Result<bool> {
-                ++stats->chain_extensions;
-                return sink.EmitOne(head, tuple, iv);
-              }));
-          continue;
-        }
-        if (options.naive_evaluation) {
-          ++stats->rule_evaluations;
-          DMTL_RETURN_IF_ERROR(
-              eval.Evaluate(*db, nullptr, -1, emit_for(head)));
-          continue;
-        }
-        // Semi-naive: one pass per positive occurrence of a predicate that
-        // changed this round.
-        for (int occ : DeltaOccurrences(c, eval, stratum_preds, delta)) {
-          ++stats->rule_evaluations;
-          DMTL_RETURN_IF_ERROR(
-              eval.Evaluate(*db, &delta, occ, emit_for(head)));
+          sink.SetContext(id, rounds);
+          if (c.chain.has_value()) {
+            ++stats->rule_evaluations;
+            DMTL_RETURN_IF_ERROR(ChainAccelerator::Extend(
+                c.rule(), *c.chain, *db, delta, window, &chain_caches[id],
+                [&](const Tuple& tuple, const Interval& iv) -> Result<bool> {
+                  ++stats->chain_extensions;
+                  return sink.EmitOne(head, tuple, iv);
+                }));
+            continue;
+          }
+          if (options.naive_evaluation) {
+            ++stats->rule_evaluations;
+            DMTL_RETURN_IF_ERROR(
+                eval.Evaluate(*db, nullptr, -1, emit_for(head), memo));
+            continue;
+          }
+          // Semi-naive: one pass per positive occurrence of a predicate
+          // that changed this round.
+          for (int occ : DeltaOccurrences(c, eval, stratum_preds, delta)) {
+            ++stats->rule_evaluations;
+            DMTL_RETURN_IF_ERROR(
+                eval.Evaluate(*db, &delta, occ, emit_for(head), memo));
+          }
         }
       }
+      refresh_memos(next_delta);
       delta = std::move(next_delta);
       next_delta = Database();
+      delta_size = delta.NumIntervals();
     }
     stats->stratum_wall_seconds[s] =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -529,6 +601,15 @@ Status Materialize(const Program& program, Database* db,
     stats->rule_plan_cost.push_back(
         ps->last_plan_cost.load(std::memory_order_relaxed));
   }
+
+  for (const std::unique_ptr<OperatorMemo>& memo : memos) {
+    if (memo == nullptr) continue;
+    stats->memo_hits += memo->stats().hits;
+    stats->memo_misses += memo->stats().misses;
+    stats->memo_refreshes += memo->stats().refreshes;
+    stats->memo_invalidations += memo->stats().invalidations;
+  }
+  stats->bulk_merges = IntervalSet::BulkMergeCount() - bulk_merges_at_start;
 
   stats->wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -

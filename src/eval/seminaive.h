@@ -55,6 +55,26 @@ struct EngineOptions {
   // off; disable only for the ablation benchmark.
   bool enable_join_planning = true;
 
+  // Interval-level delta propagation: memoize each rule's unary
+  // operator-path outputs per grounding across fixpoint rounds
+  // (OperatorMemo) and refresh them at round barriers with just the newly
+  // derived intervals, instead of recomputing whole interval sets every
+  // round. The materialized database is byte-for-byte identical on or off;
+  // memoized reads have round-boundary snapshot semantics (like the
+  // parallel engine), so provenance round/rule attribution - and the
+  // rounds/derived counters - may shift on programs with intra-round
+  // feeding. Only active with join planning (the memo hangs off the
+  // planner's unary-chain fast path).
+  bool enable_interval_deltas = true;
+
+  // Parallel evaluation only: fixpoint rounds whose delta holds fewer
+  // intervals than this run on the calling thread instead of the pool - at
+  // small round sizes task dispatch plus the barrier merge costs more than
+  // the parallelism buys (the contract benches' long tail of tick-by-tick
+  // rounds carries a handful of intervals each). The initial full round
+  // always uses the pool. 0 disables the heuristic.
+  size_t parallel_min_round_intervals = 2048;
+
   // Number of evaluation threads. 1 (the default) is the sequential engine,
   // byte-for-byte identical to historical runs. 0 resolves to
   // std::thread::hardware_concurrency(); N > 1 uses a fixed pool of N.
@@ -98,11 +118,22 @@ struct EngineStats {
   // program.rules(); empty when planning is off.
   std::vector<double> rule_plan_cost;
 
+  // --- interval-delta propagation (enable_interval_deltas) ----------------
+  size_t memo_hits = 0;            // operator-path outputs served from memo
+  size_t memo_misses = 0;          // outputs computed and cached
+  size_t memo_refreshes = 0;       // entries updated in place with a delta
+  size_t memo_invalidations = 0;   // entries dropped (non-refreshable path)
+  size_t delta_intervals = 0;      // total intervals across fixpoint deltas
+  size_t bulk_merges = 0;          // IntervalSet bulk coalescing sweeps
+
   // --- parallel execution (num_threads != 1) ------------------------------
   size_t threads = 1;             // resolved pool width
   size_t parallel_rounds = 0;     // rounds evaluated through the pool
   size_t parallel_tasks = 0;      // rule tasks dispatched to the pool
   size_t parallel_merges = 0;     // per-task buffers merged at barriers
+  // Fixpoint rounds run sequentially because the delta was smaller than
+  // parallel_min_round_intervals.
+  size_t sequential_rounds_forced = 0;
   // Wall time per stratum (index = stratum number), sequential or parallel.
   std::vector<double> stratum_wall_seconds;
 

@@ -116,10 +116,24 @@ IntervalSet Relation::Insert(const Tuple& tuple, const Interval& iv) {
   return fresh;
 }
 
-void Relation::InsertSet(const Tuple& tuple, const IntervalSet& set) {
-  for (const Interval& iv : set) {
-    Insert(tuple, iv);  // keeps the secondary index in sync
+IntervalSet Relation::InsertSet(const Tuple& tuple, const IntervalSet& set) {
+  if (set.IsEmpty()) return IntervalSet();
+  auto [it, inserted] = data_.try_emplace(tuple);
+  if (inserted && !it->first.empty()) {
+    first_arg_index_[it->first[0]].push_back(&it->first);
   }
+  IntervalSet fresh = it->second.UnionWithDelta(set);
+  approx_intervals_ += fresh.size();
+  if ((inserted || !fresh.IsEmpty()) && !indexes_.empty()) {
+    // Widen envelopes by the hull of what actually changed; a fully covered
+    // set (fresh empty, pre-existing tuple) cannot widen anything.
+    std::lock_guard<std::mutex> lock(index_mutex_);
+    const Interval widen = fresh.IsEmpty() ? set.Hull() : fresh.Hull();
+    for (auto& [sig, index] : indexes_) {
+      IndexTuple(index.get(), it->first, it->second, inserted, widen);
+    }
+  }
+  return fresh;
 }
 
 const IntervalSet* Relation::Find(const Tuple& tuple) const {
@@ -155,12 +169,11 @@ IntervalSet Database::Insert(PredicateId pred, const Tuple& tuple,
   return fresh;
 }
 
-void Database::InsertSet(PredicateId pred, const Tuple& tuple,
-                         const IntervalSet& set) {
-  Relation& rel = relations_[pred];
-  size_t before = rel.approx_intervals();
-  rel.InsertSet(tuple, set);
-  approx_intervals_ += rel.approx_intervals() - before;
+IntervalSet Database::InsertSet(PredicateId pred, const Tuple& tuple,
+                                const IntervalSet& set) {
+  IntervalSet fresh = relations_[pred].InsertSet(tuple, set);
+  approx_intervals_ += fresh.size();
+  return fresh;
 }
 
 IntervalSet Database::Insert(std::string_view pred, Tuple tuple,

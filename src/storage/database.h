@@ -94,7 +94,10 @@ class Relation {
   // Adds (tuple, iv); returns the newly covered portion (empty when the
   // fact was already entailed by stored intervals).
   IntervalSet Insert(const Tuple& tuple, const Interval& iv);
-  void InsertSet(const Tuple& tuple, const IntervalSet& set);
+  // Bulk form: merges the whole set in one coalescing sweep
+  // (IntervalSet::UnionWithDelta) instead of one Insert per component, and
+  // returns the newly covered portion.
+  IntervalSet InsertSet(const Tuple& tuple, const IntervalSet& set);
 
   const IntervalSet* Find(const Tuple& tuple) const;
   bool Contains(const Tuple& tuple, const Rational& t) const;
@@ -179,8 +182,9 @@ class Database {
   IntervalSet Insert(const Fact& fact);
   IntervalSet Insert(PredicateId pred, const Tuple& tuple,
                      const Interval& iv);
-  void InsertSet(PredicateId pred, const Tuple& tuple,
-                 const IntervalSet& set);
+  // Bulk form; returns the newly covered portion (see Relation::InsertSet).
+  IntervalSet InsertSet(PredicateId pred, const Tuple& tuple,
+                        const IntervalSet& set);
 
   // Convenience for tests/examples: Insert("price", {Value::Double(47)},
   // Interval::Point(5)).

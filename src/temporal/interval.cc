@@ -4,40 +4,10 @@
 
 namespace dmtl {
 
+using internal::CompareLower;
+using internal::CompareUpper;
+
 namespace {
-
-// Three-way compare of two *lower* bounds by the position where the interval
-// effectively starts: -inf first; at equal finite values a closed bound
-// starts before an open one.
-int CompareLower(const Bound& a, const Bound& b) {
-  if (a.infinite && b.infinite) return 0;
-  if (a.infinite) return -1;
-  if (b.infinite) return 1;
-  if (a.value < b.value) return -1;
-  if (b.value < a.value) return 1;
-  if (a.open == b.open) return 0;
-  return a.open ? 1 : -1;
-}
-
-// Three-way compare of two *upper* bounds by where the interval effectively
-// ends: +inf last; at equal finite values an open bound ends before a
-// closed one.
-int CompareUpper(const Bound& a, const Bound& b) {
-  if (a.infinite && b.infinite) return 0;
-  if (a.infinite) return 1;
-  if (b.infinite) return -1;
-  if (a.value < b.value) return -1;
-  if (b.value < a.value) return 1;
-  if (a.open == b.open) return 0;
-  return a.open ? -1 : 1;
-}
-
-bool BoundsNonEmpty(const Bound& lo, const Bound& hi) {
-  if (lo.infinite || hi.infinite) return true;
-  if (lo.value < hi.value) return true;
-  if (hi.value < lo.value) return false;
-  return !lo.open && !hi.open;  // single point needs both sides closed
-}
 
 // Sum of bound positions used by Minkowski dilation: infinite dominates,
 // openness is contagious.
@@ -53,22 +23,9 @@ Bound SubBounds(const Bound& a, const Bound& b) {
 
 }  // namespace
 
-bool Interval::Overlaps(const Interval& other) const {
-  const Bound& lo = CompareLower(lo_, other.lo_) >= 0 ? lo_ : other.lo_;
-  const Bound& hi = CompareUpper(hi_, other.hi_) <= 0 ? hi_ : other.hi_;
-  return BoundsNonEmpty(lo, hi);
-}
-
 Interval Interval::Hull(const Interval& other) const {
   Bound lo = CompareLower(lo_, other.lo_) <= 0 ? lo_ : other.lo_;
   Bound hi = CompareUpper(hi_, other.hi_) >= 0 ? hi_ : other.hi_;
-  return Interval(lo, hi);
-}
-
-std::optional<Interval> Interval::Make(Bound lo, Bound hi) {
-  if (!BoundsNonEmpty(lo, hi)) return std::nullopt;
-  if (lo.infinite) lo.open = true;
-  if (hi.infinite) hi.open = true;
   return Interval(lo, hi);
 }
 
@@ -127,17 +84,6 @@ bool Interval::Contains(const Rational& t) const {
     if (t == hi_.value && hi_.open) return false;
   }
   return true;
-}
-
-bool Interval::Contains(const Interval& other) const {
-  return CompareLower(lo_, other.lo_) <= 0 &&
-         CompareUpper(other.hi_, hi_) <= 0;
-}
-
-std::optional<Interval> Interval::Intersect(const Interval& other) const {
-  Bound lo = CompareLower(lo_, other.lo_) >= 0 ? lo_ : other.lo_;
-  Bound hi = CompareUpper(hi_, other.hi_) <= 0 ? hi_ : other.hi_;
-  return Make(lo, hi);
 }
 
 bool Interval::Unionable(const Interval& other) const {
@@ -230,18 +176,6 @@ std::optional<Interval> Interval::BoxPlus(const Interval& rho) const {
     hi = Bound{hi_.value - rho.hi().value, open, false};
   }
   return Make(lo, hi);
-}
-
-bool Interval::StartsBefore(const Interval& other) const {
-  int c = CompareLower(lo_, other.lo_);
-  if (c != 0) return c < 0;
-  return CompareUpper(hi_, other.hi_) < 0;
-}
-
-bool Interval::StrictlyBefore(const Interval& other) const {
-  if (hi_.infinite || other.lo_.infinite) return false;
-  if (hi_.value < other.lo_.value) return true;
-  return hi_.value == other.lo_.value && hi_.open && other.lo_.open;
 }
 
 std::string Interval::ToString() const {

@@ -132,6 +132,90 @@ class Interval {
 
 std::ostream& operator<<(std::ostream& os, const Interval& iv);
 
+// --- inline hot path ------------------------------------------------------
+// Bound comparison, emptiness, and the interval predicates/transforms built
+// from them run billions of times per materialization (every IntervalSet
+// kernel bottoms out here), so they live in the header where the Rational
+// fast paths inline through.
+
+namespace internal {
+
+// Three-way compare of two *lower* bounds by the position where the interval
+// effectively starts: -inf first; at equal finite values a closed bound
+// starts before an open one.
+inline int CompareLower(const Bound& a, const Bound& b) {
+  if (a.infinite || b.infinite) {
+    if (a.infinite && b.infinite) return 0;
+    return a.infinite ? -1 : 1;
+  }
+  if (a.value < b.value) return -1;
+  if (b.value < a.value) return 1;
+  if (a.open == b.open) return 0;
+  return a.open ? 1 : -1;
+}
+
+// Three-way compare of two *upper* bounds by where the interval effectively
+// ends: +inf last; at equal finite values an open bound ends before a
+// closed one.
+inline int CompareUpper(const Bound& a, const Bound& b) {
+  if (a.infinite || b.infinite) {
+    if (a.infinite && b.infinite) return 0;
+    return a.infinite ? 1 : -1;
+  }
+  if (a.value < b.value) return -1;
+  if (b.value < a.value) return 1;
+  if (a.open == b.open) return 0;
+  return a.open ? -1 : 1;
+}
+
+inline bool BoundsNonEmpty(const Bound& lo, const Bound& hi) {
+  if (lo.infinite || hi.infinite) return true;
+  if (lo.value < hi.value) return true;
+  if (hi.value < lo.value) return false;
+  return !lo.open && !hi.open;  // single point needs both sides closed
+}
+
+}  // namespace internal
+
+inline std::optional<Interval> Interval::Make(Bound lo, Bound hi) {
+  if (!internal::BoundsNonEmpty(lo, hi)) return std::nullopt;
+  if (lo.infinite) lo.open = true;
+  if (hi.infinite) hi.open = true;
+  return Interval(lo, hi);
+}
+
+inline std::optional<Interval> Interval::Intersect(
+    const Interval& other) const {
+  Bound lo = internal::CompareLower(lo_, other.lo_) >= 0 ? lo_ : other.lo_;
+  Bound hi = internal::CompareUpper(hi_, other.hi_) <= 0 ? hi_ : other.hi_;
+  return Make(lo, hi);
+}
+
+inline bool Interval::Overlaps(const Interval& other) const {
+  const Bound& lo =
+      internal::CompareLower(lo_, other.lo_) >= 0 ? lo_ : other.lo_;
+  const Bound& hi =
+      internal::CompareUpper(hi_, other.hi_) <= 0 ? hi_ : other.hi_;
+  return internal::BoundsNonEmpty(lo, hi);
+}
+
+inline bool Interval::Contains(const Interval& other) const {
+  return internal::CompareLower(lo_, other.lo_) <= 0 &&
+         internal::CompareUpper(other.hi_, hi_) <= 0;
+}
+
+inline bool Interval::StartsBefore(const Interval& other) const {
+  int c = internal::CompareLower(lo_, other.lo_);
+  if (c != 0) return c < 0;
+  return internal::CompareUpper(hi_, other.hi_) < 0;
+}
+
+inline bool Interval::StrictlyBefore(const Interval& other) const {
+  if (hi_.infinite || other.lo_.infinite) return false;
+  if (hi_.value < other.lo_.value) return true;
+  return hi_.value == other.lo_.value && hi_.open && other.lo_.open;
+}
+
 }  // namespace dmtl
 
 #endif  // DMTL_TEMPORAL_INTERVAL_H_

@@ -1,42 +1,51 @@
 #include "src/temporal/interval_set.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 
 namespace dmtl {
 
 namespace {
 
-// Appends the (up to two) pieces of `a` not covered by `b`.
-void SubtractInterval(const Interval& a, const Interval& b,
-                      std::vector<Interval>* out) {
-  if (!a.Intersect(b).has_value()) {
-    out->push_back(a);
-    return;
-  }
-  // Left piece: from a.lo up to (but excluding per b's openness) b.lo.
-  if (!b.lo().infinite) {
-    Bound hi = b.lo();
-    hi.open = !hi.open;  // the complement flips inclusion at the cut point
-    if (auto left = Interval::Make(a.lo(), hi); left.has_value()) {
-      out->push_back(*left);
-    }
-  }
-  // Right piece: from (excluding per b's openness) b.hi up to a.hi.
-  if (!b.hi().infinite) {
-    Bound lo = b.hi();
-    lo.open = !lo.open;
-    if (auto right = Interval::Make(lo, a.hi()); right.has_value()) {
-      out->push_back(*right);
-    }
+std::atomic<uint64_t> g_bulk_merges{0};
+
+// The complement flips inclusion at a cut point: the piece left of a closed
+// bound ends open at the same value, and vice versa.
+Bound FlipOpenness(Bound b) {
+  b.open = !b.open;
+  return b;
+}
+
+// Appends `iv` to a normalized sequence whose components arrive sorted by
+// lower bound but may overlap or touch their predecessor (the dilation and
+// merge sweeps below produce exactly this shape). Coalesces into the back
+// component when possible; the result stays normalized because a
+// non-unionable successor with a later lower bound implies a true gap.
+void AppendCoalesce(SmallIntervalVec* out, const Interval& iv) {
+  if (!out->empty() && out->back().Unionable(iv)) {
+    out->back() = out->back().UnionWith(iv);
+  } else {
+    out->push_back(iv);
   }
 }
 
 }  // namespace
 
+uint64_t IntervalSet::BulkMergeCount() {
+  return g_bulk_merges.load(std::memory_order_relaxed);
+}
+
 IntervalSet IntervalSet::FromIntervals(const std::vector<Interval>& ivs) {
   IntervalSet out;
-  for (const Interval& iv : ivs) out.Insert(iv);
+  if (ivs.empty()) return out;
+  std::vector<Interval> sorted = ivs;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Interval& a, const Interval& b) {
+              return a.StartsBefore(b);
+            });
+  g_bulk_merges.fetch_add(1, std::memory_order_relaxed);
+  for (const Interval& iv : sorted) AppendCoalesce(&out.intervals_, iv);
   return out;
 }
 
@@ -70,47 +79,132 @@ bool IntervalSet::ContainsSet(const IntervalSet& other) const {
 
 IntervalSet IntervalSet::Insert(const Interval& iv) {
   // Fast path: appending past the end (the dominant pattern when facts are
-  // derived in temporal order).
+  // derived in temporal order). The delta lives in the inline buffer.
   if (intervals_.empty() || intervals_.back().StrictlyBefore(iv)) {
     intervals_.push_back(iv);
     return IntervalSet(iv);
   }
-  auto first = std::partition_point(
-      intervals_.begin(), intervals_.end(),
-      [&](const Interval& x) { return x.StrictlyBefore(iv); });
-  // Collect the run of intervals that overlap or touch iv.
-  auto last = first;
+  const size_t first = std::partition_point(
+                           intervals_.begin(), intervals_.end(),
+                           [&](const Interval& x) {
+                             return x.StrictlyBefore(iv);
+                           }) -
+                       intervals_.begin();
+  // Walk the run of components that overlap or touch iv, accumulating the
+  // union and collecting the uncovered slices of iv between run members in
+  // one forward pass.
+  size_t last = first;
   Interval merged = iv;
-  std::vector<Interval> uncovered = {iv};
-  std::vector<Interval> next;
-  while (last != intervals_.end() && !iv.StrictlyBefore(*last)) {
-    if (merged.Unionable(*last)) merged = merged.UnionWith(*last);
-    next.clear();
-    for (const Interval& piece : uncovered) {
-      SubtractInterval(piece, *last, &next);
+  IntervalSet delta;
+  Bound cursor = iv.lo();
+  bool covered_to_end = false;
+  while (last < intervals_.size() && !iv.StrictlyBefore(intervals_[last])) {
+    const Interval& x = intervals_[last];
+    if (merged.Unionable(x)) merged = merged.UnionWith(x);
+    if (!covered_to_end) {
+      if (x.lo().infinite) {
+        // x extends to -inf, so nothing of iv survives left of it.
+      } else if (auto piece = Interval::Make(cursor, FlipOpenness(x.lo()));
+                 piece.has_value()) {
+        delta.intervals_.push_back(*piece);
+      }
+      if (x.hi().infinite) {
+        covered_to_end = true;
+      } else {
+        cursor = FlipOpenness(x.hi());
+      }
     }
-    uncovered.swap(next);
     ++last;
   }
-  IntervalSet delta;
-  delta.intervals_ = std::move(uncovered);
+  if (!covered_to_end) {
+    if (auto tail = Interval::Make(cursor, iv.hi()); tail.has_value()) {
+      delta.intervals_.push_back(*tail);
+    }
+  }
   if (last == first) {
-    intervals_.insert(first, merged);
+    intervals_.insert_at(first, merged);
   } else {
-    *first = merged;
-    intervals_.erase(first + 1, last);
+    intervals_[first] = merged;
+    intervals_.erase_range(first + 1, last);
   }
   return delta;
 }
 
+void IntervalSet::Add(const Interval& iv) {
+  if (intervals_.empty() || intervals_.back().StrictlyBefore(iv)) {
+    intervals_.push_back(iv);
+    return;
+  }
+  const size_t first = std::partition_point(
+                           intervals_.begin(), intervals_.end(),
+                           [&](const Interval& x) {
+                             return x.StrictlyBefore(iv);
+                           }) -
+                       intervals_.begin();
+  size_t last = first;
+  Interval merged = iv;
+  while (last < intervals_.size() && !iv.StrictlyBefore(intervals_[last])) {
+    if (merged.Unionable(intervals_[last])) {
+      merged = merged.UnionWith(intervals_[last]);
+    }
+    ++last;
+  }
+  if (last == first) {
+    intervals_.insert_at(first, merged);
+  } else {
+    intervals_[first] = merged;
+    intervals_.erase_range(first + 1, last);
+  }
+}
+
 void IntervalSet::UnionWith(const IntervalSet& other) {
-  for (const Interval& iv : other.intervals_) Insert(iv);
+  if (other.intervals_.empty()) return;
+  if (intervals_.empty()) {
+    intervals_ = other.intervals_;
+    return;
+  }
+  if (other.intervals_.size() == 1) {
+    Add(other.intervals_[0]);
+    return;
+  }
+  g_bulk_merges.fetch_add(1, std::memory_order_relaxed);
+  if (intervals_.back().StrictlyBefore(other.intervals_.front())) {
+    // Disjoint suffix: plain append, no sweep needed.
+    for (const Interval& iv : other.intervals_) intervals_.push_back(iv);
+    return;
+  }
+  // Single coalescing sweep over both sorted component lists.
+  SmallIntervalVec out;
+  out.reserve(intervals_.size() + other.intervals_.size());
+  const Interval* a = intervals_.begin();
+  const Interval* a_end = intervals_.end();
+  const Interval* b = other.intervals_.begin();
+  const Interval* b_end = other.intervals_.end();
+  while (a != a_end && b != b_end) {
+    if (a->StartsBefore(*b)) {
+      AppendCoalesce(&out, *a++);
+    } else {
+      AppendCoalesce(&out, *b++);
+    }
+  }
+  while (a != a_end) AppendCoalesce(&out, *a++);
+  while (b != b_end) AppendCoalesce(&out, *b++);
+  intervals_ = std::move(out);
+}
+
+IntervalSet IntervalSet::UnionWithDelta(const IntervalSet& other) {
+  IntervalSet fresh = other.Subtract(*this);
+  if (!fresh.IsEmpty()) UnionWith(other);
+  return fresh;
 }
 
 IntervalSet IntervalSet::Intersect(const IntervalSet& other) const {
   // Asymmetric fast path: probe each component of the small set into the
   // large one by binary search (rule evaluation constantly intersects a
-  // punctual row extent with a session-long per-tick chain extent).
+  // punctual row extent with a session-long per-tick chain extent). Clips
+  // append directly: each probe's output is confined to its component, and
+  // components are separated by true gaps, so the pieces arrive sorted,
+  // disjoint, and non-coalescable.
   const size_t small_n = std::min(intervals_.size(), other.intervals_.size());
   const size_t large_n = std::max(intervals_.size(), other.intervals_.size());
   if (small_n != 0 && large_n > 16 && small_n * 8 < large_n) {
@@ -128,7 +222,7 @@ IntervalSet IntervalSet::Intersect(const IntervalSet& other) const {
       for (; it != large.intervals_.end(); ++it) {
         if (s.StrictlyBefore(*it)) break;
         if (auto x = s.Intersect(*it); x.has_value()) {
-          out.Insert(*x);
+          out.intervals_.push_back(*x);
         }
       }
     }
@@ -167,11 +261,64 @@ IntervalSet IntervalSet::Intersect(const IntervalSet& other) const {
 }
 
 IntervalSet IntervalSet::Intersect(const Interval& iv) const {
-  return Intersect(IntervalSet(iv));
+  // Binary search to the run overlapping iv, clip, and append directly
+  // (clips of a normalized run stay sorted, disjoint, gap-separated). This
+  // is the window clamp on the rule-evaluation emit path; the common 0-2
+  // piece result stays inline.
+  IntervalSet out;
+  auto it = std::partition_point(
+      intervals_.begin(), intervals_.end(),
+      [&](const Interval& x) { return x.StrictlyBefore(iv); });
+  for (; it != intervals_.end(); ++it) {
+    if (iv.StrictlyBefore(*it)) break;
+    if (auto x = it->Intersect(iv); x.has_value()) {
+      out.intervals_.push_back(*x);
+    }
+  }
+  return out;
 }
 
 IntervalSet IntervalSet::Subtract(const IntervalSet& other) const {
-  return Intersect(other.Complement());
+  if (intervals_.empty() || other.intervals_.empty()) return *this;
+  // Two-pointer sweep: for each component `a`, binary-jump to the first
+  // subtrahend component not strictly before it, then chip the overlap run
+  // off a left-to-right. Surviving pieces are separated by removed chunks
+  // (within a component) or original gaps (across components), so direct
+  // appends stay normalized.
+  IntervalSet out;
+  size_t j = 0;
+  for (const Interval& a : intervals_) {
+    j = std::partition_point(
+            other.intervals_.begin() + j, other.intervals_.end(),
+            [&](const Interval& x) { return x.StrictlyBefore(a); }) -
+        other.intervals_.begin();
+    Bound cursor = a.lo();
+    bool covered_to_end = false;
+    // Do not advance j inside the run: a wide subtrahend component can
+    // overlap several later components of *this.
+    for (size_t k = j; k < other.intervals_.size() &&
+                       !a.StrictlyBefore(other.intervals_[k]);
+         ++k) {
+      const Interval& b = other.intervals_[k];
+      if (!b.lo().infinite) {
+        if (auto piece = Interval::Make(cursor, FlipOpenness(b.lo()));
+            piece.has_value()) {
+          out.intervals_.push_back(*piece);
+        }
+      }
+      if (b.hi().infinite) {
+        covered_to_end = true;
+        break;
+      }
+      cursor = FlipOpenness(b.hi());
+    }
+    if (!covered_to_end) {
+      if (auto tail = Interval::Make(cursor, a.hi()); tail.has_value()) {
+        out.intervals_.push_back(*tail);
+      }
+    }
+  }
+  return out;
 }
 
 IntervalSet IntervalSet::Complement() const {
@@ -183,28 +330,24 @@ IntervalSet IntervalSet::Complement() const {
   // Gap before the first component.
   const Interval& first = intervals_.front();
   if (!first.lo().infinite) {
-    Bound hi = first.lo();
-    hi.open = !hi.open;
-    if (auto gap = Interval::Make(Bound::Infinite(), hi); gap.has_value()) {
+    if (auto gap = Interval::Make(Bound::Infinite(), FlipOpenness(first.lo()));
+        gap.has_value()) {
       out.intervals_.push_back(*gap);
     }
   }
   // Gaps between components.
   for (size_t i = 0; i + 1 < intervals_.size(); ++i) {
-    Bound lo = intervals_[i].hi();
-    lo.open = !lo.open;
-    Bound hi = intervals_[i + 1].lo();
-    hi.open = !hi.open;
-    if (auto gap = Interval::Make(lo, hi); gap.has_value()) {
+    if (auto gap = Interval::Make(FlipOpenness(intervals_[i].hi()),
+                                  FlipOpenness(intervals_[i + 1].lo()));
+        gap.has_value()) {
       out.intervals_.push_back(*gap);
     }
   }
   // Gap after the last component.
   const Interval& last = intervals_.back();
   if (!last.hi().infinite) {
-    Bound lo = last.hi();
-    lo.open = !lo.open;
-    if (auto gap = Interval::Make(lo, Bound::Infinite()); gap.has_value()) {
+    if (auto gap = Interval::Make(FlipOpenness(last.hi()), Bound::Infinite());
+        gap.has_value()) {
       out.intervals_.push_back(*gap);
     }
   }
@@ -221,29 +364,45 @@ IntervalSet IntervalSet::Shift(const Rational& delta) const {
 }
 
 IntervalSet IntervalSet::DiamondMinus(const Interval& rho) const {
+  // Dilation preserves component order but may bridge gaps, so append with
+  // back-coalescing instead of a full Insert per component.
   IntervalSet out;
-  for (const Interval& iv : intervals_) out.Insert(iv.DiamondMinus(rho));
+  out.intervals_.reserve(intervals_.size());
+  for (const Interval& iv : intervals_) {
+    AppendCoalesce(&out.intervals_, iv.DiamondMinus(rho));
+  }
   return out;
 }
 
 IntervalSet IntervalSet::BoxMinus(const Interval& rho) const {
+  // Erosion shrinks every component in place, so existing gaps only widen:
+  // survivors append directly.
   IntervalSet out;
+  out.intervals_.reserve(intervals_.size());
   for (const Interval& iv : intervals_) {
-    if (auto x = iv.BoxMinus(rho); x.has_value()) out.Insert(*x);
+    if (auto x = iv.BoxMinus(rho); x.has_value()) {
+      out.intervals_.push_back(*x);
+    }
   }
   return out;
 }
 
 IntervalSet IntervalSet::DiamondPlus(const Interval& rho) const {
   IntervalSet out;
-  for (const Interval& iv : intervals_) out.Insert(iv.DiamondPlus(rho));
+  out.intervals_.reserve(intervals_.size());
+  for (const Interval& iv : intervals_) {
+    AppendCoalesce(&out.intervals_, iv.DiamondPlus(rho));
+  }
   return out;
 }
 
 IntervalSet IntervalSet::BoxPlus(const Interval& rho) const {
   IntervalSet out;
+  out.intervals_.reserve(intervals_.size());
   for (const Interval& iv : intervals_) {
-    if (auto x = iv.BoxPlus(rho); x.has_value()) out.Insert(*x);
+    if (auto x = iv.BoxPlus(rho); x.has_value()) {
+      out.intervals_.push_back(*x);
+    }
   }
   return out;
 }
@@ -275,7 +434,7 @@ IntervalSet IntervalSet::Since(const IntervalSet& m2,
         if (!r.has_value()) continue;
         reach = *r;
       }
-      out.Insert(reach);
+      out.Add(reach);
     }
   }
   return out;
@@ -304,7 +463,7 @@ IntervalSet IntervalSet::Until(const IntervalSet& m2,
         if (!r.has_value()) continue;
         reach = *r;
       }
-      out.Insert(reach);
+      out.Add(reach);
     }
   }
   return out;

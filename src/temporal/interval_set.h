@@ -1,10 +1,12 @@
 #ifndef DMTL_TEMPORAL_INTERVAL_SET_H_
 #define DMTL_TEMPORAL_INTERVAL_SET_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "src/temporal/interval.h"
+#include "src/temporal/small_ivec.h"
 
 namespace dmtl {
 
@@ -17,17 +19,22 @@ namespace dmtl {
 // Coalescing respects the dense order on Q: [5,5] and [6,6] remain two
 // components (the open gap (5,6) is not covered), while [1,3) and [3,5]
 // coalesce to [1,5].
+//
+// Storage is a SmallIntervalVec: the 1-2 component sets that dominate the
+// contract workload (punctual row extents, clamped emissions, insertion
+// deltas) live inline without heap allocation.
 class IntervalSet {
  public:
   IntervalSet() = default;
   explicit IntervalSet(const Interval& iv) { intervals_.push_back(iv); }
 
-  // Builds a normalized set from arbitrary (unsorted, overlapping) input.
+  // Builds a normalized set from arbitrary (unsorted, overlapping) input in
+  // a single sort + coalescing sweep.
   static IntervalSet FromIntervals(const std::vector<Interval>& ivs);
 
   bool IsEmpty() const { return intervals_.empty(); }
   size_t size() const { return intervals_.size(); }
-  const std::vector<Interval>& intervals() const { return intervals_; }
+  const SmallIntervalVec& intervals() const { return intervals_; }
 
   bool Contains(const Rational& t) const;
   bool Contains(const Interval& iv) const;
@@ -38,8 +45,18 @@ class IntervalSet {
   // fully contained).
   IntervalSet Insert(const Interval& iv);
 
+  // Adds `iv` without materializing the delta (cheaper when the caller does
+  // not need to know what was new).
+  void Add(const Interval& iv);
+
   // Set algebra (all results normalized).
+  //
+  // UnionWith merges `other` in a single coalescing sweep (one pass over
+  // both component lists) instead of one O(n) Insert per component;
+  // UnionWithDelta additionally returns the newly covered portion of
+  // `other` - the interval-level delta the semi-naive engine propagates.
   void UnionWith(const IntervalSet& other);
+  IntervalSet UnionWithDelta(const IntervalSet& other);
   IntervalSet Intersect(const IntervalSet& other) const;
   IntervalSet Intersect(const Interval& iv) const;
   IntervalSet Subtract(const IntervalSet& other) const;
@@ -71,6 +88,11 @@ class IntervalSet {
   // True iff every component is a single point; fills `points` if non-null.
   bool IsPunctualOnly(std::vector<Rational>* points = nullptr) const;
 
+  // Process-wide count of bulk coalescing sweeps (UnionWith/UnionWithDelta
+  // merges and FromIntervals builds), surfaced in EngineStats. Monotone and
+  // global: callers snapshot before/after the region they account.
+  static uint64_t BulkMergeCount();
+
   // "{[1,3) [5,5]}".
   std::string ToString() const;
 
@@ -81,15 +103,11 @@ class IntervalSet {
     return !(a == b);
   }
 
-  std::vector<Interval>::const_iterator begin() const {
-    return intervals_.begin();
-  }
-  std::vector<Interval>::const_iterator end() const {
-    return intervals_.end();
-  }
+  const Interval* begin() const { return intervals_.begin(); }
+  const Interval* end() const { return intervals_.end(); }
 
  private:
-  std::vector<Interval> intervals_;
+  SmallIntervalVec intervals_;
 };
 
 std::ostream& operator<<(std::ostream& os, const IntervalSet& set);

@@ -110,7 +110,7 @@ Rational Rational::FromDouble(double value, int64_t den) {
   return Rational(static_cast<int64_t>(std::llround(value * den)), den);
 }
 
-Rational operator+(const Rational& a, const Rational& b) {
+Rational Rational::AddSlow(const Rational& a, const Rational& b) {
   __int128 num = static_cast<__int128>(a.num_) * b.den_ +
                  static_cast<__int128>(b.num_) * a.den_;
   __int128 den = static_cast<__int128>(a.den_) * b.den_;
@@ -118,8 +118,6 @@ Rational operator+(const Rational& a, const Rational& b) {
   Normalize128(num, den, &r.num_, &r.den_);
   return r;
 }
-
-Rational operator-(const Rational& a, const Rational& b) { return a + (-b); }
 
 Rational operator*(const Rational& a, const Rational& b) {
   __int128 num = static_cast<__int128>(a.num_) * b.num_;
@@ -138,26 +136,10 @@ Rational operator/(const Rational& a, const Rational& b) {
   return r;
 }
 
-Rational operator-(const Rational& a) {
-  Rational r;
-  r.num_ = -a.num_;
-  r.den_ = a.den_;
-  return r;
-}
-
-bool operator<(const Rational& a, const Rational& b) {
-  return static_cast<__int128>(a.num_) * b.den_ <
-         static_cast<__int128>(b.num_) * a.den_;
-}
-
 size_t Rational::Hash() const {
   size_t h = std::hash<int64_t>()(num_);
   h ^= std::hash<int64_t>()(den_) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
   return h;
 }
-
-Rational Min(const Rational& a, const Rational& b) { return a < b ? a : b; }
-Rational Max(const Rational& a, const Rational& b) { return a < b ? b : a; }
-Rational Abs(const Rational& a) { return a.is_negative() ? -a : a; }
 
 }  // namespace dmtl

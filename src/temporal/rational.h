@@ -53,12 +53,34 @@ class Rational {
   // with denominator `den`.
   static Rational FromDouble(double value, int64_t den = 1'000'000);
 
-  friend Rational operator+(const Rational& a, const Rational& b);
-  friend Rational operator-(const Rational& a, const Rational& b);
+  // Addition and subtraction fast-path the integer timeline (den == 1 on
+  // both sides, no int64 overflow — the overwhelmingly common case for Unix
+  // timestamps); everything else goes through 128-bit AddSlow.
+  friend Rational operator+(const Rational& a, const Rational& b) {
+    Rational r;
+    if (a.den_ == 1 && b.den_ == 1 &&
+        !__builtin_add_overflow(a.num_, b.num_, &r.num_)) {
+      return r;
+    }
+    return AddSlow(a, b);
+  }
+  friend Rational operator-(const Rational& a, const Rational& b) {
+    Rational r;
+    if (a.den_ == 1 && b.den_ == 1 &&
+        !__builtin_sub_overflow(a.num_, b.num_, &r.num_)) {
+      return r;
+    }
+    return AddSlow(a, -b);
+  }
   friend Rational operator*(const Rational& a, const Rational& b);
   // b must be non-zero.
   friend Rational operator/(const Rational& a, const Rational& b);
-  friend Rational operator-(const Rational& a);
+  friend Rational operator-(const Rational& a) {
+    Rational r;
+    r.num_ = -a.num_;
+    r.den_ = a.den_;
+    return r;
+  }
 
   Rational& operator+=(const Rational& b) { return *this = *this + b; }
   Rational& operator-=(const Rational& b) { return *this = *this - b; }
@@ -69,9 +91,15 @@ class Rational {
   friend bool operator!=(const Rational& a, const Rational& b) {
     return !(a == b);
   }
-  friend bool operator<(const Rational& a, const Rational& b);
+  // Normalized storage (den > 0, gcd == 1) makes the equal-denominator
+  // compare exact; cross-multiplication only runs for mixed denominators.
+  friend bool operator<(const Rational& a, const Rational& b) {
+    if (a.den_ == b.den_) return a.num_ < b.num_;
+    return static_cast<__int128>(a.num_) * b.den_ <
+           static_cast<__int128>(b.num_) * a.den_;
+  }
   friend bool operator<=(const Rational& a, const Rational& b) {
-    return a == b || a < b;
+    return !(b < a);
   }
   friend bool operator>(const Rational& a, const Rational& b) { return b < a; }
   friend bool operator>=(const Rational& a, const Rational& b) {
@@ -86,6 +114,10 @@ class Rational {
   size_t Hash() const;
 
  private:
+  // Full 128-bit cross-multiply + gcd normalization for mixed-denominator
+  // (or overflowing) sums.
+  static Rational AddSlow(const Rational& a, const Rational& b);
+
   int64_t num_;
   int64_t den_;
 };
@@ -94,9 +126,13 @@ inline std::ostream& operator<<(std::ostream& os, const Rational& r) {
   return os << r.ToString();
 }
 
-Rational Min(const Rational& a, const Rational& b);
-Rational Max(const Rational& a, const Rational& b);
-Rational Abs(const Rational& a);
+inline Rational Min(const Rational& a, const Rational& b) {
+  return a < b ? a : b;
+}
+inline Rational Max(const Rational& a, const Rational& b) {
+  return a < b ? b : a;
+}
+inline Rational Abs(const Rational& a) { return a.is_negative() ? -a : a; }
 
 }  // namespace dmtl
 

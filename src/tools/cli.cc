@@ -30,6 +30,7 @@ constexpr char kUsage[] =
     "  --no-accel      disable chain acceleration\n"
     "  --naive         naive (non-semi-naive) evaluation\n"
     "  --no-plan       disable cost-based join planning\n"
+    "  --no-deltas     disable interval-delta propagation (operator memos)\n"
     "  --explain-plan  print each rule's join order, probed index\n"
     "                  signatures, and planner counters after the run\n"
     "  --threads N     evaluation threads (0 = hardware, default 1)\n"
@@ -85,6 +86,8 @@ Result<CliOptions> ParseArgs(const std::vector<std::string>& args) {
       options.engine.naive_evaluation = true;
     } else if (arg == "--no-plan") {
       options.engine.enable_join_planning = false;
+    } else if (arg == "--no-deltas") {
+      options.engine.enable_interval_deltas = false;
     } else if (arg == "--explain-plan") {
       options.explain_plan = true;
     } else if (arg == "--threads") {
