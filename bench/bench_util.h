@@ -182,12 +182,15 @@ inline const char* BuildType() {
 }
 
 // Emits the provenance context block every BENCH_*.json artifact carries:
-// which revision and build type produced the numbers. bench_diff.py ignores
-// string fields, so these never trip the regression gate.
-inline void WriteContext(JsonBuilder* json) {
+// which revision and build type produced the numbers, and whether the runs
+// were timed with an armed ExecutionGuard (deadline/cancel token), so
+// bench_diff.py can refuse like-for-unlike comparisons. bench_diff.py
+// ignores string fields, so these never trip the regression gate.
+inline void WriteContext(JsonBuilder* json, bool guards_enabled = false) {
   json->BeginObject("context");
   json->Field("git_sha", GitSha());
   json->Field("build_type", BuildType());
+  json->Field("guards_enabled", guards_enabled);
   json->EndObject();
 }
 

@@ -8,7 +8,9 @@
 // speedup per point into BENCH_contract_scaling.json. On a single-core
 // host num_threads = 0 resolves to 1 and both columns coincide.
 
+#include <chrono>
 #include <cstdio>
+#include <memory>
 
 #include "src/common/thread_pool.h"
 #include "bench/bench_util.h"
@@ -73,6 +75,50 @@ int main() {
         .EndObject();
   }
   json.EndArray();
+
+  // Guard-overhead row: the paper-scale 267-event/7200s point timed with
+  // the execution guard disarmed vs armed (far-future deadline plus a live
+  // cancellation token - the full check path, never tripping). The guard is
+  // polled at round barriers, every ~256 emissions, and every ~4096 join
+  // candidates, so its cost must stay in the noise: the gate is < 2%
+  // overhead (best of kReps runs each, to keep scheduler noise out of the
+  // ratio).
+  {
+    WorkloadConfig config;
+    config.name = "scale";
+    config.num_events = 267;
+    config.num_trades = 59;
+    config.duration_s = 7200;
+    config.initial_skew = -1000.0;
+    config.seed = 99;
+    constexpr int kReps = 3;
+    double off_s = 0.0;
+    double on_s = 0.0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      bench::ExecutedSession off = bench::Execute(config);
+      if (rep == 0 || off.stats.wall_seconds < off_s) {
+        off_s = off.stats.wall_seconds;
+      }
+      EngineOptions guarded = SessionEngineOptions(off.session);
+      guarded.deadline = std::chrono::hours(24);
+      guarded.cancel_token = std::make_shared<CancellationToken>();
+      bench::ExecutedSession on = bench::Execute(config, {}, &guarded);
+      if (rep == 0 || on.stats.wall_seconds < on_s) {
+        on_s = on.stats.wall_seconds;
+      }
+    }
+    double overhead = off_s > 0 ? on_s / off_s - 1.0 : 0.0;
+    std::printf("guard overhead @267x7200s: off=%.3fs on=%.3fs (%+.2f%%)\n",
+                off_s, on_s, overhead * 100.0);
+    json.BeginObject("guard_overhead")
+        .Field("events", 267)
+        .Field("window_s", 7200)
+        .Field("guards_off_s", off_s)
+        .Field("guards_on_s", on_s)
+        .Field("overhead_frac", overhead)
+        .EndObject();
+  }
+
   json.EndObject();
   bench::WriteJson("BENCH_contract_scaling.json", json.TakeString());
   return 0;

@@ -1,0 +1,52 @@
+#include "src/common/execution_guard.h"
+
+#include <string>
+#include <utility>
+
+namespace dmtl {
+
+ExecutionGuard::ExecutionGuard(
+    std::optional<std::chrono::milliseconds> deadline,
+    std::shared_ptr<const CancellationToken> token)
+    : token_(std::move(token)) {
+  if (deadline.has_value()) {
+    budget_ = *deadline;
+    deadline_ = std::chrono::steady_clock::now() + *deadline;
+  }
+  enabled_ = deadline_.has_value() || token_ != nullptr;
+}
+
+Status ExecutionGuard::StatusForTrip(int code) const {
+  if (code == kTripCancelled) {
+    return Status::Cancelled("materialization cancelled via CancellationToken");
+  }
+  return Status::DeadlineExceeded("materialization deadline of " +
+                                  std::to_string(budget_.count()) +
+                                  " ms exceeded");
+}
+
+Status ExecutionGuard::Check() const {
+  if (!enabled_) return Status::Ok();
+  checks_.fetch_add(1, std::memory_order_relaxed);
+  int code = tripped_.load(std::memory_order_acquire);
+  if (code == kNone) {
+    if (token_ != nullptr && token_->cancelled()) {
+      code = kTripCancelled;
+    } else if (deadline_.has_value() &&
+               std::chrono::steady_clock::now() >= *deadline_) {
+      code = kTripDeadline;
+    }
+    if (code != kNone) {
+      // First trip wins so every thread reports the same reason.
+      int expected = kNone;
+      if (!tripped_.compare_exchange_strong(expected, code,
+                                            std::memory_order_acq_rel)) {
+        code = expected;
+      }
+    }
+  }
+  if (code == kNone) return Status::Ok();
+  return StatusForTrip(code);
+}
+
+}  // namespace dmtl

@@ -1,0 +1,86 @@
+#ifndef DMTL_COMMON_EXECUTION_GUARD_H_
+#define DMTL_COMMON_EXECUTION_GUARD_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "src/common/status.h"
+
+namespace dmtl {
+
+// Cooperative cancellation signal. A token is created by the caller, handed
+// to the engine via EngineOptions::cancel_token, and may be cancelled from
+// any thread while a materialization is running; the engine observes the
+// flag at its guard check sites and stops at the next one. Cancellation is
+// sticky: once set it cannot be cleared.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const { return cancelled_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+// ExecutionGuard bundles the engine's wall-clock deadline and cancellation
+// checks behind a single thread-safe Check() call. The guard is *latching*:
+// once a check trips, every subsequent Check() returns the same error, so a
+// trip observed anywhere (a worker thread, a long join, an operator scan)
+// is guaranteed to surface at the enclosing round barrier no matter which
+// code path runs next. Interval/round budgets live in EngineOptions and are
+// enforced by the engine itself; the guard covers the two asynchronous
+// conditions (time and cancellation).
+//
+// A default-constructed guard (no deadline, no token) is disabled and
+// Check() is a single branch.
+class ExecutionGuard {
+ public:
+  ExecutionGuard() = default;
+  // `deadline` is a relative budget, converted to an absolute steady-clock
+  // deadline at construction time (i.e. when Materialize starts).
+  ExecutionGuard(std::optional<std::chrono::milliseconds> deadline,
+                 std::shared_ptr<const CancellationToken> token);
+
+  ExecutionGuard(const ExecutionGuard&) = delete;
+  ExecutionGuard& operator=(const ExecutionGuard&) = delete;
+
+  bool enabled() const { return enabled_; }
+
+  // Returns Ok, or the latched trip error (kCancelled / kDeadlineExceeded).
+  // Safe to call concurrently from any number of threads.
+  Status Check() const;
+
+  // Convenience for void paths (operator scans) that cannot propagate a
+  // Status: runs Check() and reports whether the guard has tripped. Callers
+  // truncate their remaining work; the engine's round-end check sees the
+  // latched trip and rolls the round back, so truncated partial results are
+  // never observable.
+  bool Tripped() const { return !Check().ok(); }
+
+  // Number of Check() calls made against an enabled guard (diagnostics).
+  uint64_t checks() const { return checks_.load(std::memory_order_relaxed); }
+
+ private:
+  // 0 = not tripped, otherwise a latched trip kind.
+  enum TripCode : int { kNone = 0, kTripCancelled = 1, kTripDeadline = 2 };
+
+  Status StatusForTrip(int code) const;
+
+  bool enabled_ = false;
+  std::optional<std::chrono::steady_clock::time_point> deadline_;
+  std::chrono::milliseconds budget_{0};
+  std::shared_ptr<const CancellationToken> token_;
+  mutable std::atomic<int> tripped_{kNone};
+  mutable std::atomic<uint64_t> checks_{0};
+};
+
+}  // namespace dmtl
+
+#endif  // DMTL_COMMON_EXECUTION_GUARD_H_

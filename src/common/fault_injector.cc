@@ -1,0 +1,100 @@
+#include "src/common/fault_injector.h"
+
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+namespace dmtl {
+namespace {
+
+struct SiteState {
+  uint64_t fail_on_hit = 0;
+  uint64_t hits = 0;
+  bool throws = false;
+  bool fired = false;  // one-shot: the failure was already delivered
+  Status status;
+  std::string what;
+};
+
+// Leaked on purpose: sites may fire during static destruction of test
+// fixtures and a destructed map would be worse than a few bytes held.
+std::mutex& Mutex() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+std::unordered_map<std::string, SiteState>& Sites() {
+  static auto* sites = new std::unordered_map<std::string, SiteState>;
+  return *sites;
+}
+
+// Fast-path flag: false means no site is armed anywhere and Fire/MaybeThrow
+// return without taking the lock.
+std::atomic<bool> g_any_armed{false};
+
+// Returns the armed failure to deliver at `site`, if this hit is the k-th.
+// nullptr state == pass. Caller delivers outside the lock.
+bool Advance(const char* site, SiteState* out) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto it = Sites().find(site);
+  if (it == Sites().end()) return false;
+  SiteState& state = it->second;
+  ++state.hits;
+  if (state.fired || state.hits != state.fail_on_hit) return false;
+  state.fired = true;
+  *out = state;
+  return true;
+}
+
+}  // namespace
+
+void FaultInjector::Arm(const std::string& site, uint64_t hit, Status status) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  SiteState state;
+  state.fail_on_hit = hit;
+  state.status = std::move(status);
+  Sites()[site] = std::move(state);
+  g_any_armed.store(true, std::memory_order_release);
+}
+
+void FaultInjector::ArmThrow(const std::string& site, uint64_t hit,
+                             const std::string& what) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  SiteState state;
+  state.fail_on_hit = hit;
+  state.throws = true;
+  state.what = what;
+  Sites()[site] = std::move(state);
+  g_any_armed.store(true, std::memory_order_release);
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(Mutex());
+  Sites().clear();
+  g_any_armed.store(false, std::memory_order_release);
+}
+
+uint64_t FaultInjector::HitCount(const std::string& site) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto it = Sites().find(site);
+  return it == Sites().end() ? 0 : it->second.hits;
+}
+
+Status FaultInjector::Fire(const char* site) {
+  if (!g_any_armed.load(std::memory_order_acquire)) return Status::Ok();
+  SiteState hit;
+  if (!Advance(site, &hit)) return Status::Ok();
+  if (hit.throws) throw std::runtime_error(hit.what);
+  return hit.status;
+}
+
+void FaultInjector::MaybeThrow(const char* site) {
+  if (!g_any_armed.load(std::memory_order_acquire)) return;
+  SiteState hit;
+  if (!Advance(site, &hit)) return;
+  throw std::runtime_error(hit.throws ? hit.what : hit.status.ToString());
+}
+
+}  // namespace dmtl

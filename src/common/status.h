@@ -19,6 +19,8 @@ enum class StatusCode {
   kEvalError,         // runtime evaluation failure (e.g. division by zero)
   kNotFound,          // queried predicate/fact does not exist
   kResourceExhausted, // horizon/fact budget exceeded
+  kDeadlineExceeded,  // wall-clock deadline passed (EngineOptions::deadline)
+  kCancelled,         // cooperative cancellation (CancellationToken)
   kInternal,          // invariant violation - a bug in this library
 };
 
@@ -61,6 +63,12 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

@@ -1,6 +1,9 @@
 #include "src/common/thread_pool.h"
 
 #include <algorithm>
+#include <utility>
+
+#include "src/common/fault_injector.h"
 
 namespace dmtl {
 
@@ -62,7 +65,8 @@ void ThreadPool::RunTasks(size_t epoch) {
       exceptions = exceptions_;
     }
     try {
-      (*statuses)[i] = (*fn)(i);
+      Status injected = FaultInjector::Fire("thread_pool.task");
+      (*statuses)[i] = injected.ok() ? (*fn)(i) : std::move(injected);
     } catch (...) {
       (*exceptions)[i] = std::current_exception();
     }
@@ -72,6 +76,12 @@ void ThreadPool::RunTasks(size_t epoch) {
 }
 
 Status ThreadPool::ParallelFor(size_t num_tasks, const TaskFn& fn) {
+  return ParallelFor(num_tasks, fn, nullptr);
+}
+
+Status ThreadPool::ParallelFor(size_t num_tasks, const TaskFn& fn,
+                               std::vector<Status>* statuses_out) {
+  if (statuses_out != nullptr) statuses_out->clear();
   if (num_tasks == 0) return Status::Ok();
 
   std::vector<Status> statuses(num_tasks);
@@ -81,7 +91,8 @@ Status ThreadPool::ParallelFor(size_t num_tasks, const TaskFn& fn) {
     // No pool traffic needed; run inline with the same error contract.
     for (size_t i = 0; i < num_tasks; ++i) {
       try {
-        statuses[i] = fn(i);
+        Status injected = FaultInjector::Fire("thread_pool.task");
+        statuses[i] = injected.ok() ? fn(i) : std::move(injected);
       } catch (...) {
         exceptions[i] = std::current_exception();
       }
@@ -111,6 +122,7 @@ Status ThreadPool::ParallelFor(size_t num_tasks, const TaskFn& fn) {
     }
   }
 
+  if (statuses_out != nullptr) *statuses_out = statuses;
   for (size_t i = 0; i < num_tasks; ++i) {
     if (exceptions[i]) std::rethrow_exception(exceptions[i]);
   }

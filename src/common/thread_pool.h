@@ -54,6 +54,14 @@ class ThreadPool {
   // for the deterministic error contract.
   Status ParallelFor(size_t num_tasks, const TaskFn& fn);
 
+  // Like ParallelFor, but additionally hands back *every* task's Status by
+  // task index in *statuses (resized to num_tasks), so callers that isolate
+  // per-task faults (e.g. session shards) can report all failures, not just
+  // the lowest-index one. The return value and exception behaviour are
+  // unchanged; a task that threw leaves its slot Ok and rethrows instead.
+  Status ParallelFor(size_t num_tasks, const TaskFn& fn,
+                     std::vector<Status>* statuses_out);
+
  private:
   void WorkerLoop();
   // Claims and runs tasks of the batch published as `epoch` until none are

@@ -1,5 +1,7 @@
 #include "src/eval/operators.h"
 
+#include "src/common/execution_guard.h"
+
 namespace dmtl {
 
 namespace {
@@ -9,7 +11,8 @@ namespace {
 // tuples otherwise.
 IntervalSet RelationalExtent(const RelationalAtom& atom,
                              const Bindings& binding, const Database* db,
-                             const IntervalSet& window) {
+                             const IntervalSet& window,
+                             const ExecutionGuard* guard) {
   if (db == nullptr) return IntervalSet();
   const Relation* rel = db->Find(atom.predicate);
   if (rel == nullptr) return IntervalSet();
@@ -48,17 +51,24 @@ IntervalSet RelationalExtent(const RelationalAtom& atom,
     out.UnionWith(set.Intersect(window));
   };
   // `not order(A, _)` with A bound probes the first-argument index.
+  uint64_t polled = 0;
   if (!atom.args.empty() && binding.IsResolved(atom.args[0])) {
     const std::vector<const Tuple*>* candidates =
         rel->FindByFirstArg(binding.Resolve(atom.args[0]));
     if (candidates == nullptr) return out;
     for (const Tuple* tuple : *candidates) {
+      if (guard != nullptr && (++polled & 1023) == 0 && guard->Tripped()) {
+        return out;  // truncated; the round-end check discards this round
+      }
       const IntervalSet* set = rel->Find(*tuple);
       if (set != nullptr) consider(*tuple, *set);
     }
     return out;
   }
   for (const auto& [tuple, set] : rel->data()) {
+    if (guard != nullptr && (++polled & 1023) == 0 && guard->Tripped()) {
+      return out;  // truncated; the round-end check discards this round
+    }
     consider(tuple, set);
   }
   return out;
@@ -76,7 +86,7 @@ IntervalSet EvalRec(const MetricAtom& atom, const Bindings& binding,
       int index = (*occurrence)++;
       const Database* db = index == source.delta_occurrence ? source.delta
                                                             : source.full;
-      return RelationalExtent(atom.atom(), binding, db, window);
+      return RelationalExtent(atom.atom(), binding, db, window, source.guard);
     }
     case MetricAtom::Kind::kUnary: {
       IntervalSet child_window = ChildWindow(atom.op(), atom.range(), window);

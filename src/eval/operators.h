@@ -9,6 +9,8 @@
 
 namespace dmtl {
 
+class ExecutionGuard;
+
 // One operator step on the root-to-atom path of a relational atom inside a
 // literal's metric tree. Shared by the join planner (prune-window dilation)
 // and the operator memo (interval-delta propagation).
@@ -40,6 +42,12 @@ struct ExtentSource {
   const Database* full = nullptr;
   const Database* delta = nullptr;
   int delta_occurrence = -1;
+  // Optional execution guard polled inside unbounded existential scans
+  // (every few hundred tuples). On a trip the scan truncates its union and
+  // returns early; this is sound only because the guard latches and the
+  // engine's round-end check rolls the whole round back, so a truncated
+  // extent is never observable in results.
+  const ExecutionGuard* guard = nullptr;
 };
 
 // Applies a unary MTL operator transform to an extent set.

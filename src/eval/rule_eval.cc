@@ -7,6 +7,7 @@
 #include <set>
 
 #include "src/analysis/safety.h"
+#include "src/common/execution_guard.h"
 #include "src/eval/builtin_eval.h"
 #include "src/eval/op_memo.h"
 
@@ -16,6 +17,12 @@ namespace {
 
 constexpr size_t kMinTuplesForIndex = 8;
 
+// Candidate tuples between guard checks inside join enumeration. Cheap
+// enough that one huge join observes a deadline within milliseconds, rare
+// enough to be invisible in profiles (the check is an atomic load + clock
+// read once per 4096 candidates).
+constexpr uint64_t kGuardStrideMask = 4095;
+
 // Enumerates the groundings of the relational atoms of one positive
 // literal, extending `row.binding`. Extents are intersected afterwards via
 // EvalMetricExtent (which sees the same delta restriction). This is the
@@ -24,7 +31,8 @@ Status EnumerateAtoms(const std::vector<const RelationalAtom*>& atoms,
                       size_t atom_index, const Database& db,
                       const Database* delta, int literal_delta_offset,
                       const BindingRow& row,
-                      const std::function<Status(const BindingRow&)>& next) {
+                      const std::function<Status(const BindingRow&)>& next,
+                      const ExecutionGuard* guard, uint64_t* guard_counter) {
   if (atom_index == atoms.size()) return next(row);
   const RelationalAtom& atom = *atoms[atom_index];
   const Database* source =
@@ -35,6 +43,9 @@ Status EnumerateAtoms(const std::vector<const RelationalAtom*>& atoms,
   if (rel == nullptr) return Status::Ok();  // no facts, no groundings
 
   auto try_tuple = [&](const Tuple& tuple) -> Status {
+    if (guard != nullptr && (++*guard_counter & kGuardStrideMask) == 0) {
+      DMTL_RETURN_IF_ERROR(guard->Check());
+    }
     if (tuple.size() != atom.args.size()) return Status::Ok();
     BindingRow extended = row;
     bool ok = true;
@@ -43,7 +54,8 @@ Status EnumerateAtoms(const std::vector<const RelationalAtom*>& atoms,
     }
     if (!ok) return Status::Ok();
     return EnumerateAtoms(atoms, atom_index + 1, db, delta,
-                          literal_delta_offset, extended, next);
+                          literal_delta_offset, extended, next, guard,
+                          guard_counter);
   };
 
   // Probe the first-argument index when the leading argument is already
@@ -398,7 +410,8 @@ RuleEvaluator::ExecutionPlan RuleEvaluator::BuildPlan(
 
 Status RuleEvaluator::EvaluatePositivePlanned(
     const Database& db, const Database* delta, int delta_occurrence,
-    std::vector<BindingRow>* rows, OperatorMemo* memo) const {
+    std::vector<BindingRow>* rows, OperatorMemo* memo,
+    const ExecutionGuard* guard) const {
   PlannerStats* stats = planner_stats_.get();
   ExecutionPlan plan = BuildPlan(db, delta, delta_occurrence, stats);
   uint64_t probes = 0;
@@ -415,6 +428,7 @@ Status RuleEvaluator::EvaluatePositivePlanned(
     source.full = &db;
     source.delta = delta;
     source.delta_occurrence = step.literal_delta_offset;
+    source.guard = guard;
 
     // Local enumeration state: direct recursion, no std::function on the
     // per-candidate path.
@@ -431,6 +445,8 @@ Status RuleEvaluator::EvaluatePositivePlanned(
       uint64_t* probes;
       uint64_t* hits;
       uint64_t* pruned;
+      const ExecutionGuard* guard = nullptr;
+      uint64_t guard_counter = 0;
 
       Status Emit(const Bindings& binding, const IntervalSet* leaf_set) {
         IntervalSet joined;
@@ -486,6 +502,10 @@ Status RuleEvaluator::EvaluatePositivePlanned(
 
         auto try_tuple = [&](const Tuple& tuple, const IntervalSet& set,
                              uint64_t skip_sig) -> Status {
+          if (guard != nullptr &&
+              (++guard_counter & kGuardStrideMask) == 0) {
+            DMTL_RETURN_IF_ERROR(guard->Check());
+          }
           if (tuple.size() != atom.args.size()) return Status::Ok();
           if (w.has_value() && !set.Hull().Overlaps(*w)) {
             ++*pruned;
@@ -531,6 +551,7 @@ Status RuleEvaluator::EvaluatePositivePlanned(
     std::vector<BindingRow> next_rows;
     Enumerator enumerator{atoms,   step, lplan,      lit,     source, nullptr,
                           memo,    {},   &next_rows, &probes, &hits,  &pruned};
+    enumerator.guard = guard;
     enumerator.windows.resize(atoms.size());
     for (const BindingRow& row : *rows) {
       // Per-row temporal prune windows (row extents are never empty). A
@@ -618,15 +639,16 @@ std::string RuleEvaluator::ExplainPlan(const Database& db) const {
 Status RuleEvaluator::EvaluateRows(const Database& db, const Database* delta,
                                    int delta_occurrence,
                                    std::vector<BindingRow>* out,
-                                   OperatorMemo* memo) const {
+                                   OperatorMemo* memo,
+                                   const ExecutionGuard* guard) const {
   BindingRow seed{Bindings(rule_.num_vars()), IntervalSet(Interval::All())};
   std::vector<BindingRow> rows;
   rows.push_back(std::move(seed));
 
   // Stage 1: positive literals.
   if (planning_) {
-    DMTL_RETURN_IF_ERROR(
-        EvaluatePositivePlanned(db, delta, delta_occurrence, &rows, memo));
+    DMTL_RETURN_IF_ERROR(EvaluatePositivePlanned(db, delta, delta_occurrence,
+                                                 &rows, memo, guard));
     if (rows.empty()) {
       out->clear();
       return Status::Ok();
@@ -669,7 +691,9 @@ Status RuleEvaluator::EvaluateRows(const Database& db, const Database* delta,
       source.full = &db;
       source.delta = delta;
       source.delta_occurrence = literal_delta_offset;
+      source.guard = guard;
       std::vector<BindingRow> next_rows;
+      uint64_t guard_counter = 0;
       for (const BindingRow& row : rows) {
         DMTL_RETURN_IF_ERROR(EnumerateAtoms(
             atoms, 0, db, delta, literal_delta_offset, row,
@@ -680,7 +704,8 @@ Status RuleEvaluator::EvaluateRows(const Database& db, const Database* delta,
               if (joined.IsEmpty()) return Status::Ok();
               next_rows.push_back({grounded.binding, std::move(joined)});
               return Status::Ok();
-            }));
+            },
+            guard, &guard_counter));
       }
       rows.swap(next_rows);
       if (rows.empty()) {
@@ -689,6 +714,8 @@ Status RuleEvaluator::EvaluateRows(const Database& db, const Database* delta,
       }
     }
   }
+
+  if (guard != nullptr) DMTL_RETURN_IF_ERROR(guard->Check());
 
   // Stage 2: early builtins.
   for (size_t i : early_builtins_) {
@@ -704,7 +731,9 @@ Status RuleEvaluator::EvaluateRows(const Database& db, const Database* delta,
   // Stage 3: negated literals.
   ExtentSource full_source;
   full_source.full = &db;
+  full_source.guard = guard;
   for (size_t i : negated_literals_) {
+    if (guard != nullptr) DMTL_RETURN_IF_ERROR(guard->Check());
     const BodyLiteral& lit = rule_.body[i];
     std::vector<BindingRow> next_rows;
     for (BindingRow& row : rows) {
@@ -718,7 +747,9 @@ Status RuleEvaluator::EvaluateRows(const Database& db, const Database* delta,
   }
 
   // Stage 4: timestamp splits.
+  uint64_t split_counter = 0;
   for (size_t i : timestamp_builtins_) {
+    if (guard != nullptr) DMTL_RETURN_IF_ERROR(guard->Check());
     const BuiltinAtom& b = rule_.body[i].builtin;
     std::vector<BindingRow> next_rows;
     for (const BindingRow& row : rows) {
@@ -729,6 +760,10 @@ Status RuleEvaluator::EvaluateRows(const Database& db, const Database* delta,
             row.extent.ToString() + " in rule: " + rule_.ToString());
       }
       for (const Rational& p : points) {
+        if (guard != nullptr &&
+            (++split_counter & kGuardStrideMask) == 0) {
+          DMTL_RETURN_IF_ERROR(guard->Check());
+        }
         BindingRow split = row;
         split.extent = IntervalSet(Interval::Point(p));
         Value v = p.is_integer() ? Value::Int(p.numerator())
@@ -757,14 +792,15 @@ Status RuleEvaluator::EvaluateRows(const Database& db, const Database* delta,
 
 Status RuleEvaluator::Evaluate(const Database& db, const Database* delta,
                                int delta_occurrence, const EmitFn& emit,
-                               OperatorMemo* memo) const {
+                               OperatorMemo* memo,
+                               const ExecutionGuard* guard) const {
   if (rule_.head.aggregate.has_value()) {
     return Status::Internal(
         "aggregate rules must go through AggregateEvaluator");
   }
   std::vector<BindingRow> rows;
   DMTL_RETURN_IF_ERROR(
-      EvaluateRows(db, delta, delta_occurrence, &rows, memo));
+      EvaluateRows(db, delta, delta_occurrence, &rows, memo, guard));
   for (const BindingRow& row : rows) {
     Tuple tuple;
     tuple.reserve(rule_.head.args.size());

@@ -86,15 +86,21 @@ class RuleEvaluator {
   // heads (see AggregateEvaluator). A non-null `memo` enables
   // interval-delta propagation: unary-chain literal extents are served from
   // the rule's OperatorMemo (round-boundary snapshot semantics; the engine
-  // refreshes the memo at barriers).
+  // refreshes the memo at barriers). A non-null `guard` is checked every
+  // few thousand candidate tuples and between stages, so one huge join
+  // cannot outlive a deadline or ignore cancellation; on a trip the
+  // evaluation returns the guard's error mid-rule and the engine rolls the
+  // round back.
   Status Evaluate(const Database& db, const Database* delta,
                   int delta_occurrence, const EmitFn& emit,
-                  OperatorMemo* memo = nullptr) const;
+                  OperatorMemo* memo = nullptr,
+                  const ExecutionGuard* guard = nullptr) const;
 
   // Like Evaluate but stops after stage 5, returning the surviving rows.
   Status EvaluateRows(const Database& db, const Database* delta,
                       int delta_occurrence, std::vector<BindingRow>* rows,
-                      OperatorMemo* memo = nullptr) const;
+                      OperatorMemo* memo = nullptr,
+                      const ExecutionGuard* guard = nullptr) const;
 
   // Human-readable description of the join order, index signatures, and
   // prunability the planner would choose for a full (non-delta) pass over
@@ -166,7 +172,8 @@ class RuleEvaluator {
   Status EvaluatePositivePlanned(const Database& db, const Database* delta,
                                  int delta_occurrence,
                                  std::vector<BindingRow>* rows,
-                                 OperatorMemo* memo) const;
+                                 OperatorMemo* memo,
+                                 const ExecutionGuard* guard) const;
 
   Rule rule_;
   // Indices into rule_.body per stage.

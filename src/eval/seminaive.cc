@@ -9,6 +9,7 @@
 
 #include "src/analysis/safety.h"
 #include "src/analysis/stratifier.h"
+#include "src/common/fault_injector.h"
 #include "src/common/thread_pool.h"
 #include "src/eval/aggregate_eval.h"
 #include "src/eval/chain_accel.h"
@@ -18,6 +19,11 @@
 namespace dmtl {
 
 namespace {
+
+// Sink emissions between guard checks. Covers every unbounded emission
+// loop - notably chain-accelerator walks, which emit point-by-point through
+// EmitOne - so a divergent rule observes a deadline within ~256 emissions.
+constexpr uint64_t kSinkGuardStrideMask = 255;
 
 // One compiled rule: either a plain evaluator (with an optional chain
 // acceleration description) or an aggregate evaluator.
@@ -41,12 +47,14 @@ struct CompiledRule {
 class Sink {
  public:
   Sink(Database* db, Database* next_delta, const Interval& window,
-       const EngineOptions& options, EngineStats* stats)
+       const EngineOptions& options, EngineStats* stats,
+       const ExecutionGuard* guard)
       : db_(db),
         next_delta_(next_delta),
         window_(window),
         options_(options),
-        stats_(stats) {}
+        stats_(stats),
+        guard_(guard) {}
 
   // Bulk emission: one window clamp (the horizon is a single interval, so
   // the clip is the fast Intersect(Interval) overload), one coalescing
@@ -78,23 +86,35 @@ class Sink {
   }
 
  private:
-  // Accounts the newly covered portion of an insertion: stats, budget,
-  // next-round delta, provenance.
+  // Accounts the newly covered portion of an insertion: stats, next-round
+  // delta, provenance, then guard/budget checks. The delta is recorded
+  // *before* any check can fail so the rollback (SubtractCoverage of the
+  // round delta) always covers exactly what reached the store.
   Status Record(PredicateId pred, const Tuple& tuple,
                 const IntervalSet& fresh) {
     if (fresh.IsEmpty()) return Status::Ok();
     stats_->derived_intervals += fresh.size();
-    if (db_->approx_intervals() > options_.max_intervals) {
-      return Status::ResourceExhausted(
-          "materialization exceeded max_intervals=" +
-          std::to_string(options_.max_intervals));
+    try {
+      next_delta_->InsertSet(pred, tuple, fresh);
+    } catch (...) {
+      // The paired store insert already happened; undo it so the round
+      // delta stays an exact record of the store's round growth.
+      db_->SubtractCoverage(pred, tuple, fresh);
+      throw;
     }
-    next_delta_->InsertSet(pred, tuple, fresh);
     if (options_.provenance != nullptr) {
       for (const Interval& piece : fresh) {
         options_.provenance->push_back(
             {pred, tuple, piece, current_rule_, current_round_});
       }
+    }
+    if (guard_ != nullptr && (++emissions_ & kSinkGuardStrideMask) == 0) {
+      DMTL_RETURN_IF_ERROR(guard_->Check());
+    }
+    if (db_->approx_intervals() > options_.max_intervals) {
+      return Status::ResourceExhausted(
+          "materialization exceeded max_intervals=" +
+          std::to_string(options_.max_intervals));
     }
     return Status::Ok();
   }
@@ -104,8 +124,10 @@ class Sink {
   Interval window_;
   const EngineOptions& options_;
   EngineStats* stats_;
+  const ExecutionGuard* guard_;
   size_t current_rule_ = 0;
   size_t current_round_ = 0;
+  uint64_t emissions_ = 0;
 };
 
 // The thread-local counterpart of Sink for parallel rounds: derivations are
@@ -124,8 +146,8 @@ class BufferedSink {
   };
 
   BufferedSink(const Database* base, const Interval& window,
-               const EngineOptions* options)
-      : base_(base), window_(window), options_(options) {}
+               const EngineOptions* options, const ExecutionGuard* guard)
+      : base_(base), window_(window), options_(options), guard_(guard) {}
 
   Status Emit(PredicateId pred, const Tuple& tuple,
               const IntervalSet& extent) {
@@ -155,6 +177,9 @@ class BufferedSink {
   // Emission. Returns whether anything new was buffered.
   Result<bool> Buffer(PredicateId pred, const Tuple& tuple,
                       IntervalSet fresh) {
+    if (guard_ != nullptr && (++buffered_ & kSinkGuardStrideMask) == 0) {
+      DMTL_RETURN_IF_ERROR(guard_->Check());
+    }
     if (fresh.IsEmpty()) return false;
     if (const Relation* rel = base_->Find(pred)) {
       if (const IntervalSet* known = rel->Find(tuple)) {
@@ -178,8 +203,10 @@ class BufferedSink {
   Database overlay_;  // private coverage: own emissions of this round
   Interval window_;
   const EngineOptions* options_;
+  const ExecutionGuard* guard_;
   std::vector<Emission> emissions_;
   size_t chain_extensions_ = 0;
+  uint64_t buffered_ = 0;
 };
 
 // One unit of parallel work: every evaluation of one rule within a round.
@@ -236,13 +263,14 @@ Status RunRoundParallel(const std::vector<RoundTask>& tasks,
                         ThreadPool* pool,
                         std::unordered_map<size_t, ChainAccelerator::AllowedCache>*
                             chain_caches,
-                        size_t round, Sink* sink, EngineStats* stats) {
+                        size_t round, Sink* sink, EngineStats* stats,
+                        const ExecutionGuard* guard) {
   if (tasks.empty()) return Status::Ok();
 
   std::vector<BufferedSink> sinks;
   sinks.reserve(tasks.size());
   for (size_t i = 0; i < tasks.size(); ++i) {
-    sinks.emplace_back(&db, window, &options);
+    sinks.emplace_back(&db, window, &options, guard);
   }
 
   DMTL_RETURN_IF_ERROR(pool->ParallelFor(
@@ -269,9 +297,12 @@ Status RunRoundParallel(const std::vector<RoundTask>& tasks,
         // its memo exclusively for the round; the ParallelFor join makes
         // the barrier-time refresh single-threaded.
         OperatorMemo* memo = memos.empty() ? nullptr : memos[t.rule_id].get();
-        if (t.initial) return eval.Evaluate(db, nullptr, -1, emit, memo);
+        if (t.initial) {
+          return eval.Evaluate(db, nullptr, -1, emit, memo, guard);
+        }
         for (int occ : t.delta_occurrences) {
-          DMTL_RETURN_IF_ERROR(eval.Evaluate(db, &delta, occ, emit, memo));
+          DMTL_RETURN_IF_ERROR(
+              eval.Evaluate(db, &delta, occ, emit, memo, guard));
         }
         return Status::Ok();
       }));
@@ -282,6 +313,10 @@ Status RunRoundParallel(const std::vector<RoundTask>& tasks,
     const RoundTask& t = tasks[ti];
     stats->rule_evaluations += t.evaluations;
     stats->chain_extensions += sinks[ti].chain_extensions();
+    // A fault here (or a budget trip inside sink->Emit) aborts the barrier
+    // with some sinks merged and others not; the caller's round rollback
+    // subtracts the round delta, so the partial merge is never observable.
+    DMTL_RETURN_IF_ERROR(FaultInjector::Fire("seminaive.merge"));
     sink->SetContext(t.rule_id, round);
     for (const BufferedSink::Emission& e : sinks[ti].emissions()) {
       DMTL_RETURN_IF_ERROR(sink->Emit(e.pred, e.tuple, e.fresh));
@@ -301,6 +336,37 @@ std::string DerivationRecord::ToString(const Program& program) const {
     out += " [" + program.rules()[rule_index].ToString() + "]";
   }
   out += " (round " + std::to_string(round) + ")";
+  return out;
+}
+
+const char* StopReasonToString(StopReason reason) {
+  switch (reason) {
+    case StopReason::kCompleted:
+      return "completed";
+    case StopReason::kDeadline:
+      return "deadline";
+    case StopReason::kCancelled:
+      return "cancelled";
+    case StopReason::kMaxIntervals:
+      return "max_intervals";
+    case StopReason::kMaxRounds:
+      return "max_rounds";
+    case StopReason::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string EngineStats::StopDiagnostics() const {
+  std::string out = std::string("stop_reason=") +
+                    StopReasonToString(stop_reason) +
+                    " stratum=" + std::to_string(stopped_stratum) +
+                    " round=" + std::to_string(stopped_round) +
+                    " intervals=" + std::to_string(intervals_at_stop);
+  if (rolled_back_intervals > 0) {
+    out += " rolled_back=" + std::to_string(rolled_back_intervals);
+  }
+  out += " wall_seconds=" + std::to_string(wall_seconds);
   return out;
 }
 
@@ -333,16 +399,22 @@ std::string EngineStats::ToString() const {
            " planner_probe_hits=" + std::to_string(planner_probe_hits) +
            " planner_pruned=" + std::to_string(planner_pruned_tuples);
   }
+  if (guard_checks > 0) {
+    out += " guard_checks=" + std::to_string(guard_checks);
+  }
+  if (stop_reason != StopReason::kCompleted) {
+    out += " " + StopDiagnostics();
+  }
   return out;
 }
 
-Status Materialize(const Program& program, Database* db,
-                   const EngineOptions& options, EngineStats* stats) {
-  auto start_time = std::chrono::steady_clock::now();
-  EngineStats local_stats;
-  if (stats == nullptr) stats = &local_stats;
-  *stats = EngineStats();
+namespace {
 
+// The chase proper. The Materialize wrapper owns the guard and finalizes
+// the stop diagnostics on every exit path.
+Status MaterializeImpl(const Program& program, Database* db,
+                       const EngineOptions& options, EngineStats* stats,
+                       const ExecutionGuard* guard) {
   if (options.min_time.has_value() && options.max_time.has_value() &&
       *options.max_time < *options.min_time) {
     return Status::InvalidArgument("max_time precedes min_time");
@@ -415,7 +487,7 @@ Status Materialize(const Program& program, Database* db,
 
     Database delta;
     Database next_delta;
-    Sink sink(db, &next_delta, window, options, stats);
+    Sink sink(db, &next_delta, window, options, stats, guard);
     // Guard-allowed caches for chain rules live for the whole stratum.
     // Pre-created so concurrent tasks only ever look entries up (the map is
     // never resized while the pool runs; each task mutates its own entry).
@@ -452,55 +524,104 @@ Status Materialize(const Program& program, Database* db,
       }
     };
 
-    // Aggregate rules first: their inputs are strictly below this stratum,
-    // so one evaluation is complete. Always sequential - the stratum's
-    // plain rules may read their output in the initial round.
-    for (size_t id : rule_ids) {
-      if (!compiled[id].is_aggregate()) continue;
-      ++stats->rule_evaluations;
-      sink.SetContext(id, 0);
-      const auto& agg = std::get<AggregateEvaluator>(compiled[id].eval);
-      DMTL_RETURN_IF_ERROR(
-          agg.Evaluate(*db, emit_for(compiled[id].rule().head.predicate),
-                       memos.empty() ? nullptr : memos[id].get()));
-    }
-
-    // Initial full round for plain rules.
-    if (pool.has_value()) {
-      std::vector<RoundTask> tasks;
-      for (size_t id : rule_ids) {
-        if (compiled[id].is_aggregate()) continue;
-        RoundTask t;
-        t.rule_id = id;
-        t.initial = true;
-        t.evaluations = 1;
-        tasks.push_back(std::move(t));
+    // Failure handling: every round runs inside run_protected (exceptions
+    // become a clean kInternal - Materialize never throws), and any round
+    // failure goes through fail_round, which subtracts the round's delta
+    // from the store. next_delta holds exactly the coverage inserted since
+    // the last barrier, and freshly covered portions are disjoint from
+    // everything stored before, so the subtraction restores the barrier
+    // state precisely - whether the round died mid-rule, mid-chain-walk, or
+    // halfway through a parallel barrier merge.
+    size_t prov_mark =
+        options.provenance != nullptr ? options.provenance->size() : 0;
+    auto run_protected = [](auto&& fn) -> Status {
+      try {
+        return fn();
+      } catch (const std::exception& e) {
+        return Status::Internal(
+            std::string("evaluation aborted by exception: ") + e.what());
+      } catch (...) {
+        return Status::Internal(
+            "evaluation aborted by non-standard exception");
       }
-      DMTL_RETURN_IF_ERROR(RunRoundParallel(tasks, compiled, memos, *db,
-                                            delta, window, options, &*pool,
-                                            &chain_caches, 0, &sink, stats));
-    } else {
+    };
+    auto fail_round = [&](Status status, size_t round) -> Status {
+      stats->rolled_back_intervals += next_delta.NumIntervals();
+      db->SubtractCoverage(next_delta);
+      if (options.provenance != nullptr &&
+          options.provenance->size() > prov_mark) {
+        options.provenance->resize(prov_mark);
+      }
+      stats->stopped_stratum = s;
+      stats->stopped_round = round;
+      return status;
+    };
+
+    // Round 0: aggregate rules, then the initial full round for plain
+    // rules. Aggregates run first and always sequentially - their inputs
+    // are strictly below this stratum, so one evaluation is complete, and
+    // the stratum's plain rules may read their output in the initial round.
+    Status round_status = run_protected([&]() -> Status {
+      if (guard != nullptr) DMTL_RETURN_IF_ERROR(guard->Check());
+      DMTL_RETURN_IF_ERROR(FaultInjector::Fire("seminaive.round"));
       for (size_t id : rule_ids) {
-        if (compiled[id].is_aggregate()) continue;
+        if (!compiled[id].is_aggregate()) continue;
         ++stats->rule_evaluations;
         sink.SetContext(id, 0);
-        const auto& eval = std::get<RuleEvaluator>(compiled[id].eval);
-        DMTL_RETURN_IF_ERROR(eval.Evaluate(
-            *db, nullptr, -1, emit_for(compiled[id].rule().head.predicate),
-            memos.empty() ? nullptr : memos[id].get()));
+        const auto& agg = std::get<AggregateEvaluator>(compiled[id].eval);
+        DMTL_RETURN_IF_ERROR(
+            agg.Evaluate(*db, emit_for(compiled[id].rule().head.predicate),
+                         memos.empty() ? nullptr : memos[id].get()));
       }
-    }
+      if (pool.has_value()) {
+        std::vector<RoundTask> tasks;
+        for (size_t id : rule_ids) {
+          if (compiled[id].is_aggregate()) continue;
+          RoundTask t;
+          t.rule_id = id;
+          t.initial = true;
+          t.evaluations = 1;
+          tasks.push_back(std::move(t));
+        }
+        DMTL_RETURN_IF_ERROR(
+            RunRoundParallel(tasks, compiled, memos, *db, delta, window,
+                             options, &*pool, &chain_caches, 0, &sink, stats,
+                             guard));
+      } else {
+        for (size_t id : rule_ids) {
+          if (compiled[id].is_aggregate()) continue;
+          if (guard != nullptr) DMTL_RETURN_IF_ERROR(guard->Check());
+          ++stats->rule_evaluations;
+          sink.SetContext(id, 0);
+          const auto& eval = std::get<RuleEvaluator>(compiled[id].eval);
+          DMTL_RETURN_IF_ERROR(eval.Evaluate(
+              *db, nullptr, -1, emit_for(compiled[id].rule().head.predicate),
+              memos.empty() ? nullptr : memos[id].get(), guard));
+        }
+      }
+      // Round-end check: a guard trip observed mid-round by a truncating
+      // path (operator scans return partial unions) latches; catching it
+      // here guarantees the round is discarded even if every Status path
+      // happened to pass in between.
+      return guard != nullptr ? guard->Check() : Status::Ok();
+    });
+    if (!round_status.ok()) return fail_round(std::move(round_status), 0);
     refresh_memos(next_delta);
     delta = std::move(next_delta);
     next_delta = Database();
+    prov_mark = options.provenance != nullptr ? options.provenance->size() : 0;
 
     // Fixpoint rounds.
     size_t rounds = 0;
     size_t delta_size = delta.NumIntervals();
     while (delta_size > 0) {
       if (++rounds > options.max_rounds) {
-        return Status::ResourceExhausted("stratum " + std::to_string(s) +
-                                         " exceeded max_rounds");
+        stats->stop_reason = StopReason::kMaxRounds;
+        return fail_round(
+            Status::ResourceExhausted("stratum " + std::to_string(s) +
+                                      " exceeded max_rounds=" +
+                                      std::to_string(options.max_rounds)),
+            rounds);
       }
       ++stats->rounds;
       stats->delta_intervals += delta_size;
@@ -512,70 +633,84 @@ Status Materialize(const Program& program, Database* db,
                                delta_size >= options.parallel_min_round_intervals);
       if (pool.has_value() && !use_pool) ++stats->sequential_rounds_forced;
 
-      if (use_pool) {
-        std::vector<RoundTask> tasks;
-        for (size_t id : rule_ids) {
-          if (compiled[id].is_aggregate()) continue;
-          const CompiledRule& c = compiled[id];
-          RoundTask t;
-          t.rule_id = id;
-          if (c.chain.has_value()) {
-            t.chain = true;
-            t.evaluations = 1;
-          } else if (options.naive_evaluation) {
-            t.initial = true;
-            t.evaluations = 1;
-          } else {
+      round_status = run_protected([&]() -> Status {
+        if (guard != nullptr) DMTL_RETURN_IF_ERROR(guard->Check());
+        DMTL_RETURN_IF_ERROR(FaultInjector::Fire("seminaive.round"));
+        if (use_pool) {
+          std::vector<RoundTask> tasks;
+          for (size_t id : rule_ids) {
+            if (compiled[id].is_aggregate()) continue;
+            const CompiledRule& c = compiled[id];
+            RoundTask t;
+            t.rule_id = id;
+            if (c.chain.has_value()) {
+              t.chain = true;
+              t.evaluations = 1;
+            } else if (options.naive_evaluation) {
+              t.initial = true;
+              t.evaluations = 1;
+            } else {
+              const auto& eval = std::get<RuleEvaluator>(c.eval);
+              t.delta_occurrences =
+                  DeltaOccurrences(c, eval, stratum_preds, delta);
+              if (t.delta_occurrences.empty()) continue;
+              t.evaluations = t.delta_occurrences.size();
+            }
+            tasks.push_back(std::move(t));
+          }
+          DMTL_RETURN_IF_ERROR(
+              RunRoundParallel(tasks, compiled, memos, *db, delta, window,
+                               options, &*pool, &chain_caches, rounds, &sink,
+                               stats, guard));
+        } else {
+          for (size_t id : rule_ids) {
+            if (compiled[id].is_aggregate()) continue;
+            const CompiledRule& c = compiled[id];
             const auto& eval = std::get<RuleEvaluator>(c.eval);
-            t.delta_occurrences =
-                DeltaOccurrences(c, eval, stratum_preds, delta);
-            if (t.delta_occurrences.empty()) continue;
-            t.evaluations = t.delta_occurrences.size();
-          }
-          tasks.push_back(std::move(t));
-        }
-        DMTL_RETURN_IF_ERROR(
-            RunRoundParallel(tasks, compiled, memos, *db, delta, window,
-                             options, &*pool, &chain_caches, rounds, &sink,
-                             stats));
-      } else {
-        for (size_t id : rule_ids) {
-          if (compiled[id].is_aggregate()) continue;
-          const CompiledRule& c = compiled[id];
-          const auto& eval = std::get<RuleEvaluator>(c.eval);
-          PredicateId head = c.rule().head.predicate;
-          OperatorMemo* memo = memos.empty() ? nullptr : memos[id].get();
+            PredicateId head = c.rule().head.predicate;
+            OperatorMemo* memo = memos.empty() ? nullptr : memos[id].get();
 
-          sink.SetContext(id, rounds);
-          if (c.chain.has_value()) {
-            ++stats->rule_evaluations;
-            DMTL_RETURN_IF_ERROR(ChainAccelerator::Extend(
-                c.rule(), *c.chain, *db, delta, window, &chain_caches[id],
-                [&](const Tuple& tuple, const Interval& iv) -> Result<bool> {
-                  ++stats->chain_extensions;
-                  return sink.EmitOne(head, tuple, iv);
-                }));
-            continue;
-          }
-          if (options.naive_evaluation) {
-            ++stats->rule_evaluations;
-            DMTL_RETURN_IF_ERROR(
-                eval.Evaluate(*db, nullptr, -1, emit_for(head), memo));
-            continue;
-          }
-          // Semi-naive: one pass per positive occurrence of a predicate
-          // that changed this round.
-          for (int occ : DeltaOccurrences(c, eval, stratum_preds, delta)) {
-            ++stats->rule_evaluations;
-            DMTL_RETURN_IF_ERROR(
-                eval.Evaluate(*db, &delta, occ, emit_for(head), memo));
+            if (guard != nullptr) DMTL_RETURN_IF_ERROR(guard->Check());
+            sink.SetContext(id, rounds);
+            if (c.chain.has_value()) {
+              ++stats->rule_evaluations;
+              DMTL_RETURN_IF_ERROR(ChainAccelerator::Extend(
+                  c.rule(), *c.chain, *db, delta, window, &chain_caches[id],
+                  [&](const Tuple& tuple,
+                      const Interval& iv) -> Result<bool> {
+                    ++stats->chain_extensions;
+                    return sink.EmitOne(head, tuple, iv);
+                  }));
+              continue;
+            }
+            if (options.naive_evaluation) {
+              ++stats->rule_evaluations;
+              DMTL_RETURN_IF_ERROR(eval.Evaluate(*db, nullptr, -1,
+                                                 emit_for(head), memo,
+                                                 guard));
+              continue;
+            }
+            // Semi-naive: one pass per positive occurrence of a predicate
+            // that changed this round.
+            for (int occ : DeltaOccurrences(c, eval, stratum_preds, delta)) {
+              ++stats->rule_evaluations;
+              DMTL_RETURN_IF_ERROR(eval.Evaluate(*db, &delta, occ,
+                                                 emit_for(head), memo,
+                                                 guard));
+            }
           }
         }
+        return guard != nullptr ? guard->Check() : Status::Ok();
+      });
+      if (!round_status.ok()) {
+        return fail_round(std::move(round_status), rounds);
       }
       refresh_memos(next_delta);
       delta = std::move(next_delta);
       next_delta = Database();
       delta_size = delta.NumIntervals();
+      prov_mark =
+          options.provenance != nullptr ? options.provenance->size() : 0;
     }
     stats->stratum_wall_seconds[s] =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -611,11 +746,49 @@ Status Materialize(const Program& program, Database* db,
   }
   stats->bulk_merges = IntervalSet::BulkMergeCount() - bulk_merges_at_start;
 
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status Materialize(const Program& program, Database* db,
+                   const EngineOptions& options, EngineStats* stats) {
+  auto start_time = std::chrono::steady_clock::now();
+  EngineStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  *stats = EngineStats();
+
+  // The guard lives here (not in the impl) so every exit path - including
+  // validation errors before evaluation starts - finalizes diagnostics the
+  // same way.
+  ExecutionGuard guard(options.deadline, options.cancel_token);
+  const ExecutionGuard* gptr = guard.enabled() ? &guard : nullptr;
+
+  Status status = MaterializeImpl(program, db, options, stats, gptr);
+
+  stats->guard_checks = guard.checks();
+  stats->intervals_at_stop = db->NumIntervals();
   stats->wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     start_time)
           .count();
-  return Status::Ok();
+  if (!status.ok() && stats->stop_reason == StopReason::kCompleted) {
+    switch (status.code()) {
+      case StatusCode::kDeadlineExceeded:
+        stats->stop_reason = StopReason::kDeadline;
+        break;
+      case StatusCode::kCancelled:
+        stats->stop_reason = StopReason::kCancelled;
+        break;
+      case StatusCode::kResourceExhausted:
+        stats->stop_reason = StopReason::kMaxIntervals;
+        break;
+      default:
+        stats->stop_reason = StopReason::kError;
+        break;
+    }
+  }
+  return status;
 }
 
 }  // namespace dmtl

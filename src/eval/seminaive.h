@@ -1,11 +1,14 @@
 #ifndef DMTL_EVAL_SEMINAIVE_H_
 #define DMTL_EVAL_SEMINAIVE_H_
 
+#include <chrono>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "src/ast/program.h"
+#include "src/common/execution_guard.h"
 #include "src/common/status.h"
 #include "src/storage/database.h"
 
@@ -37,6 +40,20 @@ struct EngineOptions {
 
   // Hard cap on fixpoint rounds per stratum.
   size_t max_rounds = 10'000'000;
+
+  // Wall-clock budget for the whole materialization, measured from the
+  // Materialize call; exceeded -> kDeadlineExceeded. Checked at round
+  // barriers, every few hundred emissions, and every few thousand candidate
+  // tuples inside joins, so even one divergent rule observes it within
+  // milliseconds. On a trip the database is left at the last completed
+  // round barrier (see docs/robustness.md). Unset = no deadline.
+  std::optional<std::chrono::milliseconds> deadline;
+
+  // Cooperative cancellation: create a token, pass it here, and call
+  // Cancel() from any thread while Materialize runs; the engine stops at
+  // its next guard check with kCancelled and the same round-barrier
+  // database guarantee as a deadline trip. Unset = not cancellable.
+  std::shared_ptr<CancellationToken> cancel_token;
 
   // Bulk-extends self-propagation chains (see ChainAccelerator). Exact;
   // disable only for the ablation benchmark.
@@ -100,6 +117,22 @@ struct EngineOptions {
   std::vector<DerivationRecord>* provenance = nullptr;
 };
 
+// Why a materialization stopped. Anything but kCompleted comes with the
+// round-barrier guarantee: the database equals the state after the last
+// fully completed fixpoint round (partial work of the aborted round is
+// rolled back).
+enum class StopReason {
+  kCompleted = 0,   // ran to fixpoint
+  kDeadline,        // EngineOptions::deadline exceeded
+  kCancelled,       // CancellationToken fired
+  kMaxIntervals,    // stored-interval budget exhausted
+  kMaxRounds,       // per-stratum round cap hit
+  kError,           // evaluation error / internal fault
+};
+
+// Stable name, e.g. "deadline"; for logs and CLI diagnostics.
+const char* StopReasonToString(StopReason reason);
+
 // Counters of one materialization run.
 struct EngineStats {
   int num_strata = 0;
@@ -108,6 +141,25 @@ struct EngineStats {
   size_t derived_intervals = 0;   // newly covered interval pieces inserted
   size_t chain_extensions = 0;    // facts emitted by the accelerator
   double wall_seconds = 0;
+
+  // --- stop diagnostics (populated on every exit path) --------------------
+  StopReason stop_reason = StopReason::kCompleted;
+  // Stratum being evaluated when the run stopped; -1 when it completed (or
+  // never reached evaluation, e.g. a validation error).
+  int stopped_stratum = -1;
+  // Round in progress when the run stopped: 0 is the stratum's initial full
+  // round, k >= 1 the k-th fixpoint round (matching DerivationRecord
+  // numbering). The database holds exactly rounds [0, stopped_round) of the
+  // stopped stratum plus every earlier stratum in full.
+  size_t stopped_round = 0;
+  size_t intervals_at_stop = 0;     // db->NumIntervals() at exit
+  // Interval pieces discarded when the aborted round was rolled back.
+  size_t rolled_back_intervals = 0;
+  uint64_t guard_checks = 0;        // deadline/cancellation checks performed
+
+  // One-line failure report ("stop_reason=deadline stratum=0 round=41 ...");
+  // the CLI prints this on guard trips and budget exhaustion.
+  std::string StopDiagnostics() const;
 
   // --- join planner (enable_join_planning) --------------------------------
   size_t planner_indexes_built = 0;  // bound-signature indexes materialized
@@ -144,6 +196,13 @@ struct EngineStats {
 // evaluates stratum by stratum to fixpoint, augmenting `db` in place with
 // every entailed fact (insert-only, per the paper's monotone execution
 // model).
+//
+// Failure is graceful: on a deadline trip, cancellation, budget exhaustion,
+// or any evaluation fault, the partial work of the round in progress is
+// rolled back so `db` sits exactly at the last completed round barrier
+// (still a sound under-approximation of the fixpoint - re-running with a
+// horizon continues from it), and `stats` carries the stop diagnostics.
+// Materialize never throws.
 Status Materialize(const Program& program, Database* db,
                    const EngineOptions& options = {},
                    EngineStats* stats = nullptr);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 
+#include "src/common/fault_injector.h"
+
 namespace dmtl {
 
 Fact Fact::Make(std::string_view pred, Tuple args, Interval iv) {
@@ -136,6 +138,57 @@ IntervalSet Relation::InsertSet(const Tuple& tuple, const IntervalSet& set) {
   return fresh;
 }
 
+void Relation::SubtractCoverage(const Relation& fresh) {
+  bool erased_any = false;
+  for (const auto& [tuple, set] : fresh.data()) {
+    auto it = data_.find(tuple);
+    if (it == data_.end()) continue;
+    IntervalSet remaining = it->second.Subtract(set);
+    approx_intervals_ -= std::min(approx_intervals_, set.size());
+    if (remaining.IsEmpty()) {
+      data_.erase(it);
+      erased_any = true;
+    } else {
+      it->second = std::move(remaining);
+    }
+  }
+  {
+    // Envelopes never shrink and entries may now reference erased tuples or
+    // replaced sets; drop the indexes and let the next probe rebuild.
+    std::lock_guard<std::mutex> lock(index_mutex_);
+    indexes_.clear();
+  }
+  if (erased_any) {
+    first_arg_index_.clear();
+    for (const auto& [tuple, set] : data_) {
+      if (!tuple.empty()) first_arg_index_[tuple[0]].push_back(&tuple);
+    }
+  }
+}
+
+void Relation::SubtractCoverage(const Tuple& tuple, const IntervalSet& set) {
+  auto it = data_.find(tuple);
+  if (it == data_.end()) return;
+  IntervalSet remaining = it->second.Subtract(set);
+  approx_intervals_ -= std::min(approx_intervals_, set.size());
+  bool erased = remaining.IsEmpty();
+  if (erased) {
+    data_.erase(it);
+  } else {
+    it->second = std::move(remaining);
+  }
+  {
+    std::lock_guard<std::mutex> lock(index_mutex_);
+    indexes_.clear();
+  }
+  if (erased) {
+    first_arg_index_.clear();
+    for (const auto& [t, s] : data_) {
+      if (!t.empty()) first_arg_index_[t[0]].push_back(&t);
+    }
+  }
+}
+
 const IntervalSet* Relation::Find(const Tuple& tuple) const {
   auto it = data_.find(tuple);
   return it == data_.end() ? nullptr : &it->second;
@@ -171,6 +224,10 @@ IntervalSet Database::Insert(PredicateId pred, const Tuple& tuple,
 
 IntervalSet Database::InsertSet(PredicateId pred, const Tuple& tuple,
                                 const IntervalSet& set) {
+  // Throw-mode site: InsertSet has no Status channel, so an armed fault
+  // propagates as an exception that the engine's round protection converts
+  // to a clean kInternal after rolling the round back.
+  FaultInjector::MaybeThrow("database.insert_set");
   IntervalSet fresh = relations_[pred].InsertSet(tuple, set);
   approx_intervals_ += fresh.size();
   return fresh;
@@ -223,6 +280,29 @@ size_t Database::NumIntervals() const {
   size_t n = 0;
   for (const auto& [pred, rel] : relations_) n += rel.NumIntervals();
   return n;
+}
+
+void Database::SubtractCoverage(const Database& fresh) {
+  for (const auto& [pred, rel] : fresh.relations_) {
+    auto it = relations_.find(pred);
+    if (it == relations_.end()) continue;
+    it->second.SubtractCoverage(rel);
+  }
+  approx_intervals_ = 0;
+  for (const auto& [pred, rel] : relations_) {
+    approx_intervals_ += rel.approx_intervals();
+  }
+}
+
+void Database::SubtractCoverage(PredicateId pred, const Tuple& tuple,
+                                const IntervalSet& set) {
+  auto it = relations_.find(pred);
+  if (it == relations_.end()) return;
+  it->second.SubtractCoverage(tuple, set);
+  approx_intervals_ = 0;
+  for (const auto& [p, rel] : relations_) {
+    approx_intervals_ += rel.approx_intervals();
+  }
 }
 
 void Database::MergeFrom(const Database& other) {

@@ -126,6 +126,18 @@ class Relation {
   // stats).
   size_t num_indexes() const;
 
+  // Removes `fresh`'s coverage from this relation: the engine's rollback
+  // primitive. `fresh` must hold coverage previously reported as *newly
+  // inserted* by Insert/InsertSet (so it is a subset of what is stored);
+  // subtracting it restores exactly the pre-insertion state. Tuples whose
+  // extent becomes empty are erased. Bound-signature indexes are dropped
+  // (their envelopes and pointers may be stale) and the first-argument
+  // index is rebuilt when tuples vanished; pointers previously obtained
+  // from either are invalidated. Single-writer, like all mutators.
+  void SubtractCoverage(const Relation& fresh);
+  // Single-tuple form with the same contract.
+  void SubtractCoverage(const Tuple& tuple, const IntervalSet& set);
+
   bool IsEmpty() const { return data_.empty(); }
   size_t NumTuples() const { return data_.size(); }
   size_t NumIntervals() const;
@@ -208,6 +220,17 @@ class Database {
   size_t approx_intervals() const { return approx_intervals_; }
 
   void MergeFrom(const Database& other);
+
+  // Rollback primitive: removes exactly `fresh`'s coverage, where `fresh`
+  // accumulates portions previously reported as newly inserted (the
+  // engine's per-round delta). Restores the database to its state from
+  // before those insertions - see Relation::SubtractCoverage for the index
+  // invalidation contract.
+  void SubtractCoverage(const Database& fresh);
+  // Single-fact form (used to undo one paired insertion on a fault path).
+  void SubtractCoverage(PredicateId pred, const Tuple& tuple,
+                        const IntervalSet& set);
+
   void Clear() {
     relations_.clear();
     approx_intervals_ = 0;

@@ -1,5 +1,6 @@
 #include "src/tools/cli.h"
 
+#include <chrono>
 #include <cstdlib>
 #include <iostream>
 #include <optional>
@@ -31,6 +32,8 @@ constexpr char kUsage[] =
     "  --naive         naive (non-semi-naive) evaluation\n"
     "  --no-plan       disable cost-based join planning\n"
     "  --no-deltas     disable interval-delta propagation (operator memos)\n"
+    "  --deadline-ms N wall-clock budget for materialization; on a trip the\n"
+    "                  run exits with code 3 and prints stop diagnostics\n"
     "  --explain-plan  print each rule's join order, probed index\n"
     "                  signatures, and planner counters after the run\n"
     "  --threads N     evaluation threads (0 = hardware, default 1)\n"
@@ -90,6 +93,15 @@ Result<CliOptions> ParseArgs(const std::vector<std::string>& args) {
       options.engine.enable_interval_deltas = false;
     } else if (arg == "--explain-plan") {
       options.explain_plan = true;
+    } else if (arg == "--deadline-ms") {
+      DMTL_ASSIGN_OR_RETURN(std::string text, next());
+      char* end = nullptr;
+      long value = std::strtol(text.c_str(), &end, 10);
+      if (end == text.c_str() || *end != '\0' || value < 0) {
+        return Status::InvalidArgument(
+            "--deadline-ms needs a non-negative int, got '" + text + "'");
+      }
+      options.engine.deadline = std::chrono::milliseconds(value);
     } else if (arg == "--threads") {
       DMTL_ASSIGN_OR_RETURN(std::string text, next());
       char* end = nullptr;
@@ -160,14 +172,23 @@ Result<Parser::ParsedUnit> LoadAll(const std::vector<std::string>& files) {
   return all;
 }
 
-Status CommandRun(const CliOptions& options, std::ostream& out) {
+Status CommandRun(const CliOptions& options, std::ostream& out,
+                  std::ostream& err) {
   DMTL_ASSIGN_OR_RETURN(Parser::ParsedUnit unit, LoadAll(options.files));
   Database db = std::move(unit.database);
   EngineStats stats;
   EngineOptions engine = options.engine;
   std::vector<DerivationRecord> provenance;
   if (options.explain.has_value()) engine.provenance = &provenance;
-  DMTL_RETURN_IF_ERROR(Materialize(unit.program, &db, engine, &stats));
+  Status run = Materialize(unit.program, &db, engine, &stats);
+  if (!run.ok()) {
+    // Guard trips and budget exhaustion come with where-it-stopped
+    // diagnostics; surface them next to the error itself.
+    if (stats.stop_reason != StopReason::kCompleted) {
+      err << "dmtl_cli: " << stats.StopDiagnostics() << "\n";
+    }
+    return run;
+  }
   if (options.explain.has_value()) {
     DMTL_ASSIGN_OR_RETURN(Database wanted,
                           Parser::ParseDatabase(*options.explain));
@@ -277,10 +298,30 @@ Status RunCli(const std::vector<std::string>& args, std::ostream& out,
     err << kUsage;
     return options.status();
   }
-  if (options->command == "run") return CommandRun(*options, out);
+  if (options->command == "run") return CommandRun(*options, out, err);
   if (options->command == "check") return CommandCheck(*options, out);
   if (options->command == "dot") return CommandDot(*options, out);
   return CommandFmt(*options, out);
+}
+
+int ExitCodeForStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return 0;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kParseError:
+    case StatusCode::kUnsafeRule:
+    case StatusCode::kNotStratifiable:
+      return 2;
+    case StatusCode::kDeadlineExceeded:
+      return 3;
+    case StatusCode::kCancelled:
+      return 4;
+    case StatusCode::kResourceExhausted:
+      return 5;
+    default:
+      return 1;
+  }
 }
 
 int CliMain(int argc, const char* const* argv) {
@@ -288,9 +329,8 @@ int CliMain(int argc, const char* const* argv) {
   Status status = RunCli(args, std::cout, std::cerr);
   if (!status.ok()) {
     std::cerr << "dmtl_cli: " << status.ToString() << "\n";
-    return 1;
   }
-  return 0;
+  return ExitCodeForStatus(status);
 }
 
 }  // namespace dmtl

@@ -26,7 +26,18 @@ namespace dmtl {
 Status RunCli(const std::vector<std::string>& args, std::ostream& out,
               std::ostream& err);
 
-// argv adapter used by the binary's main().
+// Process exit code for a RunCli outcome, so scripts can distinguish
+// failure classes (see docs/robustness.md):
+//   0  success
+//   2  bad invocation or bad program (InvalidArgument, ParseError,
+//      UnsafeRule, NotStratifiable)
+//   3  deadline exceeded (--deadline-ms tripped)
+//   4  cancelled
+//   5  resource budget exhausted (max_intervals / max_rounds)
+//   1  anything else (evaluation error, I/O, internal fault)
+int ExitCodeForStatus(const Status& status);
+
+// argv adapter used by the binary's main(); returns ExitCodeForStatus.
 int CliMain(int argc, const char* const* argv);
 
 }  // namespace dmtl

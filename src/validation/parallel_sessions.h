@@ -20,12 +20,25 @@ namespace dmtl {
 // shard order - the output is identical to running the shards in a
 // sequential loop, whatever the pool width.
 
-// The outcome of one materialized shard.
+// The outcome of one materialized shard. Failures are *isolated*: a shard
+// that trips its deadline, exhausts a budget, or hits an evaluation fault
+// reports that here and never aborts its siblings.
 struct SessionShardResult {
   std::string name;
   Session session;
   Database db;         // the materialized shard database
   EngineStats stats;
+
+  // Outcome of this shard's materialization (of the retry when one ran).
+  // On failure `db` still holds the round-barrier-consistent partial state
+  // and `stats` carries the stop diagnostics.
+  Status status = Status::Ok();
+  // Whether the degraded retry (sequential, chain acceleration off) ran.
+  bool retried = false;
+  // The first attempt's outcome when a retry ran (Ok otherwise).
+  Status first_attempt_status = Status::Ok();
+
+  bool ok() const { return status.ok(); }
 };
 
 struct ParallelSessionsOptions {
@@ -41,6 +54,14 @@ struct ParallelSessionsOptions {
   // huge shards.
   EngineOptions engine;
 
+  // One-shot degraded retry for failed shards: rebuild the shard database
+  // from its (already generated) session and re-materialize sequentially
+  // with chain acceleration off - the most conservative engine
+  // configuration. Cancelled shards are never retried (the caller asked the
+  // whole run to stop). Off by default: a deterministic failure usually
+  // reproduces, and the retry doubles the shard's cost.
+  bool retry_failed_sessions = false;
+
   // The concrete pool width RunParallelSessions uses for these options
   // (num_threads = 0 resolved against the hardware). Benches report this
   // instead of the raw request so the JSON records what actually ran.
@@ -53,8 +74,14 @@ std::vector<WorkloadConfig> ShardConfigs(const WorkloadConfig& base,
                                          int num_shards);
 
 // Generates and materializes every shard (ETH-PERP program, shard-local
-// horizon) across the pool. Results are in shard order; on failure the
-// lowest-indexed shard's error is returned.
+// horizon) across the pool. Results are in shard order.
+//
+// Fault isolation: a shard failure (guard trip, budget exhaustion,
+// evaluation fault - even an exception escaping a task) is captured in that
+// shard's SessionShardResult::status; sibling shards always run to their
+// own completion and the call itself still succeeds. The Result is an error
+// only for setup problems that precede the shard loop (program parse
+// failure, etc.).
 Result<std::vector<SessionShardResult>> RunParallelSessions(
     const std::vector<WorkloadConfig>& shards,
     const ParallelSessionsOptions& options = {});

@@ -1,0 +1,140 @@
+#include "src/common/execution_guard.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/common/fault_injector.h"
+
+namespace dmtl {
+namespace {
+
+TEST(ExecutionGuardTest, DefaultGuardIsDisabledAndAlwaysOk) {
+  ExecutionGuard guard;
+  EXPECT_FALSE(guard.enabled());
+  EXPECT_TRUE(guard.Check().ok());
+  EXPECT_FALSE(guard.Tripped());
+  // Disabled guards do not count checks.
+  EXPECT_EQ(guard.checks(), 0u);
+}
+
+TEST(ExecutionGuardTest, FarFutureDeadlineStaysOk) {
+  ExecutionGuard guard(std::chrono::milliseconds(1000 * 60 * 60), nullptr);
+  EXPECT_TRUE(guard.enabled());
+  EXPECT_TRUE(guard.Check().ok());
+  EXPECT_GT(guard.checks(), 0u);
+}
+
+TEST(ExecutionGuardTest, ExpiredDeadlineTripsAndLatches) {
+  ExecutionGuard guard(std::chrono::milliseconds(0), nullptr);
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  Status first = guard.Check();
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(first.code(), StatusCode::kDeadlineExceeded);
+  // Latching: same verdict on every later check.
+  Status second = guard.Check();
+  EXPECT_EQ(second.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(second.message(), first.message());
+}
+
+TEST(ExecutionGuardTest, CancellationTrips) {
+  auto token = std::make_shared<CancellationToken>();
+  ExecutionGuard guard(std::nullopt, token);
+  EXPECT_TRUE(guard.enabled());
+  EXPECT_TRUE(guard.Check().ok());
+  token->Cancel();
+  Status status = guard.Check();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kCancelled);
+  EXPECT_TRUE(guard.Tripped());
+}
+
+TEST(ExecutionGuardTest, CancellationWinsWhenBothConditionsHold) {
+  // Token checked before the deadline: with both tripped the latched reason
+  // is deterministic (cancelled), whatever thread latches first here.
+  auto token = std::make_shared<CancellationToken>();
+  token->Cancel();
+  ExecutionGuard guard(std::chrono::milliseconds(0), token);
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(guard.Check().code(), StatusCode::kCancelled);
+}
+
+TEST(ExecutionGuardTest, ConcurrentCheckersAgreeOnTheTrip) {
+  auto token = std::make_shared<CancellationToken>();
+  ExecutionGuard guard(std::nullopt, token);
+  constexpr int kThreads = 8;
+  std::vector<StatusCode> seen(kThreads, StatusCode::kOk);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&guard, &seen, t] {
+      // Spin until the trip is observed.
+      Status status;
+      do {
+        status = guard.Check();
+      } while (status.ok());
+      seen[t] = status.code();
+    });
+  }
+  token->Cancel();
+  for (std::thread& t : threads) t.join();
+  for (StatusCode code : seen) EXPECT_EQ(code, StatusCode::kCancelled);
+}
+
+TEST(FaultInjectorTest, UnarmedSiteIsANoOp) {
+  FaultInjector::Reset();
+  EXPECT_TRUE(FaultInjector::Fire("seminaive.round").ok());
+  EXPECT_NO_THROW(FaultInjector::MaybeThrow("database.insert_set"));
+  EXPECT_EQ(FaultInjector::HitCount("seminaive.round"), 0u);
+}
+
+TEST(FaultInjectorTest, FiresExactlyOnKthHit) {
+  FaultInjector::Reset();
+  FaultInjector::Arm("test.site", 3, Status::EvalError("kaboom"));
+  EXPECT_TRUE(FaultInjector::Fire("test.site").ok());
+  EXPECT_TRUE(FaultInjector::Fire("test.site").ok());
+  Status third = FaultInjector::Fire("test.site");
+  ASSERT_FALSE(third.ok());
+  EXPECT_EQ(third.code(), StatusCode::kEvalError);
+  EXPECT_EQ(third.message(), "kaboom");
+  // One-shot: the site passes again afterwards (retry paths rely on this).
+  EXPECT_TRUE(FaultInjector::Fire("test.site").ok());
+  EXPECT_EQ(FaultInjector::HitCount("test.site"), 4u);
+  FaultInjector::Reset();
+}
+
+TEST(FaultInjectorTest, ThrowModeThrowsOnKthHit) {
+  FaultInjector::Reset();
+  FaultInjector::ArmThrow("test.throw", 2, "pop");
+  EXPECT_NO_THROW(FaultInjector::MaybeThrow("test.throw"));
+  EXPECT_THROW(FaultInjector::MaybeThrow("test.throw"), std::runtime_error);
+  EXPECT_NO_THROW(FaultInjector::MaybeThrow("test.throw"));
+  // Fire() on a throw-armed site also delivers by throwing.
+  FaultInjector::ArmThrow("test.throw", 1, "pop again");
+  EXPECT_THROW((void)FaultInjector::Fire("test.throw"), std::runtime_error);
+  FaultInjector::Reset();
+}
+
+TEST(FaultInjectorTest, ResetDisarmsEverything) {
+  FaultInjector::Arm("test.site", 1, Status::EvalError("armed"));
+  FaultInjector::Reset();
+  EXPECT_TRUE(FaultInjector::Fire("test.site").ok());
+  EXPECT_EQ(FaultInjector::HitCount("test.site"), 0u);
+  FaultInjector::Reset();
+}
+
+TEST(FaultInjectorTest, RearmingResetsTheCount) {
+  FaultInjector::Reset();
+  FaultInjector::Arm("test.site", 2, Status::EvalError("first arming"));
+  EXPECT_TRUE(FaultInjector::Fire("test.site").ok());
+  FaultInjector::Arm("test.site", 2, Status::EvalError("second arming"));
+  EXPECT_TRUE(FaultInjector::Fire("test.site").ok());
+  EXPECT_EQ(FaultInjector::Fire("test.site").message(), "second arming");
+  FaultInjector::Reset();
+}
+
+}  // namespace
+}  // namespace dmtl

@@ -105,6 +105,80 @@ TEST(ThreadPoolTest, ReusableAcrossBatches) {
   }
 }
 
+TEST(ThreadPoolTest, ReusableAfterThrowingBatch) {
+  ThreadPool pool(3);
+  EXPECT_THROW((void)pool.ParallelFor(8,
+                                      [&](size_t i) -> Status {
+                                        if (i == 5) {
+                                          throw std::runtime_error("boom");
+                                        }
+                                        return Status::Ok();
+                                      }),
+               std::runtime_error);
+  // The pool must come back healthy: full batch, every result lands.
+  std::vector<int> out(16, -1);
+  Status status = pool.ParallelFor(out.size(), [&](size_t i) -> Status {
+    out[i] = static_cast<int>(i);
+    return Status::Ok();
+  });
+  ASSERT_TRUE(status.ok()) << status;
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i));
+  }
+}
+
+TEST(ThreadPoolTest, ReusableAfterFailingBatch) {
+  ThreadPool pool(3);
+  Status failed = pool.ParallelFor(8, [&](size_t i) -> Status {
+    return i == 2 ? Status::EvalError("bad task") : Status::Ok();
+  });
+  ASSERT_FALSE(failed.ok());
+  std::atomic<size_t> executed{0};
+  Status status = pool.ParallelFor(32, [&](size_t) -> Status {
+    ++executed;
+    return Status::Ok();
+  });
+  EXPECT_TRUE(status.ok()) << status;
+  EXPECT_EQ(executed.load(), 32u);
+}
+
+TEST(ThreadPoolTest, AllStatusesRetrievable) {
+  ThreadPool pool(4);
+  std::vector<Status> statuses;
+  Status first = pool.ParallelFor(
+      10,
+      [&](size_t i) -> Status {
+        if (i % 3 == 0) {
+          return Status::EvalError("task " + std::to_string(i));
+        }
+        return Status::Ok();
+      },
+      &statuses);
+  // The returned status is still the lowest-index error...
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(first.message(), "task 0");
+  // ...and every per-task verdict is visible, not just the first.
+  ASSERT_EQ(statuses.size(), 10u);
+  for (size_t i = 0; i < statuses.size(); ++i) {
+    if (i % 3 == 0) {
+      EXPECT_EQ(statuses[i].code(), StatusCode::kEvalError) << "task " << i;
+      EXPECT_EQ(statuses[i].message(), "task " + std::to_string(i));
+    } else {
+      EXPECT_TRUE(statuses[i].ok()) << "task " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, AllStatusesSuccessPath) {
+  ThreadPool pool(2);
+  std::vector<Status> statuses{Status::EvalError("stale")};  // must be reset
+  Status status = pool.ParallelFor(
+      5, [&](size_t) -> Status { return Status::Ok(); }, &statuses);
+  EXPECT_TRUE(status.ok());
+  ASSERT_EQ(statuses.size(), 5u);
+  for (const Status& s : statuses) EXPECT_TRUE(s.ok());
+}
+
 TEST(ThreadPoolTest, TasksActuallyRunConcurrently) {
   // A four-way rendezvous: every task blocks until all four have started,
   // which can only resolve when four threads run tasks at the same time.

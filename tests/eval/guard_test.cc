@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "src/eval/seminaive.h"
+#include "src/parser/parser.h"
+
+namespace dmtl {
+namespace {
+
+// A divergent program: without a horizon, `open` propagates forward
+// forever (the paper's "market never closes" case). Every guard and budget
+// test drives this so trips are guaranteed to have something to interrupt.
+constexpr char kDivergent[] =
+    "open(A) :- deposit(A) .\n"
+    "open(A) :- boxminus open(A) .\n"
+    "deposit(x)@2 .\n";
+
+Parser::ParsedUnit ParseDivergent() {
+  auto unit = Parser::Parse(kDivergent);
+  EXPECT_TRUE(unit.ok()) << unit.status();
+  return *unit;
+}
+
+// Options used by the round-barrier consistency tests: chain acceleration
+// off so the divergent rule advances one fixpoint round at a time, and the
+// small-delta heuristic off so multi-thread configurations actually
+// exercise the pool + barrier-merge path every round.
+EngineOptions SteppedOptions(int threads) {
+  EngineOptions options;
+  options.num_threads = threads;
+  options.enable_chain_acceleration = false;
+  options.parallel_min_round_intervals = 0;
+  return options;
+}
+
+// Re-runs the same configuration capped at the completed rounds of a
+// tripped run and asserts the tripped database matches that barrier state
+// exactly - the round-barrier consistency guarantee.
+void ExpectAtRoundBarrier(const EngineOptions& tripped_options,
+                          const EngineStats& tripped_stats,
+                          const Database& tripped_db) {
+  Parser::ParsedUnit unit = ParseDivergent();
+  if (tripped_stats.stopped_round == 0) {
+    // Tripped during the stratum's initial full round: nothing of this
+    // stratum may have survived.
+    EXPECT_EQ(tripped_db.ToString(), unit.database.ToString());
+    return;
+  }
+  EngineOptions reference = tripped_options;
+  reference.deadline.reset();
+  reference.cancel_token = nullptr;
+  reference.max_intervals = EngineOptions().max_intervals;
+  reference.max_rounds = tripped_stats.stopped_round - 1;
+  Database ref_db = unit.database;
+  EngineStats ref_stats;
+  Status ref_status = Materialize(unit.program, &ref_db, reference,
+                                  &ref_stats);
+  // The reference run trips on its round cap - with the database sitting at
+  // exactly the same barrier.
+  ASSERT_EQ(ref_status.code(), StatusCode::kResourceExhausted);
+  ASSERT_EQ(ref_stats.stop_reason, StopReason::kMaxRounds);
+  ASSERT_EQ(ref_stats.stopped_round, tripped_stats.stopped_round);
+  EXPECT_EQ(tripped_db.ToString(), ref_db.ToString());
+}
+
+TEST(GuardTest, DeadlineTripsOnDivergentProgram) {
+  for (int threads : {1, 2, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    Parser::ParsedUnit unit = ParseDivergent();
+    Database db = unit.database;
+    EngineOptions options;
+    options.num_threads = threads;
+    options.deadline = std::chrono::milliseconds(50);
+    EngineStats stats;
+    Status status = Materialize(unit.program, &db, options, &stats);
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+    EXPECT_EQ(stats.stop_reason, StopReason::kDeadline);
+    EXPECT_GE(stats.stopped_stratum, 0);
+    EXPECT_GT(stats.guard_checks, 0u);
+    EXPECT_GT(stats.wall_seconds, 0.0);
+    EXPECT_EQ(stats.intervals_at_stop, db.NumIntervals());
+    EXPECT_NE(stats.StopDiagnostics().find("stop_reason=deadline"),
+              std::string::npos);
+  }
+}
+
+TEST(GuardTest, DeadlineLeavesDatabaseAtRoundBarrier) {
+  for (int threads : {1, 2, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    Parser::ParsedUnit unit = ParseDivergent();
+    Database db = unit.database;
+    EngineOptions options = SteppedOptions(threads);
+    options.deadline = std::chrono::milliseconds(50);
+    EngineStats stats;
+    Status status = Materialize(unit.program, &db, options, &stats);
+    ASSERT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+    ExpectAtRoundBarrier(options, stats, db);
+  }
+}
+
+TEST(GuardTest, CancellationFromAnotherThread) {
+  for (int threads : {1, 2, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    Parser::ParsedUnit unit = ParseDivergent();
+    Database db = unit.database;
+    EngineOptions options;
+    options.num_threads = threads;
+    options.cancel_token = std::make_shared<CancellationToken>();
+    std::thread canceller([token = options.cancel_token] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      token->Cancel();
+    });
+    EngineStats stats;
+    Status status = Materialize(unit.program, &db, options, &stats);
+    canceller.join();
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::kCancelled);
+    EXPECT_EQ(stats.stop_reason, StopReason::kCancelled);
+    EXPECT_EQ(stats.intervals_at_stop, db.NumIntervals());
+  }
+}
+
+TEST(GuardTest, PreCancelledRunLeavesDatabaseUntouched) {
+  for (int threads : {1, 2, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    Parser::ParsedUnit unit = ParseDivergent();
+    Database db = unit.database;
+    std::string before = db.ToString();
+    EngineOptions options;
+    options.num_threads = threads;
+    options.cancel_token = std::make_shared<CancellationToken>();
+    options.cancel_token->Cancel();
+    EngineStats stats;
+    Status status = Materialize(unit.program, &db, options, &stats);
+    ASSERT_EQ(status.code(), StatusCode::kCancelled);
+    EXPECT_EQ(stats.stopped_round, 0u);
+    EXPECT_EQ(db.ToString(), before);
+  }
+}
+
+TEST(GuardTest, MaxRoundsTripThenHorizonRerunCompletes) {
+  for (int threads : {1, 2, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    Parser::ParsedUnit unit = ParseDivergent();
+    Database db = unit.database;
+    EngineOptions options = SteppedOptions(threads);
+    options.max_rounds = 5;
+    EngineStats stats;
+    Status status = Materialize(unit.program, &db, options, &stats);
+    ASSERT_EQ(status.code(), StatusCode::kResourceExhausted);
+    EXPECT_EQ(stats.stop_reason, StopReason::kMaxRounds);
+    // The cap refuses round max_rounds + 1, so the database holds rounds
+    // [0, max_rounds].
+    EXPECT_EQ(stats.stopped_round, options.max_rounds + 1);
+    EXPECT_NE(stats.StopDiagnostics().find("stop_reason=max_rounds"),
+              std::string::npos);
+
+    // A follow-up run with a horizon completes from the partial database
+    // and lands on the same result as a clean horizon run.
+    EngineOptions horizon = SteppedOptions(threads);
+    horizon.min_time = Rational(0);
+    horizon.max_time = Rational(10);
+    Status rerun = Materialize(unit.program, &db, horizon);
+    ASSERT_TRUE(rerun.ok()) << rerun;
+
+    Database fresh = ParseDivergent().database;
+    ASSERT_TRUE(Materialize(unit.program, &fresh, horizon).ok());
+    EXPECT_EQ(db.ToString(), fresh.ToString());
+  }
+}
+
+TEST(GuardTest, MaxIntervalsTripIsRoundBarrierConsistent) {
+  for (int threads : {1, 2, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    Parser::ParsedUnit unit = ParseDivergent();
+    Database db = unit.database;
+    EngineOptions options = SteppedOptions(threads);
+    options.max_intervals = db.NumIntervals() + 3;
+    EngineStats stats;
+    Status status = Materialize(unit.program, &db, options, &stats);
+    ASSERT_EQ(status.code(), StatusCode::kResourceExhausted);
+    EXPECT_EQ(stats.stop_reason, StopReason::kMaxIntervals);
+    EXPECT_EQ(stats.intervals_at_stop, db.NumIntervals());
+    // Partial work of the tripped round - including any half-merged
+    // parallel sink buffers - must have been rolled back.
+    ExpectAtRoundBarrier(options, stats, db);
+  }
+}
+
+}  // namespace
+}  // namespace dmtl

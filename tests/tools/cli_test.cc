@@ -34,6 +34,14 @@ class CliTest : public ::testing::Test {
     return {status, out.str()};
   }
 
+  // Returns (status, stderr).
+  std::pair<Status, std::string> RunErr(std::vector<std::string> args) {
+    std::ostringstream out;
+    std::ostringstream err;
+    Status status = RunCli(args, out, err);
+    return {status, err.str()};
+  }
+
   std::filesystem::path dir_;
 };
 
@@ -175,6 +183,42 @@ TEST_F(CliTest, UsageErrors) {
             StatusCode::kInvalidArgument);
   EXPECT_EQ(Run({"run", "/nonexistent/file.dmtl"}).first.code(),
             StatusCode::kInvalidArgument);
+}
+
+TEST_F(CliTest, DeadlineFlagTripsOnDivergentProgram) {
+  // No horizon: the chain rule propagates forever, so only the deadline
+  // stops the run. The failure must carry the stop diagnostics on stderr.
+  std::string path = WriteFile("divergent.dmtl",
+                               "open(A) :- deposit(A) .\n"
+                               "open(A) :- boxminus open(A) .\n"
+                               "deposit(x)@2 .\n");
+  auto [status, err] = RunErr({"run", path, "--deadline-ms", "50"});
+  ASSERT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(err.find("stop_reason=deadline"), std::string::npos) << err;
+
+  auto [bad, bad_err] = RunErr({"run", path, "--deadline-ms", "soon"});
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CliTest, DeadlineFlagIsHarmlessOnFastRuns) {
+  std::string path = WriteFile("p.dmtl", "q(X) :- p(X) .\n p(a)@1 .\n");
+  auto [status, out] = Run({"run", path, "--deadline-ms", "60000"});
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_NE(out.find("q(a)@[1, 1] ."), std::string::npos);
+}
+
+TEST_F(CliTest, ExitCodesDistinguishFailureClasses) {
+  EXPECT_EQ(ExitCodeForStatus(Status::Ok()), 0);
+  EXPECT_EQ(ExitCodeForStatus(Status::InvalidArgument("x")), 2);
+  EXPECT_EQ(ExitCodeForStatus(Status::ParseError("x")), 2);
+  EXPECT_EQ(ExitCodeForStatus(Status::UnsafeRule("x")), 2);
+  EXPECT_EQ(ExitCodeForStatus(Status::NotStratifiable("x")), 2);
+  EXPECT_EQ(ExitCodeForStatus(Status::DeadlineExceeded("x")), 3);
+  EXPECT_EQ(ExitCodeForStatus(Status::Cancelled("x")), 4);
+  EXPECT_EQ(ExitCodeForStatus(Status::ResourceExhausted("x")), 5);
+  EXPECT_EQ(ExitCodeForStatus(Status::EvalError("x")), 1);
+  EXPECT_EQ(ExitCodeForStatus(Status::Internal("x")), 1);
+  EXPECT_EQ(ExitCodeForStatus(Status::NotFound("x")), 1);
 }
 
 TEST_F(CliTest, NoPlanMatchesDefaultRun) {

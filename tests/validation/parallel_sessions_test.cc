@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <memory>
 #include <set>
+
+#include "src/common/fault_injector.h"
 
 namespace dmtl {
 namespace {
@@ -70,7 +74,7 @@ TEST(ParallelSessionsTest, ResultsArriveInShardOrder) {
   }
 }
 
-TEST(ParallelSessionsTest, ShardErrorPropagates) {
+TEST(ParallelSessionsTest, ShardErrorIsIsolatedToItsShard) {
   std::vector<WorkloadConfig> shards = ShardConfigs(SmallBase(), 3);
   // An infeasible shard: more trades than events can carry.
   shards[1].num_events = 2;
@@ -78,7 +82,77 @@ TEST(ParallelSessionsTest, ShardErrorPropagates) {
   ParallelSessionsOptions options;
   options.num_threads = 4;
   auto results = RunParallelSessions(shards, options);
-  EXPECT_FALSE(results.ok());
+  // The run itself succeeds; the failure lands in the shard's own report
+  // and the sibling shards complete normally.
+  ASSERT_TRUE(results.ok()) << results.status();
+  ASSERT_EQ(results->size(), 3u);
+  EXPECT_FALSE((*results)[1].ok());
+  EXPECT_FALSE((*results)[1].retried);
+  for (size_t i : {size_t{0}, size_t{2}}) {
+    EXPECT_TRUE((*results)[i].ok()) << (*results)[i].status;
+    EXPECT_GT((*results)[i].db.NumIntervals(), 0u);
+  }
+}
+
+TEST(ParallelSessionsTest, DeadlineTrippedShardReportsDiagnostics) {
+  std::vector<WorkloadConfig> shards = ShardConfigs(SmallBase(), 3);
+  ParallelSessionsOptions options;
+  options.num_threads = 2;
+  options.engine.deadline = std::chrono::milliseconds(0);
+  auto results = RunParallelSessions(shards, options);
+  ASSERT_TRUE(results.ok()) << results.status();
+  for (const SessionShardResult& shard : *results) {
+    EXPECT_FALSE(shard.ok());
+    EXPECT_EQ(shard.status.code(), StatusCode::kDeadlineExceeded);
+    EXPECT_EQ(shard.stats.stop_reason, StopReason::kDeadline);
+  }
+}
+
+TEST(ParallelSessionsTest, RetryRecoversFaultedShard) {
+  // One-shot fault on the first shard attempt; the degraded retry's own
+  // attempt is a later hit and passes. Sequential pool so the hit order is
+  // deterministic: shard 0 fails first, retries clean.
+  FaultInjector::Reset();
+  FaultInjector::Arm("parallel_sessions.shard", 1,
+                     Status::Internal("injected shard fault"));
+  std::vector<WorkloadConfig> shards = ShardConfigs(SmallBase(), 2);
+  ParallelSessionsOptions options;
+  options.num_threads = 1;
+  options.retry_failed_sessions = true;
+  auto results = RunParallelSessions(shards, options);
+  FaultInjector::Reset();
+  ASSERT_TRUE(results.ok()) << results.status();
+
+  // Reference: the same shards with nothing armed.
+  ParallelSessionsOptions clean = options;
+  clean.retry_failed_sessions = false;
+  auto reference = RunParallelSessions(shards, clean);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+
+  const SessionShardResult& faulted = (*results)[0];
+  EXPECT_TRUE(faulted.ok()) << faulted.status;
+  EXPECT_TRUE(faulted.retried);
+  EXPECT_EQ(faulted.first_attempt_status.code(), StatusCode::kInternal);
+  EXPECT_EQ(faulted.db.ToString(), (*reference)[0].db.ToString());
+  EXPECT_TRUE((*results)[1].ok());
+  EXPECT_FALSE((*results)[1].retried);
+  EXPECT_EQ((*results)[1].db.ToString(), (*reference)[1].db.ToString());
+}
+
+TEST(ParallelSessionsTest, CancelledShardsAreNeverRetried) {
+  std::vector<WorkloadConfig> shards = ShardConfigs(SmallBase(), 2);
+  ParallelSessionsOptions options;
+  options.num_threads = 2;
+  options.retry_failed_sessions = true;
+  options.engine.cancel_token = std::make_shared<CancellationToken>();
+  options.engine.cancel_token->Cancel();  // cancelled before the run starts
+  auto results = RunParallelSessions(shards, options);
+  ASSERT_TRUE(results.ok()) << results.status();
+  for (const SessionShardResult& shard : *results) {
+    EXPECT_FALSE(shard.ok());
+    EXPECT_EQ(shard.status.code(), StatusCode::kCancelled);
+    EXPECT_FALSE(shard.retried);
+  }
 }
 
 TEST(ParallelSessionsTest, EmptyShardListIsOk) {

@@ -58,6 +58,19 @@ def main():
     with open(args.candidate) as f:
         cand = json.load(f)
 
+    # Like-with-like check: timings taken with an armed execution guard
+    # (context.guards_enabled) are not comparable to unguarded ones - the
+    # guard's poll sites add a small but real cost. Refuse rather than
+    # report a phantom regression. Artifacts from before the field existed
+    # default to unguarded.
+    base_guards = base.get("context", {}).get("guards_enabled", False)
+    cand_guards = cand.get("context", {}).get("guards_enabled", False)
+    if base_guards != cand_guards:
+        print(f"cannot compare: baseline guards_enabled={base_guards} but "
+              f"candidate guards_enabled={cand_guards} (guarded and "
+              f"unguarded timings are not like-with-like)")
+        return 2
+
     leaves = []
     walk(base, cand, "", leaves)
 
