@@ -182,15 +182,19 @@ inline const char* BuildType() {
 }
 
 // Emits the provenance context block every BENCH_*.json artifact carries:
-// which revision and build type produced the numbers, and whether the runs
-// were timed with an armed ExecutionGuard (deadline/cancel token), so
-// bench_diff.py can refuse like-for-unlike comparisons. bench_diff.py
-// ignores string fields, so these never trip the regression gate.
-inline void WriteContext(JsonBuilder* json, bool guards_enabled = false) {
+// which revision and build type produced the numbers, whether the runs
+// were timed with an armed ExecutionGuard (deadline/cancel token), and
+// which rule executor ran (compiled VM vs AST walker), so bench_diff.py
+// can refuse like-for-unlike comparisons. bench_diff.py ignores string
+// fields, so these never trip the regression gate.
+inline void WriteContext(JsonBuilder* json, bool guards_enabled = false,
+                         bool enable_rule_compile =
+                             EngineOptions{}.enable_rule_compile) {
   json->BeginObject("context");
   json->Field("git_sha", GitSha());
   json->Field("build_type", BuildType());
   json->Field("guards_enabled", guards_enabled);
+  json->Field("enable_rule_compile", enable_rule_compile);
   json->EndObject();
 }
 

@@ -168,6 +168,27 @@ void BM_OperatorDelta(benchmark::State& state) {
 }
 BENCHMARK(BM_OperatorDelta)->Arg(0)->Arg(1);
 
+// The rule compiler's dispatch loop against the AST walker on the same
+// recursive join workload. Arg is enable_rule_compile; Arg(0) is the
+// staged interpreter, so the ratio of the two rows is the VM win on
+// join-heavy evaluation (chain acceleration is off to keep every round
+// in the per-rule executor under test).
+void BM_VmDispatch(benchmark::State& state) {
+  Database db = EdgeFacts(96);
+  auto program = Parser::ParseProgram(
+      "reach(X, Y) :- edge(X, Y) .\n"
+      "reach(X, Z) :- reach(X, Y), edge(Y, Z) .\n"
+      "near(X, Z) :- diamondminus[0,5] reach(X, Z), not edge(X, Z) .");
+  EngineOptions options;
+  options.enable_chain_acceleration = false;
+  options.enable_rule_compile = state.range(0) != 0;
+  for (auto _ : state) {
+    Database out = db;
+    benchmark::DoNotOptimize(Materialize(*program, &out, options));
+  }
+}
+BENCHMARK(BM_VmDispatch)->Arg(0)->Arg(1);
+
 // Same recursive program and data, materialized with a fixed pool width.
 // Arg is num_threads; Arg(1) is the sequential baseline, so the ratio of
 // the two rows is the intra-round parallel speedup on this machine.

@@ -25,6 +25,11 @@ class Bindings {
     bound_[var] = true;
   }
 
+  // Marks a slot unbound again (the value is left in place). The compiled
+  // executor backtracks by unsetting the registers an atom bound instead of
+  // copying whole Bindings per candidate like the staged interpreter.
+  void Unset(int var) { bound_[var] = false; }
+
   // Unifies a term against a value: binds free variables, checks bound
   // variables and constants for equality. Returns false on mismatch (and
   // may have bound variables; callers work on copies).

@@ -108,6 +108,11 @@ class RuleEvaluator {
   std::string ExplainPlan(const Database& db) const;
 
  private:
+  // The rule compiler lowers this evaluator's plan into flat bytecode
+  // (src/eval/rule_compile.h); it reuses BuildPlan and the literal plans so
+  // the compiled join order is exactly the planned one.
+  friend class RuleCompiler;
+
   // How a positive literal's extent is computed once its atoms are ground.
   // Single-atom shapes take a fast path that reuses the interval set found
   // during enumeration (replicating EvalMetricExtent's arithmetic exactly);

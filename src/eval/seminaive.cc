@@ -1,6 +1,7 @@
 #include "src/eval/seminaive.h"
 
 #include <chrono>
+#include <cstdlib>
 #include <memory>
 #include <optional>
 #include <set>
@@ -15,6 +16,7 @@
 #include "src/eval/chain_accel.h"
 #include "src/eval/op_memo.h"
 #include "src/eval/rule_eval.h"
+#include "src/eval/vm.h"
 
 namespace dmtl {
 
@@ -167,7 +169,12 @@ class BufferedSink {
   }
 
   void AddChainExtension() { ++chain_extensions_; }
+  void AddChainExtensions(size_t n) { chain_extensions_ += n; }
   size_t chain_extensions() const { return chain_extensions_; }
+
+  // The task's private coverage overlay (own emissions of this round); the
+  // VM chain kernel reads base + overlay as the walk's derived coverage.
+  const Database& overlay() const { return overlay_; }
 
   const std::vector<Emission>& emissions() const { return emissions_; }
 
@@ -257,6 +264,7 @@ std::vector<int> DeltaOccurrences(const CompiledRule& c,
 // into the shared store through `sink` in rule-index order.
 Status RunRoundParallel(const std::vector<RoundTask>& tasks,
                         const std::vector<CompiledRule>& compiled,
+                        const std::vector<std::unique_ptr<RuleVm>>& vms,
                         const std::vector<std::unique_ptr<OperatorMemo>>& memos,
                         const Database& db, const Database& delta,
                         const Interval& window, const EngineOptions& options,
@@ -278,12 +286,34 @@ Status RunRoundParallel(const std::vector<RoundTask>& tasks,
         const RoundTask& t = tasks[ti];
         BufferedSink& out = sinks[ti];
         const CompiledRule& c = compiled[t.rule_id];
+        // Like the memo, the VM is owned exclusively by this rule's task
+        // for the round; barriers order cross-round handoffs.
+        RuleVm* vm = vms.empty() ? nullptr : vms[t.rule_id].get();
         PredicateId head = c.rule().head.predicate;
         auto emit = [&out, head](const Tuple& tuple,
                                  const IntervalSet& extent) -> Status {
           return out.Emit(head, tuple, extent);
         };
         if (t.chain) {
+          if (vm != nullptr && vm->has_chain()) {
+            size_t extensions = 0;
+            Status status = vm->ExtendChain(
+                db, delta, window, emit,
+                [&](const Tuple& tuple) {
+                  const IntervalSet* base = nullptr;
+                  if (const Relation* rel = db.Find(head)) {
+                    base = rel->Find(tuple);
+                  }
+                  const IntervalSet* over = nullptr;
+                  if (const Relation* rel = out.overlay().Find(head)) {
+                    over = rel->Find(tuple);
+                  }
+                  return std::make_pair(base, over);
+                },
+                guard, &extensions);
+            out.AddChainExtensions(extensions);
+            return status;
+          }
           return ChainAccelerator::Extend(
               c.rule(), *c.chain, db, delta, window,
               &chain_caches->at(t.rule_id),
@@ -298,11 +328,15 @@ Status RunRoundParallel(const std::vector<RoundTask>& tasks,
         // the barrier-time refresh single-threaded.
         OperatorMemo* memo = memos.empty() ? nullptr : memos[t.rule_id].get();
         if (t.initial) {
-          return eval.Evaluate(db, nullptr, -1, emit, memo, guard);
+          return vm != nullptr
+                     ? vm->Evaluate(db, nullptr, -1, emit, memo, guard)
+                     : eval.Evaluate(db, nullptr, -1, emit, memo, guard);
         }
         for (int occ : t.delta_occurrences) {
           DMTL_RETURN_IF_ERROR(
-              eval.Evaluate(db, &delta, occ, emit, memo, guard));
+              vm != nullptr
+                  ? vm->Evaluate(db, &delta, occ, emit, memo, guard)
+                  : eval.Evaluate(db, &delta, occ, emit, memo, guard));
         }
         return Status::Ok();
       }));
@@ -384,6 +418,12 @@ std::string EngineStats::ToString() const {
            " parallel_merges=" + std::to_string(parallel_merges) +
            " seq_rounds_forced=" + std::to_string(sequential_rounds_forced);
   }
+  if (compiled_rules + vm_dispatches + vm_fallbacks > 0) {
+    out += " compiled_rules=" + std::to_string(compiled_rules) +
+           " vm_dispatches=" + std::to_string(vm_dispatches) +
+           " vm_recompiles=" + std::to_string(vm_recompiles) +
+           " vm_fallbacks=" + std::to_string(vm_fallbacks);
+  }
   if (memo_hits + memo_misses + memo_refreshes + memo_invalidations > 0) {
     out += " memo_hits=" + std::to_string(memo_hits) +
            " memo_misses=" + std::to_string(memo_misses) +
@@ -455,6 +495,32 @@ Status MaterializeImpl(const Program& program, Database* db,
       compiled.push_back(CompiledRule{
           std::variant<RuleEvaluator, AggregateEvaluator>(std::move(eval)),
           std::move(chain)});
+    }
+  }
+
+  // Lower each rule's plan to a flat bytecode program run by the dispatch
+  // loop. Declined rules (aggregate heads handled by AggregateEvaluator are
+  // not counted; see RuleCompiler::Declines for the rest) keep the AST
+  // walker - both executors emit identical derivations, so they can be
+  // mixed freely within one run. DMTL_DISABLE_RULE_COMPILE in the
+  // environment forces the interpreter everywhere - the hook CI's
+  // compile-off lane uses to re-run the whole suite against the walker
+  // without touching call sites.
+  std::vector<std::unique_ptr<RuleVm>> vms;
+  const bool compile_rules = options.enable_rule_compile &&
+                             std::getenv("DMTL_DISABLE_RULE_COMPILE") == nullptr;
+  if (compile_rules) {
+    vms.resize(compiled.size());
+    for (size_t i = 0; i < compiled.size(); ++i) {
+      if (compiled[i].is_aggregate()) continue;
+      std::string why;
+      vms[i] = RuleVm::Create(std::get<RuleEvaluator>(compiled[i].eval),
+                              compiled[i].chain, &why);
+      if (vms[i] != nullptr) {
+        ++stats->compiled_rules;
+      } else {
+        ++stats->vm_fallbacks;
+      }
     }
   }
 
@@ -584,7 +650,7 @@ Status MaterializeImpl(const Program& program, Database* db,
           tasks.push_back(std::move(t));
         }
         DMTL_RETURN_IF_ERROR(
-            RunRoundParallel(tasks, compiled, memos, *db, delta, window,
+            RunRoundParallel(tasks, compiled, vms, memos, *db, delta, window,
                              options, &*pool, &chain_caches, 0, &sink, stats,
                              guard));
       } else {
@@ -593,10 +659,14 @@ Status MaterializeImpl(const Program& program, Database* db,
           if (guard != nullptr) DMTL_RETURN_IF_ERROR(guard->Check());
           ++stats->rule_evaluations;
           sink.SetContext(id, 0);
+          OperatorMemo* memo = memos.empty() ? nullptr : memos[id].get();
+          RuleVm* vm = vms.empty() ? nullptr : vms[id].get();
           const auto& eval = std::get<RuleEvaluator>(compiled[id].eval);
-          DMTL_RETURN_IF_ERROR(eval.Evaluate(
-              *db, nullptr, -1, emit_for(compiled[id].rule().head.predicate),
-              memos.empty() ? nullptr : memos[id].get(), guard));
+          auto emit = emit_for(compiled[id].rule().head.predicate);
+          DMTL_RETURN_IF_ERROR(
+              vm != nullptr
+                  ? vm->Evaluate(*db, nullptr, -1, emit, memo, guard)
+                  : eval.Evaluate(*db, nullptr, -1, emit, memo, guard));
         }
       }
       // Round-end check: a guard trip observed mid-round by a truncating
@@ -628,9 +698,12 @@ Status MaterializeImpl(const Program& program, Database* db,
 
       // Work-size heuristic: at small deltas, dispatching tasks and merging
       // buffers costs more than the parallelism buys; run the round inline.
+      // The option is per worker thread - the barrier merge cost grows with
+      // the pool width, so the gate scales with it.
       bool use_pool =
-          pool.has_value() && (options.parallel_min_round_intervals == 0 ||
-                               delta_size >= options.parallel_min_round_intervals);
+          pool.has_value() &&
+          (options.parallel_min_round_intervals == 0 ||
+           delta_size >= options.parallel_min_round_intervals * num_threads);
       if (pool.has_value() && !use_pool) ++stats->sequential_rounds_forced;
 
       round_status = run_protected([&]() -> Status {
@@ -659,9 +732,9 @@ Status MaterializeImpl(const Program& program, Database* db,
             tasks.push_back(std::move(t));
           }
           DMTL_RETURN_IF_ERROR(
-              RunRoundParallel(tasks, compiled, memos, *db, delta, window,
-                               options, &*pool, &chain_caches, rounds, &sink,
-                               stats, guard));
+              RunRoundParallel(tasks, compiled, vms, memos, *db, delta,
+                               window, options, &*pool, &chain_caches, rounds,
+                               &sink, stats, guard));
         } else {
           for (size_t id : rule_ids) {
             if (compiled[id].is_aggregate()) continue;
@@ -669,11 +742,32 @@ Status MaterializeImpl(const Program& program, Database* db,
             const auto& eval = std::get<RuleEvaluator>(c.eval);
             PredicateId head = c.rule().head.predicate;
             OperatorMemo* memo = memos.empty() ? nullptr : memos[id].get();
+            RuleVm* vm = vms.empty() ? nullptr : vms[id].get();
 
             if (guard != nullptr) DMTL_RETURN_IF_ERROR(guard->Check());
             sink.SetContext(id, rounds);
             if (c.chain.has_value()) {
               ++stats->rule_evaluations;
+              if (vm != nullptr && vm->has_chain()) {
+                // Batched chain kernel: derived coverage is read straight
+                // off the live store (the walk's own emissions land there
+                // immediately in sequential mode, exactly like the
+                // point-by-point walker's freshness signal).
+                size_t extensions = 0;
+                DMTL_RETURN_IF_ERROR(vm->ExtendChain(
+                    *db, delta, window, emit_for(head),
+                    [&](const Tuple& tuple) {
+                      const IntervalSet* live = nullptr;
+                      if (const Relation* rel = db->Find(head)) {
+                        live = rel->Find(tuple);
+                      }
+                      return std::make_pair(
+                          live, static_cast<const IntervalSet*>(nullptr));
+                    },
+                    guard, &extensions));
+                stats->chain_extensions += extensions;
+                continue;
+              }
               DMTL_RETURN_IF_ERROR(ChainAccelerator::Extend(
                   c.rule(), *c.chain, *db, delta, window, &chain_caches[id],
                   [&](const Tuple& tuple,
@@ -685,18 +779,22 @@ Status MaterializeImpl(const Program& program, Database* db,
             }
             if (options.naive_evaluation) {
               ++stats->rule_evaluations;
-              DMTL_RETURN_IF_ERROR(eval.Evaluate(*db, nullptr, -1,
-                                                 emit_for(head), memo,
-                                                 guard));
+              auto emit = emit_for(head);
+              DMTL_RETURN_IF_ERROR(
+                  vm != nullptr
+                      ? vm->Evaluate(*db, nullptr, -1, emit, memo, guard)
+                      : eval.Evaluate(*db, nullptr, -1, emit, memo, guard));
               continue;
             }
             // Semi-naive: one pass per positive occurrence of a predicate
             // that changed this round.
             for (int occ : DeltaOccurrences(c, eval, stratum_preds, delta)) {
               ++stats->rule_evaluations;
-              DMTL_RETURN_IF_ERROR(eval.Evaluate(*db, &delta, occ,
-                                                 emit_for(head), memo,
-                                                 guard));
+              auto emit = emit_for(head);
+              DMTL_RETURN_IF_ERROR(
+                  vm != nullptr
+                      ? vm->Evaluate(*db, &delta, occ, emit, memo, guard)
+                      : eval.Evaluate(*db, &delta, occ, emit, memo, guard));
             }
           }
         }
@@ -735,6 +833,12 @@ Status MaterializeImpl(const Program& program, Database* db,
         ps->envelope_pruned.load(std::memory_order_relaxed);
     stats->rule_plan_cost.push_back(
         ps->last_plan_cost.load(std::memory_order_relaxed));
+  }
+
+  for (const std::unique_ptr<RuleVm>& vm : vms) {
+    if (vm == nullptr) continue;
+    stats->vm_dispatches += vm->dispatches();
+    stats->vm_recompiles += vm->compiles();
   }
 
   for (const std::unique_ptr<OperatorMemo>& memo : memos) {

@@ -84,13 +84,29 @@ struct EngineOptions {
   // planner's unary-chain fast path).
   bool enable_interval_deltas = true;
 
+  // Compile each rule's plan to a flat register program executed by a
+  // dispatch loop (src/eval/bytecode.h, RuleVm) instead of walking the AST
+  // every round. The compiled program bakes in the cost-based literal
+  // order, per-atom index keys, and static unification plans; variants are
+  // recompiled when relations outgrow their compile-time sizes. Exact: the
+  // materialized database (and Series/provenance coverage) is identical
+  // with it on or off. Rules the compiler declines - aggregate heads,
+  // planning disabled - fall back to the AST walker and are counted in
+  // EngineStats::vm_fallbacks.
+  bool enable_rule_compile = true;
+
   // Parallel evaluation only: fixpoint rounds whose delta holds fewer
-  // intervals than this run on the calling thread instead of the pool - at
-  // small round sizes task dispatch plus the barrier merge costs more than
-  // the parallelism buys (the contract benches' long tail of tick-by-tick
-  // rounds carries a handful of intervals each). The initial full round
-  // always uses the pool. 0 disables the heuristic.
-  size_t parallel_min_round_intervals = 2048;
+  // intervals than this many PER WORKER THREAD run on the calling thread
+  // instead of the pool - at small round sizes task dispatch plus the
+  // barrier merge costs more than the parallelism buys (the contract
+  // benches' long tail of tick-by-tick rounds carries a handful of
+  // intervals each). Scaling by the pool width keeps the gate proportional
+  // to the overhead it protects against: the barrier merge walks one
+  // buffer per task, so a wide pool needs a bigger round to amortize it,
+  // while a 2-thread pool profits from rounds a fixed 2048-interval gate
+  // would force inline (see docs/parallelism.md, "Round-size gate"). The
+  // initial full round always uses the pool. 0 disables the heuristic.
+  size_t parallel_min_round_intervals = 256;
 
   // Number of evaluation threads. 1 (the default) is the sequential engine,
   // byte-for-byte identical to historical runs. 0 resolves to
@@ -177,6 +193,12 @@ struct EngineStats {
   size_t memo_invalidations = 0;   // entries dropped (non-refreshable path)
   size_t delta_intervals = 0;      // total intervals across fixpoint deltas
   size_t bulk_merges = 0;          // IntervalSet bulk coalescing sweeps
+
+  // --- rule compilation (enable_rule_compile) -----------------------------
+  size_t compiled_rules = 0;   // rules lowered to bytecode programs
+  size_t vm_dispatches = 0;    // compiled executions (evaluate + chain)
+  size_t vm_fallbacks = 0;     // rules declined: evaluated by the AST walker
+  size_t vm_recompiles = 0;    // program (re)compilations, incl. replans
 
   // --- parallel execution (num_threads != 1) ------------------------------
   size_t threads = 1;             // resolved pool width

@@ -215,11 +215,25 @@ IntervalSet IntervalSet::Intersect(const IntervalSet& other) const {
                                    ? other
                                    : *this;
     IntervalSet out;
+    // The small components ascend, so each lands at or after the previous
+    // probe's position: gallop from there instead of bisecting the whole
+    // list again (probes cluster near the frontier of the large set, where
+    // a restart-from-begin bisection pays the full log cost every time).
+    const Interval* base = large.intervals_.begin();
+    const Interval* const end = large.intervals_.end();
     for (const Interval& s : small.intervals_) {
-      auto it = std::partition_point(
-          large.intervals_.begin(), large.intervals_.end(),
-          [&](const Interval& x) { return x.StrictlyBefore(s); });
-      for (; it != large.intervals_.end(); ++it) {
+      auto before = [&](const Interval& x) { return x.StrictlyBefore(s); };
+      const Interval* lo = base;
+      const Interval* probe = base;
+      size_t step = 1;
+      while (probe != end && before(*probe)) {
+        lo = probe + 1;
+        probe += std::min(step, static_cast<size_t>(end - probe));
+        step *= 2;
+      }
+      const Interval* it = std::partition_point(lo, probe, before);
+      base = it;
+      for (; it != end; ++it) {
         if (s.StrictlyBefore(*it)) break;
         if (auto x = s.Intersect(*it); x.has_value()) {
           out.intervals_.push_back(*x);
@@ -229,9 +243,25 @@ IntervalSet IntervalSet::Intersect(const IntervalSet& other) const {
     return out;
   }
   IntervalSet out;
-  // Two-pointer sweep over sorted components.
+  // Two-pointer sweep over sorted components. Binary-jump each side past
+  // the prefix that ends before the other side begins: two frontier-heavy
+  // sets (a round's delta extent against a session-long store) overlap only
+  // in a narrow window, and the sweep should not walk the long prefix
+  // component by component.
   size_t i = 0;
   size_t j = 0;
+  if (!intervals_.empty() && !other.intervals_.empty()) {
+    const Interval& first_b = other.intervals_.front();
+    i = std::partition_point(
+            intervals_.begin(), intervals_.end(),
+            [&](const Interval& x) { return x.StrictlyBefore(first_b); }) -
+        intervals_.begin();
+    const Interval& first_a = intervals_.front();
+    j = std::partition_point(
+            other.intervals_.begin(), other.intervals_.end(),
+            [&](const Interval& x) { return x.StrictlyBefore(first_a); }) -
+        other.intervals_.begin();
+  }
   while (i < intervals_.size() && j < other.intervals_.size()) {
     const Interval& a = intervals_[i];
     const Interval& b = other.intervals_[j];

@@ -9,7 +9,9 @@
 #include "src/analysis/safety.h"
 #include "src/analysis/stratifier.h"
 #include "src/engine/reasoner.h"
+#include "src/eval/chain_accel.h"
 #include "src/eval/rule_eval.h"
+#include "src/eval/vm.h"
 #include "src/storage/serialize.h"
 
 namespace dmtl {
@@ -32,6 +34,9 @@ constexpr char kUsage[] =
     "  --naive         naive (non-semi-naive) evaluation\n"
     "  --no-plan       disable cost-based join planning\n"
     "  --no-deltas     disable interval-delta propagation (operator memos)\n"
+    "  --no-compile    disable rule compilation (AST-walking evaluator)\n"
+    "  --dump-bytecode print each compiled rule's bytecode program after\n"
+    "                  the run (declined rules report their reason)\n"
     "  --deadline-ms N wall-clock budget for materialization; on a trip the\n"
     "                  run exits with code 3 and prints stop diagnostics\n"
     "  --explain-plan  print each rule's join order, probed index\n"
@@ -54,6 +59,7 @@ struct CliOptions {
   std::optional<std::string> output;
   std::optional<std::string> explain;
   bool explain_plan = false;
+  bool dump_bytecode = false;
 };
 
 Result<CliOptions> ParseArgs(const std::vector<std::string>& args) {
@@ -91,6 +97,10 @@ Result<CliOptions> ParseArgs(const std::vector<std::string>& args) {
       options.engine.enable_join_planning = false;
     } else if (arg == "--no-deltas") {
       options.engine.enable_interval_deltas = false;
+    } else if (arg == "--no-compile") {
+      options.engine.enable_rule_compile = false;
+    } else if (arg == "--dump-bytecode") {
+      options.dump_bytecode = true;
     } else if (arg == "--explain-plan") {
       options.explain_plan = true;
     } else if (arg == "--deadline-ms") {
@@ -158,6 +168,46 @@ void PrintJoinPlans(const Program& program, const Database& db,
       << stats.planner_index_probes << " probes ("
       << stats.planner_probe_hits << " hits), "
       << stats.planner_pruned_tuples << " tuples pruned\n";
+}
+
+// Prints each rule's compiled bytecode program against the materialized
+// database (the variant a full non-delta pass would run now). Rules the
+// compiler declines report the reason instead. Comment-prefixed so the
+// output stays a loadable program.
+Status PrintBytecode(const Program& program, const Database& db,
+                     const EngineOptions& engine, std::ostream& out) {
+  DMTL_ASSIGN_OR_RETURN(Stratification strat, Stratify(program));
+  out << "% bytecode (over the materialized database):\n";
+  const std::vector<Rule>& rules = program.rules();
+  for (size_t i = 0; i < rules.size(); ++i) {
+    out << "% rule " << i << ": " << rules[i].ToString() << "\n";
+    if (rules[i].head.aggregate.has_value()) {
+      out << "%   declined: aggregate head (AggregateEvaluator)\n";
+      continue;
+    }
+    DMTL_ASSIGN_OR_RETURN(
+        RuleEvaluator eval,
+        RuleEvaluator::Create(rules[i], engine.enable_join_planning));
+    std::optional<ChainAccelerator::ChainInfo> chain;
+    if (engine.enable_chain_acceleration) {
+      chain = ChainAccelerator::Detect(rules[i], strat.predicate_stratum);
+    }
+    std::string why;
+    std::unique_ptr<RuleVm> vm = RuleVm::Create(eval, chain, &why);
+    if (vm == nullptr) {
+      out << "%   declined: " << why << "\n";
+      continue;
+    }
+    std::string text = vm->DumpBytecode(db);
+    size_t start = 0;
+    while (start < text.size()) {
+      size_t end = text.find('\n', start);
+      if (end == std::string::npos) end = text.size();
+      out << "%   " << text.substr(start, end - start) << "\n";
+      start = end + 1;
+    }
+  }
+  return Status::Ok();
 }
 
 Result<Parser::ParsedUnit> LoadAll(const std::vector<std::string>& files) {
@@ -248,6 +298,9 @@ Status CommandRun(const CliOptions& options, std::ostream& out,
   }
   if (options.explain_plan) {
     PrintJoinPlans(unit.program, db, stats, out);
+  }
+  if (options.dump_bytecode) {
+    DMTL_RETURN_IF_ERROR(PrintBytecode(unit.program, db, options.engine, out));
   }
   if (options.stats) {
     out << "% " << stats.ToString() << "\n";

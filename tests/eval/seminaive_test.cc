@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "src/parser/parser.h"
 
 namespace dmtl {
@@ -158,6 +160,35 @@ TEST(SemiNaiveTest, StatsPopulated) {
   EXPECT_EQ(stats.derived_intervals, 1u);
   EXPECT_GE(stats.wall_seconds, 0.0);
   EXPECT_NE(stats.ToString().find("derived_intervals=1"), std::string::npos);
+}
+
+TEST(SemiNaiveTest, RuleCompileStatsAndOptOut) {
+  if (std::getenv("DMTL_DISABLE_RULE_COMPILE") != nullptr) {
+    GTEST_SKIP() << "rule compilation disabled by environment";
+  }
+  const char* text =
+      "q(X) :- p(X) .\n"
+      "q(X) :- boxminus[1,1] q(X), not s(X) .\n"
+      "p(a)@1 . s(a)@6 .";
+  EngineOptions options;
+  options.min_time = Rational(0);
+  options.max_time = Rational(10);
+
+  EngineStats compiled;
+  std::string with_vm = RunText(text, options, &compiled);
+  EXPECT_GE(compiled.compiled_rules, 2u);
+  EXPECT_GE(compiled.vm_dispatches, 1u);
+  EXPECT_GE(compiled.vm_recompiles, 1u);
+  EXPECT_EQ(compiled.vm_fallbacks, 0u);
+  EXPECT_NE(compiled.ToString().find("compiled_rules="), std::string::npos);
+
+  EngineOptions off = options;
+  off.enable_rule_compile = false;
+  EngineStats interpreted;
+  std::string without_vm = RunText(text, off, &interpreted);
+  EXPECT_EQ(interpreted.compiled_rules, 0u);
+  EXPECT_EQ(interpreted.vm_dispatches, 0u);
+  EXPECT_EQ(with_vm, without_vm);
 }
 
 TEST(SemiNaiveTest, MonotoneInsertOnlySemantics) {

@@ -1,0 +1,342 @@
+// The AST interpreter as a differential oracle for the rule compiler: every
+// materialization the compiled VM produces must be byte-identical to the
+// staged interpreter's - database contents, value-change series, and
+// provenance - at every pool width. Runs over the shipped contract
+// program(s), a directed recursion suite, and the randomized fuzz fragment,
+// plus a fault-injection case proving the round barrier rolls back a
+// partially flushed VM dispatch. These tests build a separate ctest lane
+// (label InterpOracle, binary dmtl_oracle_tests).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/chain/replayer.h"
+#include "src/chain/workload.h"
+#include "src/common/fault_injector.h"
+#include "src/engine/reasoner.h"
+#include "src/eval/seminaive.h"
+#include "src/parser/parser.h"
+#include "src/storage/serialize.h"
+
+namespace dmtl {
+namespace {
+
+struct OracleRun {
+  std::string database;    // SerializeDatabase of the fixpoint
+  std::string series;      // Reasoner::Series of every relation
+  std::string provenance;  // every DerivationRecord, in emission order
+};
+
+// One materialization with everything observable captured as text.
+OracleRun RunOnce(const Program& program, const Database& facts,
+                  EngineOptions options, bool compile, int threads) {
+  options.enable_rule_compile = compile;
+  options.num_threads = threads;
+  std::vector<DerivationRecord> provenance;
+  options.provenance = &provenance;
+  Database db = facts;
+  Status status = Materialize(program, &db, options);
+  EXPECT_TRUE(status.ok()) << status;
+
+  OracleRun out;
+  out.database = SerializeDatabase(db);
+  std::ostringstream series;
+  for (const auto& [pred, rel] : db.relations()) {
+    (void)rel;
+    series << PredicateName(pred) << ":\n";
+    for (const auto& [t, tuple] : Reasoner::Series(db, PredicateName(pred))) {
+      series << "  " << t.ToString() << " " << TupleToString(tuple) << "\n";
+    }
+  }
+  out.series = series.str();
+  std::ostringstream prov;
+  for (const DerivationRecord& record : provenance) {
+    prov << record.ToString(program) << "\n";
+  }
+  out.provenance = prov.str();
+  return out;
+}
+
+// The oracle contract: at each pool width, compile-on and compile-off runs
+// must match byte for byte on all three artifacts. (Provenance attribution
+// may differ BETWEEN widths - see docs/parallelism.md - but never between
+// executors at the same width: the VM emits in exactly the interpreter's
+// order.)
+void ExpectExecutorsAgree(const Program& program, const Database& facts,
+                          const EngineOptions& options,
+                          const std::string& what) {
+  for (int threads : {1, 2, 8}) {
+    SCOPED_TRACE(what + " threads=" + std::to_string(threads));
+    OracleRun vm = RunOnce(program, facts, options, /*compile=*/true, threads);
+    OracleRun interp =
+        RunOnce(program, facts, options, /*compile=*/false, threads);
+    EXPECT_EQ(vm.database, interp.database);
+    EXPECT_EQ(vm.series, interp.series);
+    EXPECT_EQ(vm.provenance, interp.provenance);
+  }
+}
+
+// --- shipped programs ------------------------------------------------------
+
+// Every program shipped under programs/ runs against a small generated
+// contract session (the shipped files carry rules, not facts).
+TEST(InterpOracleProgramsTest, ShippedProgramsAgree) {
+  ASSERT_TRUE(std::filesystem::exists("programs"))
+      << "run from the repository root (ctest does)";
+  WorkloadConfig config;
+  config.name = "oracle";
+  config.num_events = 40;
+  config.num_trades = 8;
+  config.duration_s = 900;
+  config.seed = 7;
+  auto session = GenerateSession(config);
+  ASSERT_TRUE(session.ok()) << session.status();
+  Database facts = SessionToDatabase(*session);
+  EngineOptions options = SessionEngineOptions(*session);
+
+  size_t checked = 0;
+  for (const auto& entry : std::filesystem::directory_iterator("programs")) {
+    if (entry.path().extension() != ".dmtl") continue;
+    auto unit = ReadSourceFile(entry.path().string());
+    ASSERT_TRUE(unit.ok()) << entry.path() << ": " << unit.status();
+    Database combined = facts;
+    combined.MergeFrom(unit->database);
+    ExpectExecutorsAgree(unit->program, combined, options,
+                         entry.path().filename().string());
+    ++checked;
+  }
+  EXPECT_GE(checked, 1u) << "programs/ held no .dmtl files";
+}
+
+// --- directed recursion suite ----------------------------------------------
+
+struct RecursionCase {
+  const char* name;
+  const char* text;
+};
+
+// Shapes chosen to hit every executor path: self-recursion (the emit-
+// during-iteration hazard), mutual recursion, mixed chain steps, negation
+// over derived state, metric windows on recursive results, and an
+// aggregate head (a VM-declined rule mixed among compiled ones).
+const RecursionCase kRecursionCases[] = {
+    {"transitive_closure",
+     "reach(X, Y) :- edge(X, Y) .\n"
+     "reach(X, Z) :- reach(X, Y), edge(Y, Z) .\n"
+     "edge(a, b)@[0,10] . edge(b, c)@[2,8] . edge(c, a)@[4,6] .\n"
+     "edge(c, d)@5 .\n"},
+    {"mutual_recursion",
+     "a(X) :- seed(X) .\n"
+     "b(X) :- boxminus[1,1] a(X) .\n"
+     "a(X) :- boxminus[1,1] b(X), not stop(X) .\n"
+     "seed(u)@0 . seed(v)@[0,2] . stop(v)@6 .\n"},
+    {"mixed_step_chains",
+     "d0(X) :- p0(X) .\n"
+     "d0(X) :- boxminus[2,2] d0(X), not p1(X) .\n"
+     "d1(X) :- d0(X) .\n"
+     "d1(X) :- diamondminus[1,1] d1(X), not p0(X) .\n"
+     "p0(a)@[0,1] . p1(a)@7 . p0(b)@4 .\n"},
+    {"negation_over_derived",
+     "open(X) :- deposit(X) .\n"
+     "open(X) :- boxminus[1,1] open(X), not closed(X) .\n"
+     "closed(X) :- withdraw(X) .\n"
+     "idle(X) :- account(X), not diamondminus[0,3] open(X) .\n"
+     "deposit(a)@1 . withdraw(a)@5 . account(a)@[0,12] . account(b)@[0,12] "
+     ".\n"},
+    {"metric_window_on_recursion",
+     "tick(X) :- start(X) .\n"
+     "tick(X) :- diamondminus[1,1] tick(X), lim(X) .\n"
+     "recent(X) :- diamondminus[0,2] tick(X) .\n"
+     "steady(X) :- boxminus[0,2] tick(X) .\n"
+     "start(a)@0 . lim(a)@[0,15] .\n"},
+    {"aggregate_among_compiled",
+     "bal(A, M) :- tranM(A, M) .\n"
+     "bal(A, M) :- boxminus[1,1] bal(A, M), not tranM(A, M) .\n"
+     "total(msum(M)) :- bal(A, M) .\n"
+     "tranM(a, 5.0)@0 . tranM(b, 7.0)@2 . tranM(a, 3.0)@4 .\n"},
+};
+
+class InterpOracleRecursionTest
+    : public ::testing::TestWithParam<RecursionCase> {};
+
+TEST_P(InterpOracleRecursionTest, ExecutorsAgree) {
+  auto unit = Parser::Parse(GetParam().text);
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  EngineOptions options;
+  options.min_time = Rational(0);
+  options.max_time = Rational(20);
+  ExpectExecutorsAgree(unit->program, unit->database, options,
+                       GetParam().name);
+  // The same program with chain acceleration off drives every recursive
+  // round through Evaluate (no ExtendChain batching).
+  EngineOptions no_accel = options;
+  no_accel.enable_chain_acceleration = false;
+  ExpectExecutorsAgree(unit->program, unit->database, no_accel,
+                       std::string(GetParam().name) + "/no-accel");
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, InterpOracleRecursionTest,
+                         ::testing::ValuesIn(kRecursionCases),
+                         [](const auto& info) { return info.param.name; });
+
+// --- randomized fuzz suite --------------------------------------------------
+
+// Same safe fragment as tests/integration/differential_test.cc (random
+// layered programs with chain rules, negation guards, and metric windows),
+// here pitted executor-against-executor instead of strategy-vs-strategy.
+class OracleFuzzer {
+ public:
+  explicit OracleFuzzer(uint64_t seed) : rng_(seed) {}
+
+  std::string Generate() {
+    std::ostringstream out;
+    int num_edb = 2 + Pick(2);
+    int num_derived = 2 + Pick(3);
+    for (int d = 0; d < num_derived; ++d) {
+      out << "d" << d << "(X) :- " << LowerAtom(d, num_edb) << Guard(num_edb)
+          << " .\n";
+      int step = 1 + Pick(2);
+      const char* op = Pick(2) == 0 ? "boxminus" : "diamondminus";
+      out << "d" << d << "(X) :- " << op << "[" << step << "," << step
+          << "] d" << d << "(X), not p0(X) .\n";
+      if (Pick(2) == 0) {
+        out << "d" << d << "(X) :- diamondminus[0," << (1 + Pick(3)) << "] "
+            << LowerAtom(d, num_edb) << " .\n";
+      }
+    }
+    for (int p = 0; p < num_edb; ++p) {
+      int facts = 1 + Pick(4);
+      for (int f = 0; f < facts; ++f) {
+        int lo = Pick(12);
+        int hi = lo + Pick(4);
+        out << "p" << p << "(c" << Pick(3) << ")@[" << lo << "," << hi
+            << "] .\n";
+      }
+    }
+    return out.str();
+  }
+
+ private:
+  int Pick(int n) { return static_cast<int>(rng_() % n); }
+
+  std::string LowerAtom(int d, int num_edb) {
+    if (d > 0 && Pick(2) == 0) {
+      return "d" + std::to_string(Pick(d)) + "(X)";
+    }
+    return "p" + std::to_string(Pick(num_edb)) + "(X)";
+  }
+
+  std::string Guard(int num_edb) {
+    switch (Pick(3)) {
+      case 0:
+        return "";
+      case 1:
+        return ", not p" + std::to_string(Pick(num_edb)) + "(X)";
+      default:
+        return ", diamondminus[0,2] p" + std::to_string(Pick(num_edb)) +
+               "(X)";
+    }
+  }
+
+  std::mt19937_64 rng_;
+};
+
+class InterpOracleFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(InterpOracleFuzzTest, ExecutorsAgree) {
+  OracleFuzzer fuzzer(GetParam());
+  std::string text = fuzzer.Generate();
+  auto unit = Parser::Parse(text);
+  ASSERT_TRUE(unit.ok()) << unit.status() << "\nprogram:\n" << text;
+  EngineOptions options;
+  options.min_time = Rational(0);
+  options.max_time = Rational(40);
+  ExpectExecutorsAgree(unit->program, unit->database, options, text);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InterpOracleFuzzTest,
+                         ::testing::Range<uint64_t>(1, 41));
+
+// --- fault injection mid-dispatch -------------------------------------------
+
+// An injected failure between two flushed emissions of one VM dispatch:
+// part of the dispatch's output has already reached the sink when the
+// round fails. The engine must leave the database at the previous round
+// barrier (verified against a max_rounds-capped reference run) and a
+// clean re-run from the partial database must reach the unfaulted
+// fixpoint.
+TEST(InterpOracleFaultTest, MidDispatchFailureRollsBackToBarrier) {
+  if (std::getenv("DMTL_DISABLE_RULE_COMPILE") != nullptr) {
+    GTEST_SKIP() << "rule compilation disabled by environment";
+  }
+  constexpr char kText[] =
+      "a(A) :- deposit(A) .\n"
+      "b(A) :- deposit(A) .\n"
+      "a(A) :- boxminus b(A) .\n"
+      "b(A) :- boxminus a(A) .\n"
+      "deposit(x)@2 . deposit(y)@2 .\n";
+  auto unit = Parser::Parse(kText);
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  EngineOptions options;
+  options.min_time = Rational(0);
+  options.max_time = Rational(10);
+  options.enable_chain_acceleration = false;  // all rounds through Evaluate
+
+  auto clean = [&]() {
+    Database db = unit->database;
+    EXPECT_TRUE(Materialize(unit->program, &db, options).ok());
+    return db.ToString();
+  };
+
+  for (int threads : {1, 2, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    FaultInjector::Reset();
+    // Two tuples per rule means every dispatch flushes two emissions;
+    // an even hit count >2 lands between the first and second flush of
+    // a dispatch in a later round - genuinely mid-dispatch.
+    FaultInjector::Arm("vm.dispatch", 10,
+                       Status::EvalError("injected mid-dispatch fault"));
+    EngineOptions faulted = options;
+    faulted.num_threads = threads;
+    faulted.parallel_min_round_intervals = 0;
+    Database db = unit->database;
+    EngineStats stats;
+    Status status = Materialize(unit->program, &db, faulted, &stats);
+    FaultInjector::Reset();
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::kEvalError);
+
+    // Barrier consistency: the partial database is exactly the fixpoint
+    // prefix up to the round before the one that failed.
+    if (stats.stopped_round > 0) {
+      EngineOptions reference = faulted;
+      reference.max_rounds = stats.stopped_round - 1;
+      Database ref_db = unit->database;
+      EngineStats ref_stats;
+      Status ref_status =
+          Materialize(unit->program, &ref_db, reference, &ref_stats);
+      ASSERT_EQ(ref_status.code(), StatusCode::kResourceExhausted);
+      ASSERT_EQ(ref_stats.stopped_round, stats.stopped_round);
+      EXPECT_EQ(db.ToString(), ref_db.ToString());
+    } else {
+      EXPECT_EQ(db.ToString(), unit->database.ToString());
+    }
+
+    // Recovery: re-running without the fault completes to the clean
+    // fixpoint from the rolled-back state.
+    EngineOptions rerun = options;
+    rerun.num_threads = threads;
+    Status recovered = Materialize(unit->program, &db, rerun);
+    ASSERT_TRUE(recovered.ok()) << recovered;
+    EXPECT_EQ(db.ToString(), clean());
+  }
+}
+
+}  // namespace
+}  // namespace dmtl

@@ -3,34 +3,86 @@
 
 Usage: tools/bench_diff.py BASELINE.json CANDIDATE.json [--threshold 0.10]
 
-Walks both JSON trees in parallel, pairs array elements positionally, and
-compares every time-like numeric leaf (keys ending in "_s" or "_seconds",
-or named "runtime_s"). A leaf that got more than `threshold` slower in the
-candidate is a regression; the script prints every compared leaf with its
-delta and exits 1 if any leaf regressed. Non-timing numeric leaves (counts,
-speedups, thread widths) are reported when they differ but never fail the
-diff. Stdlib only - runs anywhere python3 exists.
+Walks both JSON trees in parallel and compares every time-like numeric
+leaf (keys ending in "_s" or "_seconds", or named "runtime_s"). Arrays of
+measurement points are paired by identity (events/window, pattern/depth,
+benchmark name), not by position, so reordering or appending points never
+misaligns the diff - but a point present in the baseline and missing from
+the candidate is a hard failure: a silently dropped point would hide a
+regression. Semantic counters (rounds, derived, parallel_derived) must
+match exactly per point; a drift there means the two runs did different
+work and the timing comparison is void. A time leaf that got more than
+`threshold` slower in the candidate is a regression; the script prints
+every compared leaf with its delta and exits 1 if any leaf regressed (or
+drifted), 2 when the artifacts are not comparable at all. Other numeric
+leaves (speedups, thread widths) are reported when they differ but never
+fail the diff. Stdlib only - runs anywhere python3 exists.
 """
 
 import argparse
 import json
 import sys
 
+# Keys that identify a measurement point inside an array, in preference
+# order. A point's pairing key is the tuple of values of every identity
+# key it carries.
+IDENTITY_KEYS = ("name", "run_name", "pattern", "events", "window_s",
+                 "trades", "depth", "facts", "timeline", "shards")
+
+# Per-point counters that must be bit-identical between comparable runs:
+# they count derivation work, so a mismatch means the engines computed
+# different things and timings are not comparable for that point.
+SEMANTIC_KEYS = ("rounds", "derived", "parallel_derived")
+
 
 def is_time_key(key):
     return key.endswith("_s") or key.endswith("_seconds") or key == "runtime_s"
 
 
-def walk(base, cand, path, out):
-    """Collects (path, key_is_time, base_val, cand_val) leaf pairs."""
+def point_key(elem):
+    """Identity tuple of a measurement point, or None when it has none."""
+    if not isinstance(elem, dict):
+        return None
+    parts = tuple((k, elem[k]) for k in IDENTITY_KEYS if k in elem)
+    return parts or None
+
+
+def walk(base, cand, path, out, errors):
+    """Collects (path, kind, base_val, cand_val) leaf pairs.
+
+    kind: "time" | "semantic" | "note" | None (shape mismatch).
+    """
     if isinstance(base, dict) and isinstance(cand, dict):
         for key in sorted(set(base) | set(cand)):
             if key not in base or key not in cand:
                 out.append((f"{path}.{key}" if path else key, None,
                             base.get(key), cand.get(key)))
                 continue
-            walk(base[key], cand[key], f"{path}.{key}" if path else key, out)
-    elif isinstance(base, list) and isinstance(cand, list):
+            walk(base[key], cand[key], f"{path}.{key}" if path else key,
+                 out, errors)
+        return
+    if isinstance(base, list) and isinstance(cand, list):
+        base_keys = [point_key(e) for e in base]
+        cand_keys = [point_key(e) for e in cand]
+        if all(k is not None for k in base_keys + cand_keys):
+            cand_by_key = {k: e for k, e in zip(cand_keys, cand)}
+            for k, elem in zip(base_keys, base):
+                label = "/".join(str(v) for _, v in k)
+                sub = f"{path}[{label}]"
+                if k not in cand_by_key:
+                    errors.append(
+                        f"baseline point {sub} has no counterpart in the "
+                        f"candidate - a dropped point can hide a "
+                        f"regression; re-run the candidate bench with the "
+                        f"full point set")
+                    continue
+                walk(elem, cand_by_key[k], sub, out, errors)
+            for k in cand_by_key:
+                if k not in base_keys:
+                    label = "/".join(str(v) for _, v in k)
+                    print(f"  note  {path}[{label}]: new point, "
+                          f"no baseline to compare")
+            return
         for i in range(max(len(base), len(cand))):
             sub = f"{path}[{i}]"
             if i >= len(base) or i >= len(cand):
@@ -38,10 +90,47 @@ def walk(base, cand, path, out):
                             base[i] if i < len(base) else None,
                             cand[i] if i < len(cand) else None))
                 continue
-            walk(base[i], cand[i], sub, out)
+            walk(base[i], cand[i], sub, out, errors)
+        return
+    key = path.rsplit(".", 1)[-1].split("[", 1)[0]
+    if is_time_key(key):
+        kind = "time"
+    elif key in SEMANTIC_KEYS:
+        kind = "semantic"
     else:
-        key = path.rsplit(".", 1)[-1].split("[", 1)[0]
-        out.append((path, is_time_key(key), base, cand))
+        kind = "note"
+    out.append((path, kind, base, cand))
+
+
+def check_comparable(base, cand):
+    """Returns an error string when the runs are not like-with-like."""
+    base_ctx = base.get("context", {})
+    cand_ctx = cand.get("context", {})
+    # Timings taken with an armed execution guard are not comparable to
+    # unguarded ones - the guard's poll sites add a small but real cost.
+    # Artifacts from before the field existed default to unguarded.
+    bg = base_ctx.get("guards_enabled", False)
+    cg = cand_ctx.get("guards_enabled", False)
+    if bg != cg:
+        return (f"baseline guards_enabled={bg} but candidate "
+                f"guards_enabled={cg} (guarded and unguarded timings are "
+                f"not like-with-like)")
+    # Same for the rule compiler: the VM and the AST walker are different
+    # executors, so a compile-on run against a compile-off run measures
+    # the executor change, not a regression. Artifacts from before the
+    # field existed are only compared when the other side doesn't name it
+    # either (legacy-vs-legacy).
+    bc = base_ctx.get("enable_rule_compile")
+    cc = cand_ctx.get("enable_rule_compile")
+    if bc is not None and cc is not None and bc != cc:
+        return (f"baseline enable_rule_compile={bc} but candidate "
+                f"enable_rule_compile={cc} (VM and AST-walker timings are "
+                f"not like-with-like; re-run one side with the matching "
+                f"setting)")
+    if (bc is None) != (cc is None):
+        print(f"  note  enable_rule_compile: baseline={bc!r} "
+              f"candidate={cc!r} (one artifact predates the field)")
+    return None
 
 
 def main():
@@ -58,30 +147,33 @@ def main():
     with open(args.candidate) as f:
         cand = json.load(f)
 
-    # Like-with-like check: timings taken with an armed execution guard
-    # (context.guards_enabled) are not comparable to unguarded ones - the
-    # guard's poll sites add a small but real cost. Refuse rather than
-    # report a phantom regression. Artifacts from before the field existed
-    # default to unguarded.
-    base_guards = base.get("context", {}).get("guards_enabled", False)
-    cand_guards = cand.get("context", {}).get("guards_enabled", False)
-    if base_guards != cand_guards:
-        print(f"cannot compare: baseline guards_enabled={base_guards} but "
-              f"candidate guards_enabled={cand_guards} (guarded and "
-              f"unguarded timings are not like-with-like)")
+    # Like-with-like check: refuse rather than report phantom regressions.
+    error = check_comparable(base, cand)
+    if error is not None:
+        print(f"cannot compare: {error}")
         return 2
 
     leaves = []
-    walk(base, cand, "", leaves)
+    errors = []
+    walk(base, cand, "", leaves, errors)
 
     regressions = []
     improvements = []
-    for path, is_time, b, c in leaves:
-        if is_time is None:
+    drifts = []
+    for path, kind, b, c in leaves:
+        if kind is None:
             print(f"  shape mismatch at {path}: baseline={b!r} "
                   f"candidate={c!r}")
             continue
-        if not is_time:
+        if kind == "semantic":
+            if b != c:
+                drifts.append(path)
+                print(f"  DRIFT      {path}: {b!r} -> {c!r} (semantic "
+                      f"counter changed: the runs did different work)")
+            else:
+                print(f"  same       {path}: {b!r}")
+            continue
+        if kind == "note":
             if b != c and not isinstance(b, str):
                 print(f"  note  {path}: {b!r} -> {c!r}")
             continue
@@ -100,9 +192,13 @@ def main():
         else:
             print(f"  ok         {line}")
 
+    for error in errors:
+        print(f"  MISSING    {error}")
+
     print(f"\n{len(regressions)} regression(s), {len(improvements)} "
-          f"improvement(s) beyond {args.threshold:.0%}")
-    return 1 if regressions else 0
+          f"improvement(s) beyond {args.threshold:.0%}, "
+          f"{len(drifts)} semantic drift(s), {len(errors)} missing point(s)")
+    return 1 if regressions or drifts or errors else 0
 
 
 if __name__ == "__main__":
