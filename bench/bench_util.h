@@ -195,6 +195,16 @@ inline void WriteContext(JsonBuilder* json, bool guards_enabled = false,
   json->Field("build_type", BuildType());
   json->Field("guards_enabled", guards_enabled);
   json->Field("enable_rule_compile", enable_rule_compile);
+  // Memory-architecture flags, as the engine will actually resolve them
+  // (option default folded with the CI env overrides), so a dense-off or
+  // arena-off lane produces artifacts bench_diff.py refuses to compare
+  // against the default lane's baselines.
+  json->Field("enable_dense_timeline",
+              EngineOptions{}.enable_dense_timeline &&
+                  std::getenv("DMTL_DISABLE_DENSE_TIMELINE") == nullptr);
+  json->Field("enable_arena_alloc",
+              EngineOptions{}.enable_arena_alloc &&
+                  std::getenv("DMTL_DISABLE_ARENA_ALLOC") == nullptr);
   json->EndObject();
 }
 

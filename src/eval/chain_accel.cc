@@ -90,7 +90,9 @@ Status ChainAccelerator::Extend(const Rule& rule, const ChainInfo& info,
   ExtentSource source;
   source.full = &db;
 
-  for (const auto& [tuple, seed_set] : delta_rel->data()) {
+  for (const Relation::ScanEntry& row : delta_rel->Rows()) {
+    const Tuple& tuple = *row.tuple;
+    const IntervalSet& seed_set = *row.extent;
     // Bind head variables from the tuple.
     Bindings binding(rule.num_vars());
     bool ok = true;
@@ -120,7 +122,11 @@ Status ChainAccelerator::Extend(const Rule& rule, const ChainInfo& info,
             rule.body[i].metric, binding, source, computed));
       }
       if (cache != nullptr) {
-        allowed_ptr = &cache->emplace(tuple, std::move(computed)).first->second;
+        IntervalSet& slot =
+            cache->emplace(tuple, std::move(computed)).first->second;
+        // Guard caches persist across rounds; migrate off the round arena.
+        slot.MarkPersistent();
+        allowed_ptr = &slot;
       } else {
         allowed_ptr = &computed;
       }

@@ -65,11 +65,11 @@ IntervalSet RelationalExtent(const RelationalAtom& atom,
     }
     return out;
   }
-  for (const auto& [tuple, set] : rel->data()) {
+  for (const Relation::ScanEntry& row : rel->Rows()) {
     if (guard != nullptr && (++polled & 1023) == 0 && guard->Tripped()) {
       return out;  // truncated; the round-end check discards this round
     }
-    consider(tuple, set);
+    consider(*row.tuple, *row.extent);
   }
   return out;
 }

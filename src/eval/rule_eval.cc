@@ -69,8 +69,8 @@ Status EnumerateAtoms(const std::vector<const RelationalAtom*>& atoms,
     }
     return Status::Ok();
   }
-  for (const auto& [tuple, set] : rel->data()) {
-    DMTL_RETURN_IF_ERROR(try_tuple(tuple));
+  for (const Relation::ScanEntry& row_entry : rel->Rows()) {
+    DMTL_RETURN_IF_ERROR(try_tuple(*row_entry.tuple));
   }
   return Status::Ok();
 }
@@ -536,13 +536,19 @@ Status RuleEvaluator::EvaluatePositivePlanned(
             return Status::Ok();
           }
           for (const Relation::IndexEntry& entry : list->entries) {
+            // Per-entry hull prune from the contiguous posting array, before
+            // the extent (a separate cache line) is touched.
+            if (w.has_value() && !entry.hull.Overlaps(*w)) {
+              ++*pruned;
+              continue;
+            }
             DMTL_RETURN_IF_ERROR(
                 try_tuple(*entry.tuple, *entry.extent, probe.signature));
           }
           return Status::Ok();
         }
-        for (const auto& [tuple, set] : probe.rel->data()) {
-          DMTL_RETURN_IF_ERROR(try_tuple(tuple, set, 0));
+        for (const Relation::ScanEntry& row : probe.rel->Rows()) {
+          DMTL_RETURN_IF_ERROR(try_tuple(*row.tuple, *row.extent, 0));
         }
         return Status::Ok();
       }

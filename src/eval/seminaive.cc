@@ -10,8 +10,10 @@
 
 #include "src/analysis/safety.h"
 #include "src/analysis/stratifier.h"
+#include "src/common/arena.h"
 #include "src/common/fault_injector.h"
 #include "src/common/thread_pool.h"
+#include "src/temporal/dense.h"
 #include "src/eval/aggregate_eval.h"
 #include "src/eval/chain_accel.h"
 #include "src/eval/op_memo.h"
@@ -260,6 +262,69 @@ std::vector<int> DeltaOccurrences(const CompiledRule& c,
   return occurrences;
 }
 
+// --- dense-timeline selection (EngineOptions::enable_dense_timeline) ------
+// The load-time predicate: every interval endpoint in the program (operator
+// ranges, head erosion ranges), the horizon clamp, and the input database
+// must be an integer the key encoding can represent. The scan is one pass
+// over rules plus one over stored intervals; the kernels re-verify per
+// element anyway, so this only decides whether the fast path is worth
+// enabling, never correctness.
+
+bool DenseBoundOk(const Bound& b) {
+  if (b.infinite) return true;
+  if (!b.value.is_integer()) return false;
+  const int64_t v = b.value.numerator();
+  return v <= dense::kMaxMagnitude && v >= -dense::kMaxMagnitude;
+}
+
+bool DenseIntervalOk(const Interval& iv) {
+  return DenseBoundOk(iv.lo()) && DenseBoundOk(iv.hi());
+}
+
+bool DenseMetricOk(const MetricAtom& m) {
+  switch (m.kind()) {
+    case MetricAtom::Kind::kUnary:
+      return DenseIntervalOk(m.range()) && DenseMetricOk(m.left());
+    case MetricAtom::Kind::kBinary:
+      return DenseIntervalOk(m.range()) && DenseMetricOk(m.left()) &&
+             DenseMetricOk(m.right());
+    default:
+      return true;
+  }
+}
+
+bool DenseTimeOk(const std::optional<Rational>& t) {
+  if (!t.has_value()) return true;
+  if (!t->is_integer()) return false;
+  const int64_t v = t->numerator();
+  return v <= dense::kMaxMagnitude && v >= -dense::kMaxMagnitude;
+}
+
+bool DenseTimelineEligible(const Program& program, const Database& db,
+                           const EngineOptions& options) {
+  if (!DenseTimeOk(options.min_time) || !DenseTimeOk(options.max_time)) {
+    return false;
+  }
+  for (const Rule& rule : program.rules()) {
+    for (const HeadAtom::HeadOp& op : rule.head.ops) {
+      if (!DenseIntervalOk(op.range)) return false;
+    }
+    for (const BodyLiteral& lit : rule.body) {
+      if (lit.kind == BodyLiteral::Kind::kMetric && !DenseMetricOk(lit.metric)) {
+        return false;
+      }
+    }
+  }
+  for (const auto& [pred, rel] : db.relations()) {
+    for (const auto& [tuple, set] : rel.data()) {
+      for (const Interval& iv : set) {
+        if (!DenseIntervalOk(iv)) return false;
+      }
+    }
+  }
+  return true;
+}
+
 // Runs one round's tasks across the pool and merges the buffered results
 // into the shared store through `sink` in rule-index order.
 Status RunRoundParallel(const std::vector<RoundTask>& tasks,
@@ -272,7 +337,8 @@ Status RunRoundParallel(const std::vector<RoundTask>& tasks,
                         std::unordered_map<size_t, ChainAccelerator::AllowedCache>*
                             chain_caches,
                         size_t round, Sink* sink, EngineStats* stats,
-                        const ExecutionGuard* guard) {
+                        const ExecutionGuard* guard, bool dense_timeline,
+                        RoundArena* task_arenas) {
   if (tasks.empty()) return Status::Ok();
 
   std::vector<BufferedSink> sinks;
@@ -284,6 +350,13 @@ Status RunRoundParallel(const std::vector<RoundTask>& tasks,
   DMTL_RETURN_IF_ERROR(pool->ParallelFor(
       tasks.size(), [&](size_t ti) -> Status {
         const RoundTask& t = tasks[ti];
+        // Thread-locals do not follow work onto pool threads: re-arm the
+        // dense-timeline flag and the ambient arena per task. Arenas are
+        // per rule (each rule is at most one task per round), reused
+        // across rounds and reset by the caller after the barrier merge.
+        dense::DenseScope dense_scope(dense_timeline);
+        ArenaScope arena_scope(
+            task_arenas == nullptr ? nullptr : &task_arenas[t.rule_id]);
         BufferedSink& out = sinks[ti];
         const CompiledRule& c = compiled[t.rule_id];
         // Like the memo, the VM is owned exclusively by this rule's task
@@ -442,6 +515,13 @@ std::string EngineStats::ToString() const {
   if (guard_checks > 0) {
     out += " guard_checks=" + std::to_string(guard_checks);
   }
+  out += std::string(" timeline=") + (timeline_dense ? "dense" : "rational");
+  if (arena_bytes_reserved + arena_heap_fallbacks > 0) {
+    out += " arena_reserved=" + std::to_string(arena_bytes_reserved) +
+           " arena_used=" + std::to_string(arena_bytes_allocated) +
+           " arena_allocs=" + std::to_string(arena_allocs) +
+           " arena_heap_fallbacks=" + std::to_string(arena_heap_fallbacks);
+  }
   if (stop_reason != StopReason::kCompleted) {
     out += " " + StopDiagnostics();
   }
@@ -537,6 +617,32 @@ Status MaterializeImpl(const Program& program, Database* db,
     }
   }
   uint64_t bulk_merges_at_start = IntervalSet::BulkMergeCount();
+
+  // Memory architecture (docs/ENGINE.md): select the dense integer-timeline
+  // kernels when the whole run is provably integral, and arm round arenas
+  // for transient IntervalSet spills. Both are opt-out engine features with
+  // byte-identical output; the env hooks mirror DMTL_DISABLE_RULE_COMPILE
+  // so CI can re-run the full suite down the Rational/heap paths.
+  const bool dense_timeline =
+      options.enable_dense_timeline &&
+      std::getenv("DMTL_DISABLE_DENSE_TIMELINE") == nullptr &&
+      DenseTimelineEligible(program, *db, options);
+  stats->timeline_dense = dense_timeline;
+  const bool arena_alloc = options.enable_arena_alloc &&
+                           std::getenv("DMTL_DISABLE_ARENA_ALLOC") == nullptr;
+  RoundArena main_arena;
+  // One arena per rule for parallel rounds: a rule is at most one task per
+  // round, so tasks never share an arena, and reuse across rounds keeps the
+  // chunks warm.
+  std::vector<RoundArena> task_arenas(
+      arena_alloc && pool.has_value() ? compiled.size() : 0);
+  dense::DenseScope dense_scope(dense_timeline);
+  ArenaScope arena_scope(arena_alloc ? &main_arena : nullptr);
+  auto reset_arenas = [&] {
+    if (!arena_alloc) return;
+    main_arena.Reset();
+    for (RoundArena& a : task_arenas) a.Reset();
+  };
 
   stats->stratum_wall_seconds.assign(strat.num_strata, 0.0);
   for (int s = 0; s < strat.num_strata; ++s) {
@@ -652,7 +758,9 @@ Status MaterializeImpl(const Program& program, Database* db,
         DMTL_RETURN_IF_ERROR(
             RunRoundParallel(tasks, compiled, vms, memos, *db, delta, window,
                              options, &*pool, &chain_caches, 0, &sink, stats,
-                             guard));
+                             guard, dense_timeline,
+                             task_arenas.empty() ? nullptr
+                                                 : task_arenas.data()));
       } else {
         for (size_t id : rule_ids) {
           if (compiled[id].is_aggregate()) continue;
@@ -679,6 +787,10 @@ Status MaterializeImpl(const Program& program, Database* db,
     refresh_memos(next_delta);
     delta = std::move(next_delta);
     next_delta = Database();
+    // Round barrier: everything transient from the finished round is dead
+    // (buffered sinks destroyed, VM slots released, stored state pinned to
+    // the heap), so the arenas rewind wholesale.
+    reset_arenas();
     prov_mark = options.provenance != nullptr ? options.provenance->size() : 0;
 
     // Fixpoint rounds.
@@ -734,7 +846,9 @@ Status MaterializeImpl(const Program& program, Database* db,
           DMTL_RETURN_IF_ERROR(
               RunRoundParallel(tasks, compiled, vms, memos, *db, delta,
                                window, options, &*pool, &chain_caches, rounds,
-                               &sink, stats, guard));
+                               &sink, stats, guard, dense_timeline,
+                               task_arenas.empty() ? nullptr
+                                                   : task_arenas.data()));
         } else {
           for (size_t id : rule_ids) {
             if (compiled[id].is_aggregate()) continue;
@@ -806,6 +920,7 @@ Status MaterializeImpl(const Program& program, Database* db,
       refresh_memos(next_delta);
       delta = std::move(next_delta);
       next_delta = Database();
+      reset_arenas();
       delta_size = delta.NumIntervals();
       prov_mark =
           options.provenance != nullptr ? options.provenance->size() : 0;
@@ -849,6 +964,17 @@ Status MaterializeImpl(const Program& program, Database* db,
     stats->memo_invalidations += memo->stats().invalidations;
   }
   stats->bulk_merges = IntervalSet::BulkMergeCount() - bulk_merges_at_start;
+
+  if (arena_alloc) {
+    auto fold_arena = [&](const RoundArena& a) {
+      stats->arena_bytes_reserved += a.bytes_reserved();
+      stats->arena_bytes_allocated += a.bytes_allocated();
+      stats->arena_allocs += a.allocs();
+      stats->arena_heap_fallbacks += a.heap_fallbacks();
+    };
+    fold_arena(main_arena);
+    for (const RoundArena& a : task_arenas) fold_arena(a);
+  }
 
   return Status::Ok();
 }

@@ -213,6 +213,10 @@ Status RuleVm::Evaluate(const Database& db, const Database* delta,
     }
   }
   out_.clear();
+  // The instruction slots are members reused across dispatches, but any
+  // arena-backed buffer in them dies at the next round barrier - drop those
+  // buffers now so a later dispatch never grows into reclaimed memory.
+  for (IntervalSet& slot : extents_) slot.ReleaseArenaStorage();
 
   if (PlannerStats* stats = RuleCompiler::MutableStats(eval_)) {
     stats->indexes_built.fetch_add(built, std::memory_order_relaxed);
@@ -313,12 +317,18 @@ Status RuleVm::Exec(size_t ip, const IntervalSet& cur) {
           return Status::Ok();
         }
         for (const Relation::IndexEntry& entry : list->entries) {
+          // Per-entry hull prune straight off the contiguous posting array,
+          // before the extent (a separate cache line) is ever touched.
+          if (w.has_value() && !entry.hull.Overlaps(*w)) {
+            ++pruned_;
+            continue;
+          }
           DMTL_RETURN_IF_ERROR(try_tuple(*entry.tuple, *entry.extent, true));
         }
         return Status::Ok();
       }
-      for (const auto& [tuple, set] : rel->data()) {
-        DMTL_RETURN_IF_ERROR(try_tuple(tuple, set, false));
+      for (const Relation::ScanEntry& row : rel->Rows()) {
+        DMTL_RETURN_IF_ERROR(try_tuple(*row.tuple, *row.extent, false));
       }
       return Status::Ok();
     }
@@ -494,7 +504,9 @@ Status RuleVm::ExtendChain(const Database& db, const Database& delta,
   if (delta_rel == nullptr) return Status::Ok();
 
   Bindings binding(cp.num_vars);
-  for (const auto& [tuple, seed_set] : delta_rel->data()) {
+  for (const Relation::ScanEntry& row : delta_rel->Rows()) {
+    const Tuple& tuple = *row.tuple;
+    const IntervalSet& seed_set = *row.extent;
     bool ok = true;
     for (const UnifyStep& u : cp.unify) {
       const Value& tv = tuple[u.pos];
@@ -521,6 +533,9 @@ Status RuleVm::ExtendChain(const Database& db, const Database& delta,
     for (size_t pos : cp.guard_projection) proj_key_.push_back(tuple[pos]);
     auto [it, inserted] = allowed_cache_.try_emplace(proj_key_);
     if (inserted) {
+      // The cache outlives the round barrier; keep it off the round arena
+      // (the pinned destination deep-copies the move below if needed).
+      it->second.MarkPersistent();
       ExtentSource source;
       source.full = &db;
       IntervalSet computed{window};

@@ -20,21 +20,26 @@ std::string Fact::ToString() const {
          interval.ToString();
 }
 
-Relation::Relation(const Relation& other)
-    : data_(other.data_), approx_intervals_(other.approx_intervals_) {
+void Relation::RebuildDerived() {
+  first_arg_index_.clear();
+  rows_.clear();
+  rows_.reserve(data_.size());
   for (const auto& [tuple, set] : data_) {
     if (!tuple.empty()) first_arg_index_[tuple[0]].push_back(&tuple);
+    rows_.push_back(ScanEntry{&tuple, &set});
   }
+}
+
+Relation::Relation(const Relation& other)
+    : data_(other.data_), approx_intervals_(other.approx_intervals_) {
+  RebuildDerived();
 }
 
 Relation& Relation::operator=(const Relation& other) {
   if (this == &other) return *this;
   data_ = other.data_;
   approx_intervals_ = other.approx_intervals_;
-  first_arg_index_.clear();
-  for (const auto& [tuple, set] : data_) {
-    if (!tuple.empty()) first_arg_index_[tuple[0]].push_back(&tuple);
-  }
+  RebuildDerived();
   // Bound-signature indexes point into the *source's* data_; drop them and
   // let the next probe rebuild against our own storage.
   indexes_.clear();
@@ -44,6 +49,7 @@ Relation& Relation::operator=(const Relation& other) {
 Relation::Relation(Relation&& other) noexcept
     : data_(std::move(other.data_)),
       approx_intervals_(other.approx_intervals_),
+      rows_(std::move(other.rows_)),
       first_arg_index_(std::move(other.first_arg_index_)),
       indexes_(std::move(other.indexes_)) {
   other.approx_intervals_ = 0;
@@ -53,6 +59,7 @@ Relation& Relation::operator=(Relation&& other) noexcept {
   if (this == &other) return *this;
   data_ = std::move(other.data_);
   approx_intervals_ = other.approx_intervals_;
+  rows_ = std::move(other.rows_);
   first_arg_index_ = std::move(other.first_arg_index_);
   indexes_ = std::move(other.indexes_);
   other.approx_intervals_ = 0;
@@ -63,12 +70,27 @@ void Relation::IndexTuple(BoundIndex* index, const Tuple& tuple,
                           const IntervalSet& extent, bool new_tuple,
                           const Interval& iv) {
   if (tuple.size() <= index->positions.back()) return;  // can never unify
-  Tuple key;
-  key.reserve(index->positions.size());
-  for (size_t p : index->positions) key.push_back(tuple[p]);
-  PostingList& list = index->buckets[std::move(key)];
-  if (new_tuple) list.entries.push_back(IndexEntry{&tuple, &extent});
-  list.Widen(iv);
+  if (new_tuple) {
+    Tuple key;
+    key.reserve(index->positions.size());
+    for (size_t p : index->positions) key.push_back(tuple[p]);
+    PostingList& list = index->buckets[std::move(key)];
+    list.entries.push_back(IndexEntry{&tuple, &extent, extent.Hull()});
+    index->entry_of.emplace(&tuple,
+                            std::make_pair(&list, list.entries.size() - 1));
+    list.Widen(iv);
+    return;
+  }
+  // Existing tuple gained coverage: widen its entry hull in place via the
+  // sidecar (exactness is not required - never-narrower-than-live is what
+  // keeps hull pruning sound - but the envelope and entry both widen by
+  // the same interval the set grew by).
+  auto it = index->entry_of.find(&tuple);
+  if (it == index->entry_of.end()) return;  // tuple too short at insert time
+  auto [list, pos] = it->second;
+  IndexEntry& entry = list->entries[pos];
+  entry.hull = entry.hull.Hull(iv);
+  list->Widen(iv);
 }
 
 const Relation::BoundIndex* Relation::GetIndex(uint64_t signature,
@@ -99,10 +121,16 @@ size_t Relation::num_indexes() const {
 
 IntervalSet Relation::Insert(const Tuple& tuple, const Interval& iv) {
   auto [it, inserted] = data_.try_emplace(tuple);
-  if (inserted && !it->first.empty()) {
-    // Keep the secondary index incremental: unordered_map keys are
-    // node-stable, so the pointer stays valid across later inserts.
-    first_arg_index_[it->first[0]].push_back(&it->first);
+  // Stored extents outlive the fixpoint round; never arena-back them.
+  // Unconditional: a set stored before materialization began is not pinned
+  // yet, and growing it in place under an active arena scope must spill to
+  // the heap, not the arena.
+  it->second.MarkPersistent();
+  if (inserted) {
+    // Keep the derived structures incremental: unordered_map nodes are
+    // address-stable, so these pointers stay valid across later inserts.
+    if (!it->first.empty()) first_arg_index_[it->first[0]].push_back(&it->first);
+    rows_.push_back(ScanEntry{&it->first, &it->second});
   }
   IntervalSet fresh = it->second.Insert(iv);
   approx_intervals_ += fresh.size();
@@ -121,8 +149,10 @@ IntervalSet Relation::Insert(const Tuple& tuple, const Interval& iv) {
 IntervalSet Relation::InsertSet(const Tuple& tuple, const IntervalSet& set) {
   if (set.IsEmpty()) return IntervalSet();
   auto [it, inserted] = data_.try_emplace(tuple);
-  if (inserted && !it->first.empty()) {
-    first_arg_index_[it->first[0]].push_back(&it->first);
+  it->second.MarkPersistent();
+  if (inserted) {
+    if (!it->first.empty()) first_arg_index_[it->first[0]].push_back(&it->first);
+    rows_.push_back(ScanEntry{&it->first, &it->second});
   }
   IntervalSet fresh = it->second.UnionWithDelta(set);
   approx_intervals_ += fresh.size();
@@ -158,12 +188,9 @@ void Relation::SubtractCoverage(const Relation& fresh) {
     std::lock_guard<std::mutex> lock(index_mutex_);
     indexes_.clear();
   }
-  if (erased_any) {
-    first_arg_index_.clear();
-    for (const auto& [tuple, set] : data_) {
-      if (!tuple.empty()) first_arg_index_[tuple[0]].push_back(&tuple);
-    }
-  }
+  // Surviving extents were assigned in place (addresses unchanged), so the
+  // scan slab only goes stale when tuples vanished.
+  if (erased_any) RebuildDerived();
 }
 
 void Relation::SubtractCoverage(const Tuple& tuple, const IntervalSet& set) {
@@ -181,12 +208,7 @@ void Relation::SubtractCoverage(const Tuple& tuple, const IntervalSet& set) {
     std::lock_guard<std::mutex> lock(index_mutex_);
     indexes_.clear();
   }
-  if (erased) {
-    first_arg_index_.clear();
-    for (const auto& [t, s] : data_) {
-      if (!t.empty()) first_arg_index_[t[0]].push_back(&t);
-    }
-  }
+  if (erased) RebuildDerived();
 }
 
 const IntervalSet* Relation::Find(const Tuple& tuple) const {

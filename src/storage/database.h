@@ -61,6 +61,11 @@ class Relation {
   struct IndexEntry {
     const Tuple* tuple = nullptr;
     const IntervalSet* extent = nullptr;  // the live set stored in data_
+    // Hull of the entry's stored extent, maintained on insert (never
+    // narrower than the live hull, so pruning on it is sound). Stored
+    // inline so an enumeration can reject an entry from the contiguous
+    // posting array alone, without dereferencing the extent.
+    Interval hull = Interval::All();
   };
   struct PostingList {
     std::vector<IndexEntry> entries;
@@ -75,11 +80,22 @@ class Relation {
   struct BoundIndex {
     std::vector<size_t> positions;  // ascending; decoded from the signature
     std::unordered_map<Tuple, PostingList, TupleHash> buckets;
+    // Tuple -> its entry, so later inserts on an existing tuple can widen
+    // that entry's hull in place. PostingList addresses are node-stable in
+    // buckets; entry indexes are stable because entries only append.
+    std::unordered_map<const Tuple*, std::pair<PostingList*, size_t>>
+        entry_of;
 
     const PostingList* Lookup(const Tuple& key) const {
       auto it = buckets.find(key);
       return it == buckets.end() ? nullptr : &it->second;
     }
+  };
+
+  // One row of the contiguous scan slab (see Rows()).
+  struct ScanEntry {
+    const Tuple* tuple = nullptr;
+    const IntervalSet* extent = nullptr;
   };
 
   Relation() = default;
@@ -138,6 +154,15 @@ class Relation {
   // Single-tuple form with the same contract.
   void SubtractCoverage(const Tuple& tuple, const IntervalSet& set);
 
+  // Contiguous scan slab: one (tuple, extent) row per stored tuple, in
+  // insertion order. Full scans walk this flat array instead of chasing
+  // unordered_map nodes, so enumeration is cache-linear. Maintained
+  // eagerly by the mutators under the single-writer contract (exactly
+  // like the first-argument index); pointers into data_ are node-stable,
+  // so rows survive later inserts and are rebuilt only when tuples vanish
+  // (SubtractCoverage) or on copy/Clear.
+  const std::vector<ScanEntry>& Rows() const { return rows_; }
+
   bool IsEmpty() const { return data_.empty(); }
   size_t NumTuples() const { return data_.size(); }
   size_t NumIntervals() const;
@@ -152,6 +177,7 @@ class Relation {
   void Clear() {
     data_.clear();
     first_arg_index_.clear();
+    rows_.clear();
     indexes_.clear();
     approx_intervals_ = 0;
   }
@@ -163,8 +189,13 @@ class Relation {
                          const IntervalSet& extent, bool new_tuple,
                          const Interval& iv);
 
+  // Rebuilds first_arg_index_ and rows_ from data_ (copies, erasures).
+  void RebuildDerived();
+
   Map data_;
   size_t approx_intervals_ = 0;
+  // Contiguous scan slab; see Rows().
+  std::vector<ScanEntry> rows_;
   // Secondary index: first argument -> tuples. Updated eagerly by Insert
   // when a new *tuple* appears (new intervals on existing tuples do not
   // touch it); never mutated under const.

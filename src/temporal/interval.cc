@@ -4,9 +4,6 @@
 
 namespace dmtl {
 
-using internal::CompareLower;
-using internal::CompareUpper;
-
 namespace {
 
 // Sum of bound positions used by Minkowski dilation: infinite dominates,
@@ -22,12 +19,6 @@ Bound SubBounds(const Bound& a, const Bound& b) {
 }
 
 }  // namespace
-
-Interval Interval::Hull(const Interval& other) const {
-  Bound lo = CompareLower(lo_, other.lo_) <= 0 ? lo_ : other.lo_;
-  Bound hi = CompareUpper(hi_, other.hi_) >= 0 ? hi_ : other.hi_;
-  return Interval(lo, hi);
-}
 
 Interval Interval::Point(const Rational& t) {
   return Interval(Bound::Closed(t), Bound::Closed(t));
@@ -65,42 +56,9 @@ Interval Interval::AtMost(const Rational& t) {
   return Interval(Bound::Infinite(), Bound::Closed(t));
 }
 
-bool Interval::IsPunctual() const {
-  return !lo_.infinite && !hi_.infinite && lo_.value == hi_.value;
-}
-
 std::optional<Rational> Interval::Length() const {
   if (lo_.infinite || hi_.infinite) return std::nullopt;
   return hi_.value - lo_.value;
-}
-
-bool Interval::Contains(const Rational& t) const {
-  if (!lo_.infinite) {
-    if (t < lo_.value) return false;
-    if (t == lo_.value && lo_.open) return false;
-  }
-  if (!hi_.infinite) {
-    if (hi_.value < t) return false;
-    if (t == hi_.value && hi_.open) return false;
-  }
-  return true;
-}
-
-bool Interval::Unionable(const Interval& other) const {
-  if (Intersect(other).has_value()) return true;
-  // Disjoint: unionable only when they touch with no missing point.
-  const Interval& first = StartsBefore(other) ? *this : other;
-  const Interval& second = StartsBefore(other) ? other : *this;
-  if (first.hi_.infinite || second.lo_.infinite) return false;
-  return first.hi_.value == second.lo_.value &&
-         (!first.hi_.open || !second.lo_.open);
-}
-
-Interval Interval::UnionWith(const Interval& other) const {
-  assert(Unionable(other));
-  Bound lo = CompareLower(lo_, other.lo_) <= 0 ? lo_ : other.lo_;
-  Bound hi = CompareUpper(hi_, other.hi_) >= 0 ? hi_ : other.hi_;
-  return Interval(lo, hi);
 }
 
 Interval Interval::Shift(const Rational& delta) const {

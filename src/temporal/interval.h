@@ -34,6 +34,13 @@ class Interval {
   // (lo > hi, or lo == hi unless both endpoints are closed).
   static std::optional<Interval> Make(Bound lo, Bound hi);
 
+  // Requires BoundsNonEmpty(lo, hi) with openness already normalized
+  // (infinite bounds carry open == true). The dense key decoder satisfies
+  // both by construction, so it skips Make()'s Rational comparisons.
+  static Interval MakeUnchecked(Bound lo, Bound hi) {
+    return Interval(lo, hi);
+  }
+
   // [t, t].
   static Interval Point(const Rational& t);
   // [lo, hi]; requires lo <= hi.
@@ -214,6 +221,38 @@ inline bool Interval::StrictlyBefore(const Interval& other) const {
   if (hi_.infinite || other.lo_.infinite) return false;
   if (hi_.value < other.lo_.value) return true;
   return hi_.value == other.lo_.value && hi_.open && other.lo_.open;
+}
+
+inline bool Interval::Unionable(const Interval& other) const {
+  // The union is a single interval exactly when there is no uncovered gap
+  // in either direction; StrictlyBefore is precisely "gap after me".
+  return !StrictlyBefore(other) && !other.StrictlyBefore(*this);
+}
+
+inline Interval Interval::Hull(const Interval& other) const {
+  Bound lo = internal::CompareLower(lo_, other.lo_) <= 0 ? lo_ : other.lo_;
+  Bound hi = internal::CompareUpper(hi_, other.hi_) >= 0 ? hi_ : other.hi_;
+  return Interval(lo, hi);
+}
+
+inline Interval Interval::UnionWith(const Interval& other) const {
+  return Hull(other);  // no gap by precondition, so the hull is the union
+}
+
+inline bool Interval::IsPunctual() const {
+  return !lo_.infinite && !hi_.infinite && lo_.value == hi_.value;
+}
+
+inline bool Interval::Contains(const Rational& t) const {
+  if (!lo_.infinite) {
+    if (t < lo_.value) return false;
+    if (t == lo_.value && lo_.open) return false;
+  }
+  if (!hi_.infinite) {
+    if (hi_.value < t) return false;
+    if (t == hi_.value && hi_.open) return false;
+  }
+  return true;
 }
 
 }  // namespace dmtl

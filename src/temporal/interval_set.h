@@ -82,8 +82,8 @@ class IntervalSet {
   // The convex hull <lo of first component, hi of last component>. O(1) on
   // the normalized representation; must not be called on an empty set. The
   // join planner uses hulls as cheap overlap prefilters before paying for
-  // exact Intersect.
-  Interval Hull() const;
+  // exact Intersect (hot enough that it lives in the header).
+  Interval Hull() const { return intervals_.front().Hull(intervals_.back()); }
 
   // True iff every component is a single point; fills `points` if non-null.
   bool IsPunctualOnly(std::vector<Rational>* points = nullptr) const;
@@ -92,6 +92,15 @@ class IntervalSet {
   // merges and FromIntervals builds), surfaced in EngineStats. Monotone and
   // global: callers snapshot before/after the region they account.
   static uint64_t BulkMergeCount();
+
+  // Pins the backing storage to the general heap (migrating any arena
+  // buffer) so this set may outlive the round barrier. Called by the
+  // persistence points: relation storage, operator memos, guard caches.
+  // See docs/ENGINE.md, "Memory architecture".
+  void MarkPersistent() { intervals_.MarkPersistent(); }
+  // Discards an arena-backed buffer (and the contents) without copying;
+  // for reusable scratch slots that survive a RoundArena::Reset().
+  void ReleaseArenaStorage() { intervals_.ReleaseArenaStorage(); }
 
   // "{[1,3) [5,5]}".
   std::string ToString() const;

@@ -1,0 +1,219 @@
+// RoundArena and the SmallIntervalVec arena hook: bump allocation,
+// alignment, chunk retention across Reset, oversized-request fallback, the
+// thread-local ArenaScope, and the pinning protocol that keeps stored
+// extents off round-lifetime storage (MarkPersistent migrates to the heap;
+// a move into a pinned destination deep-copies arena-backed sources).
+
+#include "src/common/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/temporal/interval_set.h"
+
+namespace dmtl {
+namespace {
+
+TEST(RoundArenaTest, BumpAllocationIsAlignedAndCounted) {
+  RoundArena arena;
+  void* a = arena.Allocate(24);
+  void* b = arena.Allocate(40);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(a) % RoundArena::kAlignment, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b) % RoundArena::kAlignment, 0u);
+  EXPECT_EQ(arena.allocs(), 2u);
+  // Both requests round up to the 16-byte alignment quantum.
+  EXPECT_EQ(arena.bytes_allocated(), 32u + 48u);
+  EXPECT_GE(arena.bytes_reserved(), arena.bytes_allocated());
+  EXPECT_EQ(arena.heap_fallbacks(), 0u);
+}
+
+TEST(RoundArenaTest, ResetRetainsChunksAndRewindsCursor) {
+  RoundArena arena;
+  void* first = arena.Allocate(64);
+  arena.Allocate(128);
+  size_t reserved = arena.bytes_reserved();
+  arena.Reset();
+  // The cursor rewound: the next allocation reuses the first chunk's base.
+  void* again = arena.Allocate(64);
+  EXPECT_EQ(first, again);
+  // Reset frees nothing; reserved bytes are monotone until destruction.
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+}
+
+TEST(RoundArenaTest, GrowsThroughDoublingChunks) {
+  RoundArena arena;
+  // Force several chunk spills; every allocation must still succeed.
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_NE(arena.Allocate(8 * 1024), nullptr);
+  }
+  EXPECT_GE(arena.bytes_reserved(), 64u * 8u * 1024u);
+  // Reset consolidates the walked chain into one right-sized chunk (with
+  // power-of-two headroom); same-sized replays then run inside it without
+  // growing the reservation.
+  arena.Reset();
+  size_t reserved = arena.bytes_reserved();
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_NE(arena.Allocate(8 * 1024), nullptr);
+  }
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+  arena.Reset();
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+}
+
+TEST(RoundArenaTest, TryExtendGrowsTheTailAllocationInPlace) {
+  RoundArena arena;
+  void* a = arena.Allocate(64);
+  ASSERT_NE(a, nullptr);
+  // The newest allocation extends by bumping the cursor, no copy.
+  EXPECT_TRUE(arena.TryExtend(a, 64, 256));
+  EXPECT_EQ(arena.bytes_allocated(), 256u);
+  // A buried allocation (no longer the tail) must be refused.
+  void* b = arena.Allocate(64);
+  ASSERT_NE(b, nullptr);
+  EXPECT_FALSE(arena.TryExtend(a, 256, 512));
+  // The extension cannot outgrow the current chunk.
+  EXPECT_FALSE(arena.TryExtend(b, 64, RoundArena::kMaxChunkBytes));
+}
+
+TEST(RoundArenaTest, TryReclaimRewindsOverTheTailAllocation) {
+  RoundArena arena;
+  void* a = arena.Allocate(64);
+  void* b = arena.Allocate(128);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  // Not the tail: refused, cursor untouched.
+  EXPECT_FALSE(arena.TryReclaim(a, 64));
+  // The tail hands its bytes back; the next allocation reuses the address.
+  EXPECT_TRUE(arena.TryReclaim(b, 128));
+  EXPECT_EQ(arena.bytes_allocated(), 64u);
+  EXPECT_EQ(arena.Allocate(128), b);
+}
+
+TEST(RoundArenaTest, OversizedRequestFallsBackToHeap) {
+  RoundArena arena;
+  EXPECT_EQ(arena.Allocate(RoundArena::kMaxChunkBytes), nullptr);
+  EXPECT_EQ(arena.heap_fallbacks(), 1u);
+}
+
+TEST(ArenaScopeTest, InstallsAndRestoresThreadLocal) {
+  EXPECT_EQ(CurrentArena(), nullptr);
+  RoundArena outer_arena;
+  {
+    ArenaScope outer(&outer_arena);
+    EXPECT_EQ(CurrentArena(), &outer_arena);
+    RoundArena inner_arena;
+    {
+      ArenaScope inner(&inner_arena);
+      EXPECT_EQ(CurrentArena(), &inner_arena);
+    }
+    EXPECT_EQ(CurrentArena(), &outer_arena);
+    {
+      ArenaScope off(nullptr);
+      EXPECT_EQ(CurrentArena(), nullptr);
+    }
+    EXPECT_EQ(CurrentArena(), &outer_arena);
+  }
+  EXPECT_EQ(CurrentArena(), nullptr);
+}
+
+// Spills a set past the inline capacity (2 intervals) so its storage
+// lives wherever the active arena policy puts it.
+IntervalSet SpilledSet(int n) {
+  IntervalSet s;
+  for (int i = 0; i < n; ++i) {
+    s.Add(*Interval::Make(Bound::Closed(Rational(3 * i)),
+                          Bound::Closed(Rational(3 * i + 1))));
+  }
+  return s;
+}
+
+TEST(ArenaIntervalSetTest, UnpinnedSpillLandsInTheArena) {
+  RoundArena arena;
+  ArenaScope scope(&arena);
+  IntervalSet s = SpilledSet(16);
+  EXPECT_EQ(s.size(), 16u);
+  EXPECT_GT(arena.bytes_allocated(), 0u);
+  EXPECT_EQ(arena.heap_fallbacks(), 0u);
+}
+
+TEST(ArenaIntervalSetTest, DyingTransientHandsItsBufferBack) {
+  RoundArena arena;
+  ArenaScope scope(&arena);
+  size_t before = arena.bytes_allocated();
+  const void* first_buffer = nullptr;
+  {
+    IntervalSet s = SpilledSet(16);
+    first_buffer = s.intervals().data();
+  }
+  // The temporary died as the arena tail, so its storage was rewound and
+  // the next spill lands on the same bytes instead of streaming onward.
+  EXPECT_EQ(arena.bytes_allocated(), before);
+  IntervalSet again = SpilledSet(16);
+  EXPECT_EQ(static_cast<const void*>(again.intervals().data()), first_buffer);
+}
+
+TEST(ArenaIntervalSetTest, MarkPersistentMigratesOffTheArena) {
+  RoundArena arena;
+  IntervalSet expected;
+  IntervalSet pinned;
+  {
+    ArenaScope scope(&arena);
+    pinned = SpilledSet(16);
+    expected = SpilledSet(16);
+    expected.MarkPersistent();
+    pinned.MarkPersistent();  // copies arena storage to the heap
+  }
+  arena.Reset();
+  // Scribble over the rewound arena; a set still referencing it would read
+  // this garbage instead of its intervals.
+  for (int i = 0; i < 256; ++i) arena.Allocate(64);
+  EXPECT_EQ(pinned, expected);
+  EXPECT_EQ(pinned.size(), 16u);
+}
+
+TEST(ArenaIntervalSetTest, PinnedSetsGrowOnTheHeapAndCountFallbacks) {
+  RoundArena arena;
+  ArenaScope scope(&arena);
+  IntervalSet pinned;
+  pinned.MarkPersistent();
+  for (int i = 0; i < 16; ++i) {
+    pinned.Add(*Interval::Make(Bound::Closed(Rational(3 * i)),
+                               Bound::Closed(Rational(3 * i + 1))));
+  }
+  EXPECT_EQ(arena.bytes_allocated(), 0u);
+  EXPECT_GT(arena.heap_fallbacks(), 0u);
+}
+
+TEST(ArenaIntervalSetTest, MoveIntoPinnedDestinationDeepCopies) {
+  RoundArena arena;
+  IntervalSet dest;
+  dest.MarkPersistent();
+  IntervalSet expected = SpilledSet(16);
+  {
+    ArenaScope scope(&arena);
+    IntervalSet transient = SpilledSet(16);  // arena-backed
+    dest = std::move(transient);
+  }
+  arena.Reset();
+  for (int i = 0; i < 256; ++i) arena.Allocate(64);
+  EXPECT_EQ(dest, expected);
+}
+
+TEST(ArenaIntervalSetTest, ReleaseArenaStorageDropsWithoutCopy) {
+  RoundArena arena;
+  ArenaScope scope(&arena);
+  IntervalSet s = SpilledSet(16);
+  s.ReleaseArenaStorage();
+  EXPECT_TRUE(s.IsEmpty());
+  // The slot is reusable after the release.
+  s.Add(Interval::Point(Rational(7)));
+  EXPECT_EQ(s.size(), 1u);
+}
+
+}  // namespace
+}  // namespace dmtl

@@ -1,0 +1,223 @@
+// Dense integer-timeline specialization: the packed int64 key codec must
+// round-trip every encodable bound and reject every non-integral one, and
+// every IntervalSet kernel with a dense fast path must produce *identical*
+// results (operator== over the component list, so endpoint-by-endpoint)
+// with the specialization enabled and disabled - over randomized integral
+// streams, mixed integral/rational streams (which force the per-element
+// bail-out), and the metric-window transforms with finite, half-infinite,
+// and punctual windows.
+
+#include "src/temporal/dense.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "src/temporal/interval_set.h"
+
+namespace dmtl {
+namespace {
+
+void ExpectBoundEq(const Bound& got, const Bound& want) {
+  EXPECT_EQ(got.infinite, want.infinite);
+  EXPECT_EQ(got.open, want.open);
+  EXPECT_EQ(got.value, want.value);
+}
+
+TEST(DenseKeyTest, RoundTripsFiniteBounds) {
+  for (int64_t v : {-1000, -1, 0, 1, 7, 1000}) {
+    for (bool open : {false, true}) {
+      Bound b = open ? Bound::Open(Rational(v)) : Bound::Closed(Rational(v));
+      dense::DKey k = 0;
+      ASSERT_TRUE(dense::EncodeLo(b, &k));
+      ExpectBoundEq(dense::DecodeLo(k), b);
+      ASSERT_TRUE(dense::EncodeHi(b, &k));
+      ExpectBoundEq(dense::DecodeHi(k), b);
+    }
+  }
+}
+
+TEST(DenseKeyTest, RoundTripsInfiniteBounds) {
+  dense::DKey k = 0;
+  ASSERT_TRUE(dense::EncodeLo(Bound::Infinite(), &k));
+  EXPECT_EQ(k, dense::kNegInf);
+  ExpectBoundEq(dense::DecodeLo(k), Bound::Infinite());
+  ASSERT_TRUE(dense::EncodeHi(Bound::Infinite(), &k));
+  EXPECT_EQ(k, dense::kPosInf);
+  ExpectBoundEq(dense::DecodeHi(k), Bound::Infinite());
+}
+
+TEST(DenseKeyTest, RejectsNonIntegralAndOutOfRange) {
+  dense::DKey k = 0;
+  EXPECT_FALSE(dense::EncodeLo(Bound::Closed(Rational(1, 2)), &k));
+  EXPECT_FALSE(dense::EncodeHi(Bound::Open(Rational(-7, 3)), &k));
+  EXPECT_FALSE(
+      dense::EncodeLo(Bound::Closed(Rational(dense::kMaxMagnitude + 1)), &k));
+  EXPECT_FALSE(
+      dense::EncodeHi(Bound::Closed(Rational(-dense::kMaxMagnitude - 1)), &k));
+}
+
+TEST(DenseKeyTest, AdjacencyMakesTouchingIntervalsUnionable) {
+  // [0,3] and (3,5]: hi key of "3]" is 6, lo key of "(3" is 7 - adjacent,
+  // no gap. [0,3) and (3,5]: hi key of "3)" is 5 - gap of one, strictly
+  // before.
+  dense::DKey closed3_hi = 0, open3_lo = 0, open3_hi = 0;
+  ASSERT_TRUE(dense::EncodeHi(Bound::Closed(Rational(3)), &closed3_hi));
+  ASSERT_TRUE(dense::EncodeLo(Bound::Open(Rational(3)), &open3_lo));
+  ASSERT_TRUE(dense::EncodeHi(Bound::Open(Rational(3)), &open3_hi));
+  EXPECT_FALSE(dense::GapBefore(closed3_hi, open3_lo));
+  EXPECT_TRUE(dense::GapBefore(open3_hi, open3_lo));
+}
+
+// Randomized integral intervals over a small grid so coalescing,
+// adjacency, and openness interactions all occur.
+class DenseFuzzer {
+ public:
+  explicit DenseFuzzer(uint64_t seed) : rng_(seed) {}
+
+  int Pick(int n) { return static_cast<int>(rng_() % n); }
+
+  Interval NextIntegral() {
+    if (Pick(16) == 0) {
+      Rational t(Pick(21) - 10);
+      return Pick(2) == 0 ? Interval::AtLeast(t) : Interval::AtMost(t);
+    }
+    int64_t lo = Pick(21) - 10;
+    int64_t hi = lo + Pick(6);
+    Bound blo = Pick(2) == 0 ? Bound::Closed(Rational(lo))
+                             : Bound::Open(Rational(lo));
+    Bound bhi = Pick(2) == 0 ? Bound::Closed(Rational(hi))
+                             : Bound::Open(Rational(hi));
+    auto made = Interval::Make(blo, bhi);
+    return made.value_or(Interval::Point(Rational(lo)));
+  }
+
+  // Halves included: exercises the per-element bail-out to the Rational
+  // kernels mid-stream.
+  Interval NextMixed() {
+    Interval iv = NextIntegral();
+    if (Pick(3) != 0) return iv;
+    Rational lo(Pick(41) - 20, 2);
+    Rational hi = lo + Rational(Pick(11), 2);
+    auto made = Interval::Make(Bound::Closed(lo), Bound::Closed(hi));
+    return made.value_or(Interval::Point(lo));
+  }
+
+  IntervalSet Set(int n, bool integral) {
+    IntervalSet out;
+    for (int i = 0; i < n; ++i) {
+      out.Add(integral ? NextIntegral() : NextMixed());
+    }
+    return out;
+  }
+
+  Interval Window() {
+    switch (Pick(5)) {
+      case 0:
+        return Interval::AtLeast(Rational(Pick(5)));
+      case 1:
+        return Interval::AtMost(Rational(Pick(5) + 1));
+      case 2:
+        return Interval::Point(Rational(Pick(4)));
+      default: {
+        int64_t lo = Pick(4);
+        int64_t hi = lo + Pick(5);
+        Bound blo = Pick(2) == 0 ? Bound::Closed(Rational(lo))
+                                 : Bound::Open(Rational(lo));
+        Bound bhi = Pick(2) == 0 ? Bound::Closed(Rational(hi))
+                                 : Bound::Open(Rational(hi));
+        return Interval::Make(blo, bhi).value_or(Interval::Point(Rational(lo)));
+      }
+    }
+  }
+
+ private:
+  std::mt19937_64 rng_;
+};
+
+// Runs `op` with the dense path enabled and disabled; the results must be
+// component-for-component identical (the byte-identical guarantee the
+// engine advertises for enable_dense_timeline).
+template <typename Op>
+void ExpectDenseMatchesRational(const Op& op, const char* what,
+                                uint64_t seed) {
+  IntervalSet dense_out, rational_out;
+  {
+    dense::DenseScope on(true);
+    dense_out = op();
+  }
+  {
+    dense::DenseScope off(false);
+    rational_out = op();
+  }
+  EXPECT_EQ(dense_out, rational_out)
+      << what << " diverged (seed " << seed << "): dense="
+      << dense_out.ToString() << " rational=" << rational_out.ToString();
+}
+
+TEST(DenseKernelEquivalenceTest, SetAlgebraOverFuzzedStreams) {
+  for (uint64_t seed = 1; seed <= 60; ++seed) {
+    for (bool integral : {true, false}) {
+      DenseFuzzer fuzz(seed * 2 + (integral ? 1 : 0));
+      IntervalSet a = fuzz.Set(1 + fuzz.Pick(8), integral);
+      IntervalSet b = fuzz.Set(1 + fuzz.Pick(8), integral);
+      ExpectDenseMatchesRational(
+          [&] {
+            IntervalSet u = a;
+            u.UnionWith(b);
+            return u;
+          },
+          "UnionWith", seed);
+      ExpectDenseMatchesRational([&] { return a.Intersect(b); }, "Intersect",
+                                 seed);
+      ExpectDenseMatchesRational([&] { return a.Subtract(b); }, "Subtract",
+                                 seed);
+      ExpectDenseMatchesRational(
+          [&] {
+            IntervalSet u = a;
+            IntervalSet fresh = u.UnionWithDelta(b);
+            fresh.UnionWith(u);  // fold both outputs into one comparison
+            return fresh;
+          },
+          "UnionWithDelta", seed);
+    }
+  }
+}
+
+TEST(DenseKernelEquivalenceTest, MetricTransformsOverFuzzedWindows) {
+  for (uint64_t seed = 1; seed <= 60; ++seed) {
+    for (bool integral : {true, false}) {
+      DenseFuzzer fuzz(seed * 2 + (integral ? 1 : 0));
+      IntervalSet a = fuzz.Set(1 + fuzz.Pick(8), integral);
+      Interval rho = fuzz.Window();
+      ExpectDenseMatchesRational([&] { return a.DiamondMinus(rho); },
+                                 "DiamondMinus", seed);
+      ExpectDenseMatchesRational([&] { return a.DiamondPlus(rho); },
+                                 "DiamondPlus", seed);
+      ExpectDenseMatchesRational([&] { return a.BoxMinus(rho); }, "BoxMinus",
+                                 seed);
+      ExpectDenseMatchesRational([&] { return a.BoxPlus(rho); }, "BoxPlus",
+                                 seed);
+    }
+  }
+}
+
+TEST(DenseKernelEquivalenceTest, FromIntervalsOverFuzzedStreams) {
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    for (bool integral : {true, false}) {
+      DenseFuzzer fuzz(seed * 2 + (integral ? 1 : 0));
+      std::vector<Interval> stream;
+      int n = 3 + fuzz.Pick(12);
+      for (int i = 0; i < n; ++i) {
+        stream.push_back(integral ? fuzz.NextIntegral() : fuzz.NextMixed());
+      }
+      ExpectDenseMatchesRational(
+          [&] { return IntervalSet::FromIntervals(stream); }, "FromIntervals",
+          seed);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dmtl

@@ -130,6 +130,22 @@ def check_comparable(base, cand):
     if (bc is None) != (cc is None):
         print(f"  note  enable_rule_compile: baseline={bc!r} "
               f"candidate={cc!r} (one artifact predates the field)")
+    # Memory-architecture flags: the dense integer-timeline kernels and the
+    # round arenas change the per-operation cost profile, so cross-lane
+    # timings measure the feature toggle, not a regression.
+    for flag, what in (("enable_dense_timeline",
+                        "dense and rational timeline kernels"),
+                       ("enable_arena_alloc",
+                        "arena and heap allocation")):
+        bv = base_ctx.get(flag)
+        cv = cand_ctx.get(flag)
+        if bv is not None and cv is not None and bv != cv:
+            return (f"baseline {flag}={bv} but candidate {flag}={cv} "
+                    f"({what} timings are not like-with-like; re-run one "
+                    f"side with the matching setting)")
+        if (bv is None) != (cv is None):
+            print(f"  note  {flag}: baseline={bv!r} candidate={cv!r} "
+                  f"(one artifact predates the field)")
     return None
 
 
