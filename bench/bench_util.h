@@ -118,6 +118,14 @@ class JsonBuilder {
     out_ << (value ? "true" : "false");
     return *this;
   }
+  // Emits a JSON null - for metrics that are undefined for the run rather
+  // than zero (e.g. a parallel speedup when the pool resolved to one
+  // thread), so diffs skip them instead of comparing fabricated numbers.
+  JsonBuilder& NullField(std::string_view key) {
+    Prefix(key);
+    out_ << "null";
+    return *this;
+  }
 
   std::string TakeString() { return out_.str(); }
 

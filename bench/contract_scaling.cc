@@ -51,13 +51,24 @@ int main() {
     parallel_options.num_threads = 0;  // hardware concurrency
     bench::ExecutedSession par =
         bench::Execute(config, {}, &parallel_options);
+    // A speedup is only meaningful when "hardware concurrency" actually
+    // resolved to more than one thread; on a single-core host both lanes
+    // ran the same configuration and the ratio is pure noise.
+    const bool parallel_resolved = par.stats.threads > 1;
     double speedup = par.stats.wall_seconds > 0
                          ? seq.stats.wall_seconds / par.stats.wall_seconds
                          : 0.0;
-    std::printf("%8d %8d %10d %10.3f %10.3f %8.2f %14zu %10zu\n", pt.events,
-                pt.trades, pt.window, seq.stats.wall_seconds,
-                par.stats.wall_seconds, speedup, seq.stats.derived_intervals,
-                seq.stats.rounds);
+    if (parallel_resolved) {
+      std::printf("%8d %8d %10d %10.3f %10.3f %8.2f %14zu %10zu\n", pt.events,
+                  pt.trades, pt.window, seq.stats.wall_seconds,
+                  par.stats.wall_seconds, speedup,
+                  seq.stats.derived_intervals, seq.stats.rounds);
+    } else {
+      std::printf("%8d %8d %10d %10.3f %10.3f %8s %14zu %10zu\n", pt.events,
+                  pt.trades, pt.window, seq.stats.wall_seconds,
+                  par.stats.wall_seconds, "n/a", seq.stats.derived_intervals,
+                  seq.stats.rounds);
+    }
     json.BeginObject()
         .Field("events", pt.events)
         .Field("trades", pt.trades)
@@ -67,9 +78,13 @@ int main() {
         // 0 = "hardware concurrency" as requested; parallel_threads is the
         // pool width that request actually resolved to on this host.
         .Field("requested_threads", static_cast<size_t>(0))
-        .Field("parallel_threads", par.stats.threads)
-        .Field("speedup", speedup)
-        .Field("derived", seq.stats.derived_intervals)
+        .Field("parallel_threads", par.stats.threads);
+    if (parallel_resolved) {
+      json.Field("speedup", speedup);
+    } else {
+      json.NullField("speedup");
+    }
+    json.Field("derived", seq.stats.derived_intervals)
         .Field("parallel_derived", par.stats.derived_intervals)
         .Field("rounds", seq.stats.rounds)
         .EndObject();

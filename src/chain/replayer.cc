@@ -1,5 +1,8 @@
 #include "src/chain/replayer.h"
 
+#include <algorithm>
+#include <chrono>
+
 namespace dmtl {
 
 Database SessionToDatabase(const Session& session) {
@@ -49,6 +52,80 @@ EngineOptions SessionEngineOptions(const Session& session) {
   options.min_time = Rational(session.start_time);
   options.max_time = Rational(session.end_time);
   return options;
+}
+
+Status ReplaySessionStream(const Session& session, StreamingSession* stream,
+                           std::vector<double>* event_latencies_us) {
+  Rational start(session.start_time);
+  Rational end(session.end_time);
+  DMTL_RETURN_IF_ERROR(
+      stream->Push(Fact::Make("start", {}, Interval::Point(start))));
+  DMTL_RETURN_IF_ERROR(
+      stream->Push(Fact::Make("marketEnd", {}, Interval::Point(end))));
+  DMTL_RETURN_IF_ERROR(stream->Push(
+      Fact::Make("skew", {Value::Double(session.initial_skew)},
+                 Interval::Point(start))));
+  DMTL_RETURN_IF_ERROR(stream->Push(
+      Fact::Make("frs", {Value::Double(0.0)}, Interval::Point(start))));
+
+  // Distinct chain event times, ascending. Both lists are sorted; the
+  // merge groups everything landing at one block time into one advance.
+  std::vector<int64_t> times;
+  times.reserve(session.prices.size() + session.events.size());
+  for (const PricePoint& p : session.prices) times.push_back(p.time);
+  for (const MarketEvent& e : session.events) times.push_back(e.time);
+  std::sort(times.begin(), times.end());
+  times.erase(std::unique(times.begin(), times.end()), times.end());
+
+  size_t pi = 0;
+  size_t ei = 0;
+  for (int64_t t : times) {
+    auto t0 = std::chrono::steady_clock::now();
+    Rational rt(t);
+    for (; pi < session.prices.size() && session.prices[pi].time == t; ++pi) {
+      DMTL_RETURN_IF_ERROR(stream->PushStep(
+          "price", {Value::Double(session.prices[pi].price)}, rt));
+    }
+    for (; ei < session.events.size() && session.events[ei].time == t; ++ei) {
+      const MarketEvent& e = session.events[ei];
+      Interval at = Interval::Point(rt);
+      Value account = Value::Symbol(e.account);
+      Fact fact;
+      switch (e.kind) {
+        case EventKind::kTransferMargin:
+          fact = Fact::Make("tranM", {account, Value::Double(e.amount)}, at);
+          break;
+        case EventKind::kWithdraw:
+          fact = Fact::Make("withdraw", {account}, at);
+          break;
+        case EventKind::kModifyPosition:
+          fact = Fact::Make("modPos", {account, Value::Double(e.amount)}, at);
+          break;
+        case EventKind::kClosePosition:
+          fact = Fact::Make("closePos", {account}, at);
+          break;
+      }
+      DMTL_RETURN_IF_ERROR(stream->Push(fact));
+    }
+    DMTL_RETURN_IF_ERROR(stream->AdvanceTo(rt));
+    if (event_latencies_us != nullptr) {
+      event_latencies_us->push_back(
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+    }
+  }
+  if (stream->watermark() < end) {
+    auto t0 = std::chrono::steady_clock::now();
+    DMTL_RETURN_IF_ERROR(stream->AdvanceTo(end));
+    if (event_latencies_us != nullptr) {
+      event_latencies_us->push_back(
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+    }
+  }
+  return Status::Ok();
 }
 
 }  // namespace dmtl

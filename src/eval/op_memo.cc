@@ -48,4 +48,18 @@ void OperatorMemo::OnLeafChanged(const IntervalSet* leaf,
   if (slot.empty()) entries_.erase(it);
 }
 
+void OperatorMemo::OnLeafShrunk(const IntervalSet* leaf) {
+  auto it = entries_.find(leaf);
+  if (it == entries_.end()) return;
+  stats_.invalidations += it->second.size();
+  entries_.erase(it);
+}
+
+void OperatorMemo::Clear() {
+  for (const auto& [leaf, slot] : entries_) {
+    stats_.invalidations += slot.size();
+  }
+  entries_.clear();
+}
+
 }  // namespace dmtl

@@ -59,6 +59,18 @@ class OperatorMemo {
   // (the newly covered intervals of this round's insertions).
   void OnLeafChanged(const IntervalSet* leaf, const IntervalSet& fresh);
 
+  // Retraction notification: the set at `leaf` *lost* coverage (or was
+  // erased outright). Shrinking never distributes through the operator
+  // paths the way growth can, so every entry keyed on the leaf is dropped;
+  // the pointer is used purely as an identity key and never dereferenced -
+  // safe to call with the address of an already-destroyed set, which is
+  // exactly what Relation::RemoveRegion hands back for erased tuples.
+  void OnLeafShrunk(const IntervalSet* leaf);
+
+  // Drops every entry (streaming full invalidation after a retraction whose
+  // affected-leaf set was not tracked precisely).
+  void Clear();
+
   bool empty() const { return entries_.empty(); }
   const Stats& stats() const { return stats_; }
 

@@ -417,6 +417,8 @@ Status RuleEvaluator::EvaluatePositivePlanned(
   uint64_t probes = 0;
   uint64_t hits = 0;
   uint64_t pruned = 0;
+  uint64_t memo_isect = 0;
+  uint64_t memo_isect_comps = 0;
 
   for (const ExecutionPlan::Step& step : plan.steps) {
     const BodyLiteral& lit = rule_.body[positive_literals_[step.p]];
@@ -445,6 +447,8 @@ Status RuleEvaluator::EvaluatePositivePlanned(
       uint64_t* probes;
       uint64_t* hits;
       uint64_t* pruned;
+      uint64_t* memo_isect;
+      uint64_t* memo_isect_comps;
       const ExecutionGuard* guard = nullptr;
       uint64_t guard_counter = 0;
 
@@ -465,8 +469,10 @@ Status RuleEvaluator::EvaluatePositivePlanned(
               // identity), refreshed across rounds with just the newly
               // derived intervals. Delta-restricted literals read from the
               // transient delta database and are never memoized.
-              joined = row->extent.Intersect(
-                  memo->Lookup(step.p, path, leaf_set));
+              const IntervalSet& m = memo->Lookup(step.p, path, leaf_set);
+              ++*memo_isect;
+              *memo_isect_comps += row->extent.size() + m.size();
+              joined = row->extent.Intersect(m);
               break;
             }
             // Replicates EvalRec exactly: child windows root-to-leaf, the
@@ -555,8 +561,11 @@ Status RuleEvaluator::EvaluatePositivePlanned(
     };
 
     std::vector<BindingRow> next_rows;
-    Enumerator enumerator{atoms,   step, lplan,      lit,     source, nullptr,
-                          memo,    {},   &next_rows, &probes, &hits,  &pruned};
+    Enumerator enumerator{atoms,       step,    lplan,
+                          lit,         source,  nullptr,
+                          memo,        {},      &next_rows,
+                          &probes,     &hits,   &pruned,
+                          &memo_isect, &memo_isect_comps};
     enumerator.guard = guard;
     enumerator.windows.resize(atoms.size());
     for (const BindingRow& row : *rows) {
@@ -587,6 +596,10 @@ Status RuleEvaluator::EvaluatePositivePlanned(
     stats->index_probes.fetch_add(probes, std::memory_order_relaxed);
     stats->index_probe_hits.fetch_add(hits, std::memory_order_relaxed);
     stats->envelope_pruned.fetch_add(pruned, std::memory_order_relaxed);
+    stats->memo_intersections.fetch_add(memo_isect,
+                                        std::memory_order_relaxed);
+    stats->memo_intersect_components.fetch_add(memo_isect_comps,
+                                               std::memory_order_relaxed);
   }
   return Status::Ok();
 }

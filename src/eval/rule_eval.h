@@ -28,6 +28,13 @@ struct PlannerStats {
   // Candidate tuples skipped by a temporal-envelope or hull precheck before
   // paying for unification + IntervalSet::Intersect.
   std::atomic<uint64_t> envelope_pruned{0};
+  // Memo-literal set intersections (row extent ∩ memoized operator-path
+  // output) and the interval components both operands carried into them -
+  // the dominant remaining per-candidate cost once rules are compiled
+  // (docs/ENGINE.md "Rule compilation"). Covered-hull fast paths that skip
+  // the sweep entirely count as an intersection with zero components.
+  std::atomic<uint64_t> memo_intersections{0};
+  std::atomic<uint64_t> memo_intersect_components{0};
   // Estimated cost of the most recent plan (see ExplainPlan for the model).
   std::atomic<double> last_plan_cost{0.0};
 };

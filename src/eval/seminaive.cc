@@ -16,7 +16,9 @@
 #include "src/temporal/dense.h"
 #include "src/eval/aggregate_eval.h"
 #include "src/eval/chain_accel.h"
+#include "src/eval/incremental.h"
 #include "src/eval/op_memo.h"
+#include "src/eval/operators.h"
 #include "src/eval/rule_eval.h"
 #include "src/eval/vm.h"
 
@@ -503,6 +505,11 @@ std::string EngineStats::ToString() const {
            " memo_refreshes=" + std::to_string(memo_refreshes) +
            " memo_invalidations=" + std::to_string(memo_invalidations);
   }
+  if (memo_intersections > 0) {
+    out += " memo_intersections=" + std::to_string(memo_intersections) +
+           " memo_intersect_components=" +
+           std::to_string(memo_intersect_components);
+  }
   out += " delta_intervals=" + std::to_string(delta_intervals) +
          " bulk_merges=" + std::to_string(bulk_merges);
   if (planner_indexes_built + planner_index_probes + planner_pruned_tuples >
@@ -946,6 +953,10 @@ Status MaterializeImpl(const Program& program, Database* db,
         ps->index_probe_hits.load(std::memory_order_relaxed);
     stats->planner_pruned_tuples +=
         ps->envelope_pruned.load(std::memory_order_relaxed);
+    stats->memo_intersections +=
+        ps->memo_intersections.load(std::memory_order_relaxed);
+    stats->memo_intersect_components +=
+        ps->memo_intersect_components.load(std::memory_order_relaxed);
     stats->rule_plan_cost.push_back(
         ps->last_plan_cost.load(std::memory_order_relaxed));
   }
@@ -1019,6 +1030,1123 @@ Status Materialize(const Program& program, Database* db,
     }
   }
   return status;
+}
+
+// ===========================================================================
+// IncrementalMaterializer: the streaming engine. Shares the file-local
+// machinery above (Sink, BufferedSink, RoundTask, RunRoundParallel, the
+// dense-timeline predicates) and keeps everything a batch run rebuilds per
+// call - compiled rules, VMs, operator memos, the thread pool, the arenas -
+// alive across watermark advances.
+// ===========================================================================
+
+namespace {
+
+// Frontier propagation rounds before saturating to "everything below the
+// watermark may differ". Programs whose expiry effects genuinely chain
+// forward without bound (self-recursive [c,c] ticks) always hit the cap;
+// saturation is sound (wipe more, re-derive more), and retraction cost is
+// amortized across many advances, so precision here only buys speed.
+constexpr int kFrontierIterCap = 64;
+
+// Contents-driven variant of DeltaOccurrences: re-evaluate every positive
+// occurrence whose predicate has coverage in `delta`, regardless of
+// stratum. The batch engine filters by stratum head predicates because only
+// those can change mid-stratum; a streaming seed delta also carries input
+// facts and lower-strata fresh coverage, which must trigger re-evaluation
+// too.
+std::vector<int> DeltaOccurrencesAny(const CompiledRule& c,
+                                     const RuleEvaluator& eval,
+                                     const Database& delta) {
+  std::vector<int> occurrences;
+  std::vector<const RelationalAtom*> all_atoms;
+  for (const BodyLiteral& lit : c.rule().body) {
+    if (lit.kind != BodyLiteral::Kind::kMetric || lit.negated) continue;
+    lit.metric.CollectRelationalAtoms(&all_atoms);
+  }
+  for (int occ = 0; occ < eval.num_positive_occurrences(); ++occ) {
+    const Relation* changed = delta.Find(all_atoms[occ]->predicate);
+    if (changed == nullptr || changed->IsEmpty()) continue;
+    occurrences.push_back(occ);
+  }
+  return occurrences;
+}
+
+}  // namespace
+
+class IncrementalMaterializer::Impl {
+ public:
+  Impl(const Program& program, Database* db, const EngineOptions& options)
+      : program_(program),
+        db_(db),
+        options_(options),
+        cur_min_(options.min_time.value_or(Rational(0))),
+        watermark_(cur_min_) {}
+
+  // One literal's temporal dependence on one relational atom: the head time
+  // differs only when the atom differs somewhere in [t - hi, t - lo]. Used
+  // both ways: forward (atom changed at x -> heads in x + [lo, hi] may
+  // change, the retraction frontier) and backward (a head at t needs the
+  // atom above t - hi, the advance band width R).
+  struct LitDilation {
+    PredicateId pred = 0;
+    Rational lo;
+    Rational hi;
+    bool hi_inf = false;
+  };
+
+  Status Init() {
+    if (!options_.min_time.has_value()) {
+      return Status::InvalidArgument(
+          "streaming requires min_time (the initial window start)");
+    }
+    if (options_.max_time.has_value()) {
+      return Status::InvalidArgument(
+          "max_time is managed by the watermark; leave it unset");
+    }
+    if (options_.naive_evaluation) {
+      return Status::InvalidArgument(
+          "naive evaluation re-derives everything and cannot run "
+          "incrementally");
+    }
+    DMTL_RETURN_IF_ERROR(program_.CheckArities());
+    DMTL_RETURN_IF_ERROR(CheckSafety(program_));
+    DMTL_ASSIGN_OR_RETURN(strat_, Stratify(program_));
+
+    const auto& rules = program_.rules();
+    rule_dilations_.resize(rules.size());
+    positive_preds_.resize(rules.size());
+    for (size_t i = 0; i < rules.size(); ++i) {
+      const Rule& rule = rules[i];
+      if (!rule.head.ops.empty()) {
+        return Status::InvalidArgument(
+            "rule " + std::to_string(i) +
+            ": head operators are not streaming-eligible (they derive "
+            "outside the body match, breaking watermark finality)");
+      }
+      for (const BodyLiteral& lit : rule.body) {
+        if (lit.kind != BodyLiteral::Kind::kMetric) continue;
+        DMTL_RETURN_IF_ERROR(WalkMetric(lit.metric, Rational(0), Rational(0),
+                                        false, !lit.negated, i));
+      }
+      if (positive_preds_[i].empty()) {
+        return Status::InvalidArgument(
+            "rule " + std::to_string(i) +
+            ": no positive relational atom; its derivations could never be "
+            "reached by a streaming delta");
+      }
+    }
+
+    // Memo refresh fans fresh leaves out to rule memos. Only a rule whose
+    // body references the leaf's predicate can hold an entry for it, so
+    // the refresh walks this index instead of probing every rule's memo
+    // for every fresh tuple (the all-memos sweep was ~20% of a steady
+    // advance at paper scale).
+    for (size_t i = 0; i < rules.size(); ++i) {
+      for (const LitDilation& d : rule_dilations_[i]) {
+        auto& ids = refresh_rules_by_pred_[d.pred];
+        if (ids.empty() || ids.back() != i) ids.push_back(i);
+      }
+    }
+
+    stratum_body_preds_.assign(strat_.num_strata, {});
+    for (int s = 0; s < strat_.num_strata; ++s) {
+      for (size_t id : strat_.rule_strata[s]) {
+        stratum_body_preds_[s].insert(positive_preds_[id].begin(),
+                                      positive_preds_[id].end());
+      }
+    }
+
+    num_threads_ = ThreadPool::ResolveThreads(options_.num_threads);
+    if (num_threads_ > 1) pool_.emplace(num_threads_);
+
+    compiled_.reserve(rules.size());
+    for (const Rule& rule : rules) {
+      if (rule.head.aggregate.has_value()) {
+        DMTL_ASSIGN_OR_RETURN(
+            AggregateEvaluator agg,
+            AggregateEvaluator::Create(rule, options_.enable_join_planning));
+        compiled_.push_back(CompiledRule{
+            std::variant<RuleEvaluator, AggregateEvaluator>(std::move(agg)),
+            std::nullopt});
+      } else {
+        DMTL_ASSIGN_OR_RETURN(
+            RuleEvaluator eval,
+            RuleEvaluator::Create(rule, options_.enable_join_planning));
+        std::optional<ChainAccelerator::ChainInfo> chain;
+        if (options_.enable_chain_acceleration) {
+          chain = ChainAccelerator::Detect(rule, strat_.predicate_stratum);
+        }
+        compiled_.push_back(CompiledRule{
+            std::variant<RuleEvaluator, AggregateEvaluator>(std::move(eval)),
+            std::move(chain)});
+      }
+    }
+
+    const bool compile_rules =
+        options_.enable_rule_compile &&
+        std::getenv("DMTL_DISABLE_RULE_COMPILE") == nullptr;
+    if (compile_rules) {
+      vms_.resize(compiled_.size());
+      for (size_t i = 0; i < compiled_.size(); ++i) {
+        if (compiled_[i].is_aggregate()) continue;
+        std::string why;
+        vms_[i] = RuleVm::Create(std::get<RuleEvaluator>(compiled_[i].eval),
+                                 compiled_[i].chain, &why);
+        if (vms_[i] != nullptr) ++compiled_rule_count_;
+        else ++vm_fallback_count_;
+      }
+    }
+    if (options_.enable_interval_deltas && options_.enable_join_planning) {
+      memos_.resize(compiled_.size());
+      for (size_t i = 0; i < compiled_.size(); ++i) {
+        memos_[i] = std::make_unique<OperatorMemo>();
+      }
+    }
+
+    // Static half of the dense-timeline predicate; the per-input half is
+    // latched in Push, the per-operation half (watermark integrality) is
+    // checked when each operation starts.
+    program_dense_ok_ = DenseTimeOk(options_.min_time);
+    for (const Rule& rule : rules) {
+      for (const HeadAtom::HeadOp& op : rule.head.ops) {
+        if (!DenseIntervalOk(op.range)) program_dense_ok_ = false;
+      }
+      for (const BodyLiteral& lit : rule.body) {
+        if (lit.kind == BodyLiteral::Kind::kMetric &&
+            !DenseMetricOk(lit.metric)) {
+          program_dense_ok_ = false;
+        }
+      }
+    }
+    arena_alloc_ = options_.enable_arena_alloc &&
+                   std::getenv("DMTL_DISABLE_ARENA_ALLOC") == nullptr;
+    if (arena_alloc_ && pool_.has_value()) {
+      num_task_arenas_ = compiled_.size();
+      task_arenas_ = std::make_unique<RoundArena[]>(num_task_arenas_);
+    }
+    provenance_ = options_.provenance;
+    return Status::Ok();
+  }
+
+  Status Push(const Fact& fact) {
+    if (needs_rebuild_) DMTL_RETURN_IF_ERROR(Heal());
+    if (advanced_any_) {
+      const Bound& lo = fact.interval.lo();
+      const bool above =
+          !lo.infinite &&
+          (watermark_ < lo.value || (lo.value == watermark_ && lo.open));
+      if (!above) {
+        return Status::InvalidArgument(
+            "streamed fact " + fact.ToString() +
+            " reaches at or below the watermark " + watermark_.ToString() +
+            "; push every fact at time t before advancing to t");
+      }
+    }
+    if (!DenseIntervalOk(fact.interval)) inputs_dense_ok_ = false;
+    inputs_.push_back(fact);
+    IntervalSet fresh =
+        db_->InsertSet(fact.predicate, fact.args, IntervalSet(fact.interval));
+    if (!fresh.IsEmpty()) {
+      pending_fresh_.InsertSet(fact.predicate, fact.args, fresh);
+    }
+    return Status::Ok();
+  }
+
+  Status Advance(const Rational& t, EngineStats* stats_out) {
+    EngineStats local;
+    EngineStats* stats = stats_out != nullptr ? stats_out : &local;
+    *stats = EngineStats();
+    auto start_time = std::chrono::steady_clock::now();
+    if (needs_rebuild_) DMTL_RETURN_IF_ERROR(Heal());
+    if (t < watermark_) {
+      return Status::InvalidArgument("advance to " + t.ToString() +
+                                     " precedes the watermark " +
+                                     watermark_.ToString());
+    }
+    ExecutionGuard guard(options_.deadline, options_.cancel_token);
+    const ExecutionGuard* gptr = guard.enabled() ? &guard : nullptr;
+    const CounterBaseline base = SnapshotCounters();
+    stats->num_strata = strat_.num_strata;
+    stats->threads = num_threads_;
+
+    // Memo entries may cache operator outputs over leaves the pushed inputs
+    // just grew; refresh them with exactly the fresh portions (re-refreshing
+    // a portion kept pending from an earlier advance is a union no-op).
+    RefreshMemosWith(pending_fresh_);
+    // Chain guard-allowed sets are only stable within one run: guard
+    // predicates grow across advances.
+    for (auto& vm : vms_) {
+      if (vm != nullptr) vm->ClearChainCache();
+    }
+
+    // Seed delta: the boundary band of stored coverage plus the pending
+    // input fresh portions. Any derivation landing in (W, t] has every
+    // positive support atom above t - R > W - R, so each one is either old
+    // (in the band) or new (pending / derived this advance) - which makes
+    // occurrence-restricted evaluation against this seed complete.
+    Database carry;
+    if (watermark_ < t) {
+      std::optional<Interval> band;
+      if (reach_inf_) {
+        band = Interval::AtMost(watermark_);
+      } else if (Rational(0) < reach_) {
+        band = Interval::Make(Bound::Open(watermark_ - reach_),
+                              Bound::Closed(watermark_));
+      }
+      if (band.has_value()) {
+        if (band_cache_valid_) {
+          // Steady state: every stored piece intersecting the band was in
+          // the previous advance's carry (seed or fresh), so the cached
+          // band snapshot - a few live tuples - replaces a full-store scan.
+          for (const auto& [pred, rel] : band_cache_.relations()) {
+            for (const Relation::ScanEntry& row : rel.Rows()) {
+              IntervalSet part = row.extent->Intersect(*band);
+              if (!part.IsEmpty()) carry.InsertSet(pred, *row.tuple, part);
+            }
+          }
+        } else {
+          for (const auto& [pred, rel] : db_->relations()) {
+            for (const Relation::ScanEntry& row : rel.Rows()) {
+              if (row.extent->IsEmpty()) continue;
+              // Tuples whose coverage ended before the band - the common
+              // case once the stream has history - fail on one bound
+              // compare instead of a full intersection.
+              const Bound& hi =
+                  (row.extent->begin() + (row.extent->size() - 1))->hi();
+              if (!band->lo().infinite && !hi.infinite &&
+                  !(band->lo().value < hi.value)) {
+                continue;
+              }
+              IntervalSet part = row.extent->Intersect(*band);
+              if (!part.IsEmpty()) carry.InsertSet(pred, *row.tuple, part);
+            }
+          }
+        }
+      }
+    }
+    carry.MergeFrom(pending_fresh_);
+
+    // Evaluate only over [W, t]: the fixpoint below the watermark is final
+    // (no future operators, stratified negation, pointwise aggregates), so
+    // every piece of coverage this advance can add lies at or above W.
+    // Heads that straddle W merge with their stored prefix on insert, and
+    // negation complements / chain guard-allowed sets shrink from
+    // O(history) to O(band) per event.
+    Interval window = Interval::Closed(watermark_, t);
+    Status status = RunStrata(window, &carry, nullptr, stats, gptr);
+    FinalizeOpStats(start_time, guard, status, base, stats);
+    if (!status.ok()) return status;
+
+    // Snapshot the next advance's band from this advance's carry. Every
+    // stored piece that can intersect (t - R, t] was either seeded into
+    // `carry` (it intersected the old band, whose lower bound is no higher),
+    // pushed (pending), or derived this run (the barrier merges fresh
+    // coverage back into the carry) - so the snapshot replaces the
+    // full-store scan above on the next advance. Unbounded reach keeps the
+    // scan: its band has no finite lower edge to snapshot against.
+    if (!reach_inf_ && Rational(0) < reach_) {
+      std::optional<Interval> next_band =
+          Interval::Make(Bound::Open(t - reach_), Bound::Closed(t));
+      if (next_band.has_value()) {
+        if (watermark_ < t) band_cache_.Clear();
+        bool snapshot_complete = watermark_ < t || band_cache_valid_;
+        for (const auto& [pred, rel] : carry.relations()) {
+          for (const Relation::ScanEntry& row : rel.Rows()) {
+            IntervalSet part = row.extent->Intersect(*next_band);
+            if (!part.IsEmpty()) band_cache_.InsertSet(pred, *row.tuple, part);
+          }
+        }
+        band_cache_valid_ = snapshot_complete;
+      }
+    }
+
+    watermark_ = t;
+    advanced_any_ = true;
+    TrimPendingAbove(t);
+    return Status::Ok();
+  }
+
+  Status Retract(const Rational& new_min, EngineStats* stats_out) {
+    EngineStats local;
+    EngineStats* stats = stats_out != nullptr ? stats_out : &local;
+    *stats = EngineStats();
+    auto start_time = std::chrono::steady_clock::now();
+    if (needs_rebuild_) DMTL_RETURN_IF_ERROR(Heal());
+    if (!(cur_min_ < new_min)) {
+      return Status::InvalidArgument("window minimum must increase (" +
+                                     cur_min_.ToString() + " -> " +
+                                     new_min.ToString() + ")");
+    }
+    if (watermark_ < new_min) {
+      return Status::InvalidArgument(
+          "cannot slide the window past the watermark " +
+          watermark_.ToString());
+    }
+    ExecutionGuard guard(options_.deadline, options_.cancel_token);
+    const ExecutionGuard* gptr = guard.enabled() ? &guard : nullptr;
+    const CounterBaseline base = SnapshotCounters();
+    stats->num_strata = strat_.num_strata;
+    stats->threads = num_threads_;
+
+    // Per-predicate frontier: where stored coverage may differ from a cold
+    // run over the clamped inputs. Seeded with the expired region for every
+    // predicate and dilated through every rule's literal windows to
+    // fixpoint (or saturation).
+    std::unordered_map<PredicateId, IntervalSet> frontier =
+        ComputeFrontier(new_min);
+
+    // Clamp the input log so rebuilds, cold replays, and the re-insertion
+    // below all see the post-slide inputs. cur_min_ moves first: a failure
+    // past this point heals into the new window.
+    ClampLogTo(new_min);
+    cur_min_ = new_min;
+
+    for (const auto& [pred, region] : frontier) {
+      if (region.IsEmpty()) continue;
+      stats->rolled_back_intervals += db_->RemoveRegion(pred, region);
+    }
+    if (provenance_ != nullptr) PruneProvenance(frontier);
+    // Wiped regions may include surviving input coverage (the frontier is
+    // region-based, not derivation-based); re-insert it raw from the log,
+    // exactly like a cold run's input load - never through the sink, so no
+    // provenance records appear for input coverage.
+    for (const Fact& f : inputs_) {
+      db_->InsertSet(f.predicate, f.args, IntervalSet(f.interval));
+    }
+
+    // Removal dropped bound indexes and may have erased tuples or whole
+    // relations: every cached address is suspect. The band snapshot is
+    // stale too - retraction removes coverage and re-inserts raw inputs
+    // outside any carry - so the next advance falls back to a full scan.
+    for (auto& memo : memos_) {
+      if (memo != nullptr) memo->Clear();
+    }
+    for (auto& vm : vms_) {
+      if (vm != nullptr) {
+        vm->InvalidateCompiledState();
+        vm->ClearChainCache();
+      }
+    }
+    band_cache_ = Database();
+    band_cache_valid_ = false;
+
+    // Re-derive: full evaluation for every rule whose head frontier meets
+    // the surviving window, then the usual delta fixpoint. Starting from a
+    // wiped (sub-fixpoint) state, the monotone chase lands exactly on the
+    // cold fixpoint.
+    Interval window = Interval::Closed(cur_min_, watermark_);
+    std::vector<char> full(compiled_.size(), 0);
+    bool any = false;
+    for (size_t i = 0; i < compiled_.size(); ++i) {
+      auto it = frontier.find(compiled_[i].rule().head.predicate);
+      if (it == frontier.end()) continue;
+      if (!it->second.Intersect(window).IsEmpty()) {
+        full[i] = 1;
+        any = true;
+      }
+    }
+    Database carry;
+    Status status = any ? RunStrata(window, &carry, &full, stats, gptr)
+                        : Status::Ok();
+    FinalizeOpStats(start_time, guard, status, base, stats);
+    return status;
+  }
+
+  const Rational& watermark() const { return watermark_; }
+  const Rational& window_min() const { return cur_min_; }
+  const std::vector<Fact>& input_log() const { return inputs_; }
+  bool needs_rebuild() const { return needs_rebuild_; }
+  bool reach_unbounded() const { return reach_inf_; }
+  const Rational& forward_reach() const { return reach_; }
+
+ private:
+  // Session-cumulative counter totals across the persistent evaluators;
+  // per-operation stats are deltas against a baseline taken at entry.
+  struct CounterBaseline {
+    uint64_t idx_built = 0, probes = 0, probe_hits = 0, pruned = 0;
+    uint64_t memo_isect = 0, memo_isect_comps = 0;
+    uint64_t vm_disp = 0, vm_comp = 0;
+    size_t m_hits = 0, m_miss = 0, m_ref = 0, m_inv = 0;
+    uint64_t bulk = 0;
+  };
+
+  Status WalkMetric(const MetricAtom& m, Rational lo, Rational hi,
+                    bool hi_inf, bool positive, size_t rule_index) {
+    switch (m.kind()) {
+      case MetricAtom::Kind::kRelational:
+        rule_dilations_[rule_index].push_back(
+            {m.atom().predicate, lo, hi, hi_inf});
+        if (positive) {
+          positive_preds_[rule_index].insert(m.atom().predicate);
+          if (hi_inf) reach_inf_ = true;
+          else if (reach_ < hi) reach_ = hi;
+        }
+        return Status::Ok();
+      case MetricAtom::Kind::kTruth:
+      case MetricAtom::Kind::kFalsity:
+        return Status::Ok();
+      case MetricAtom::Kind::kUnary: {
+        if (m.op() == MtlOp::kDiamondPlus || m.op() == MtlOp::kBoxPlus) {
+          return Status::InvalidArgument(
+              "rule " + std::to_string(rule_index) +
+              ": future operators are not streaming-eligible (coverage "
+              "below the watermark would not be final)");
+        }
+        const Interval& r = m.range();
+        if (r.lo().infinite || r.lo().value < Rational(0)) {
+          return Status::InvalidArgument(
+              "rule " + std::to_string(rule_index) +
+              ": operator range reaches into the future");
+        }
+        const Rational nlo = lo + r.lo().value;
+        const bool ninf = hi_inf || r.hi().infinite;
+        const Rational nhi = ninf ? hi : hi + r.hi().value;
+        return WalkMetric(m.left(), nlo, nhi, ninf, positive, rule_index);
+      }
+      case MetricAtom::Kind::kBinary:
+        return Status::InvalidArgument(
+            "rule " + std::to_string(rule_index) +
+            ": since/until are not streaming-eligible");
+    }
+    return Status::Internal("unknown metric atom kind");
+  }
+
+  // Full cold rebuild from the input log; run before the next operation
+  // after a mid-operation failure left the store at a round barrier.
+  Status Heal() {
+    db_->Clear();
+    if (provenance_ != nullptr) provenance_->clear();
+    for (auto& memo : memos_) {
+      if (memo != nullptr) memo->Clear();
+    }
+    for (auto& vm : vms_) {
+      if (vm != nullptr) {
+        vm->InvalidateCompiledState();
+        vm->ClearChainCache();
+      }
+    }
+    for (const Fact& f : inputs_) {
+      db_->InsertSet(f.predicate, f.args, IntervalSet(f.interval));
+    }
+    EngineOptions o = options_;
+    o.min_time = cur_min_;
+    o.max_time = watermark_;
+    o.provenance = provenance_;
+    EngineStats heal_stats;
+    DMTL_RETURN_IF_ERROR(dmtl::Materialize(program_, db_, o, &heal_stats));
+    band_cache_ = Database();
+    band_cache_valid_ = false;
+    needs_rebuild_ = false;
+    return Status::Ok();
+  }
+
+  void RefreshMemosWith(const Database& fresh) {
+    if (memos_.empty()) return;
+    for (const auto& [pred, rel] : fresh.relations()) {
+      auto rules_it = refresh_rules_by_pred_.find(pred);
+      if (rules_it == refresh_rules_by_pred_.end()) continue;
+      const Relation* live = db_->Find(pred);
+      if (live == nullptr) continue;
+      for (const auto& [tuple, grown] : rel.data()) {
+        const IntervalSet* leaf = live->Find(tuple);
+        if (leaf == nullptr) continue;
+        for (size_t id : rules_it->second) {
+          if (memos_[id] != nullptr) memos_[id]->OnLeafChanged(leaf, grown);
+        }
+      }
+    }
+  }
+
+  // Keeps only the (t, +inf) portions pending: everything at or below the
+  // new watermark was consumed by the advance that just completed.
+  void TrimPendingAbove(const Rational& t) {
+    auto above = Interval::Make(Bound::Open(t), Bound::Infinite());
+    Database kept;
+    for (const auto& [pred, rel] : pending_fresh_.relations()) {
+      for (const auto& [tuple, set] : rel.data()) {
+        IntervalSet part = set.Intersect(*above);
+        if (!part.IsEmpty()) kept.InsertSet(pred, tuple, part);
+      }
+    }
+    pending_fresh_ = std::move(kept);
+  }
+
+  void ClampLogTo(const Rational& new_min) {
+    std::vector<Fact> kept;
+    kept.reserve(inputs_.size());
+    for (const Fact& f : inputs_) {
+      auto part = f.interval.Intersect(Interval::AtLeast(new_min));
+      if (!part.has_value()) continue;
+      Fact clamped = f;
+      clamped.interval = *part;
+      kept.push_back(std::move(clamped));
+    }
+    inputs_ = std::move(kept);
+  }
+
+  std::unordered_map<PredicateId, IntervalSet> ComputeFrontier(
+      const Rational& new_min) const {
+    std::unordered_map<PredicateId, IntervalSet> frontier;
+    // Expired region: everything strictly below the new window minimum.
+    // Every predicate starts there - inputs and derivations below new_min
+    // all vanish in the cold run over clamped inputs.
+    IntervalSet expired(
+        *Interval::Make(Bound::Infinite(), Bound::Open(new_min)));
+    for (const auto& [pred, rel] : db_->relations()) {
+      (void)rel;
+      frontier.emplace(pred, expired);
+    }
+    for (size_t i = 0; i < compiled_.size(); ++i) {
+      frontier.emplace(compiled_[i].rule().head.predicate, expired);
+      for (const LitDilation& d : rule_dilations_[i]) {
+        frontier.emplace(d.pred, expired);
+      }
+    }
+
+    // Dilate to fixpoint: a body atom differing at x can flip the head
+    // anywhere in x + [lo, hi] (positive and negated literals alike - the
+    // frontier tracks *may differ*, not a direction). Clipped above the
+    // watermark: nothing is stored there.
+    const Interval clip = Interval::AtMost(watermark_);
+    bool changed = true;
+    int iter = 0;
+    while (changed && ++iter <= kFrontierIterCap) {
+      changed = false;
+      for (size_t i = 0; i < compiled_.size(); ++i) {
+        IntervalSet& head =
+            frontier.at(compiled_[i].rule().head.predicate);
+        for (const LitDilation& d : rule_dilations_[i]) {
+          const IntervalSet& body = frontier.at(d.pred);
+          if (body.IsEmpty()) continue;
+          auto rho = Interval::Make(
+              Bound::Closed(d.lo),
+              d.hi_inf ? Bound::Infinite() : Bound::Closed(d.hi));
+          IntervalSet grown =
+              ApplyUnaryOp(MtlOp::kDiamondMinus, *rho, body).Intersect(clip);
+          if (grown.IsEmpty()) continue;
+          if (!head.UnionWithDelta(grown).IsEmpty()) changed = true;
+        }
+      }
+    }
+    if (changed) {
+      // Cap hit: saturate every derived predicate to the whole stored
+      // range. Inputs never saturate - their coverage differs only in the
+      // expired region.
+      for (size_t i = 0; i < compiled_.size(); ++i) {
+        frontier[compiled_[i].rule().head.predicate] = IntervalSet(clip);
+      }
+    }
+    return frontier;
+  }
+
+  void PruneProvenance(
+      const std::unordered_map<PredicateId, IntervalSet>& frontier) {
+    std::vector<DerivationRecord> kept;
+    kept.reserve(provenance_->size());
+    for (const DerivationRecord& rec : *provenance_) {
+      auto it = frontier.find(rec.predicate);
+      if (it == frontier.end() || it->second.IsEmpty()) {
+        kept.push_back(rec);
+        continue;
+      }
+      IntervalSet remaining =
+          IntervalSet(rec.piece).Subtract(it->second);
+      for (const Interval& piece : remaining) {
+        DerivationRecord r = rec;
+        r.piece = piece;
+        kept.push_back(std::move(r));
+      }
+    }
+    *provenance_ = std::move(kept);
+  }
+
+  CounterBaseline SnapshotCounters() const {
+    CounterBaseline b;
+    for (const CompiledRule& c : compiled_) {
+      const PlannerStats* ps =
+          c.is_aggregate()
+              ? std::get<AggregateEvaluator>(c.eval).planner_stats()
+              : std::get<RuleEvaluator>(c.eval).planner_stats();
+      if (ps == nullptr) continue;
+      b.idx_built += ps->indexes_built.load(std::memory_order_relaxed);
+      b.probes += ps->index_probes.load(std::memory_order_relaxed);
+      b.probe_hits += ps->index_probe_hits.load(std::memory_order_relaxed);
+      b.pruned += ps->envelope_pruned.load(std::memory_order_relaxed);
+      b.memo_isect += ps->memo_intersections.load(std::memory_order_relaxed);
+      b.memo_isect_comps +=
+          ps->memo_intersect_components.load(std::memory_order_relaxed);
+    }
+    for (const auto& vm : vms_) {
+      if (vm == nullptr) continue;
+      b.vm_disp += vm->dispatches();
+      b.vm_comp += vm->compiles();
+    }
+    for (const auto& memo : memos_) {
+      if (memo == nullptr) continue;
+      b.m_hits += memo->stats().hits;
+      b.m_miss += memo->stats().misses;
+      b.m_ref += memo->stats().refreshes;
+      b.m_inv += memo->stats().invalidations;
+    }
+    b.bulk = IntervalSet::BulkMergeCount();
+    return b;
+  }
+
+  void FinalizeOpStats(std::chrono::steady_clock::time_point start_time,
+                       const ExecutionGuard& guard, const Status& status,
+                       const CounterBaseline& base, EngineStats* stats) {
+    const CounterBaseline now = SnapshotCounters();
+    stats->planner_indexes_built += now.idx_built - base.idx_built;
+    stats->planner_index_probes += now.probes - base.probes;
+    stats->planner_probe_hits += now.probe_hits - base.probe_hits;
+    stats->planner_pruned_tuples += now.pruned - base.pruned;
+    stats->memo_intersections += now.memo_isect - base.memo_isect;
+    stats->memo_intersect_components +=
+        now.memo_isect_comps - base.memo_isect_comps;
+    stats->vm_dispatches += now.vm_disp - base.vm_disp;
+    stats->vm_recompiles += now.vm_comp - base.vm_comp;
+    stats->memo_hits += now.m_hits - base.m_hits;
+    stats->memo_misses += now.m_miss - base.m_miss;
+    stats->memo_refreshes += now.m_ref - base.m_ref;
+    stats->memo_invalidations += now.m_inv - base.m_inv;
+    stats->bulk_merges += now.bulk - base.bulk;
+    stats->compiled_rules = compiled_rule_count_;
+    stats->vm_fallbacks = vm_fallback_count_;
+    stats->guard_checks = guard.checks();
+    stats->intervals_at_stop = db_->NumIntervals();
+    stats->wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_time)
+            .count();
+    if (!status.ok() && stats->stop_reason == StopReason::kCompleted) {
+      switch (status.code()) {
+        case StatusCode::kDeadlineExceeded:
+          stats->stop_reason = StopReason::kDeadline;
+          break;
+        case StatusCode::kCancelled:
+          stats->stop_reason = StopReason::kCancelled;
+          break;
+        case StatusCode::kResourceExhausted:
+          stats->stop_reason = StopReason::kMaxIntervals;
+          break;
+        default:
+          stats->stop_reason = StopReason::kError;
+          break;
+      }
+    }
+  }
+
+  // The streaming chase over all strata. `carry` is the seed delta (band +
+  // fresh inputs for an advance; empty for a retraction) and accumulates
+  // every stratum's fresh coverage so later strata see it. `full_rules`
+  // (retraction only) flags rules needing a full initial evaluation.
+  Status RunStrata(const Interval& window, Database* carry,
+                   const std::vector<char>* full_rules, EngineStats* stats,
+                   const ExecutionGuard* guard) {
+    const bool dense_timeline =
+        options_.enable_dense_timeline &&
+        std::getenv("DMTL_DISABLE_DENSE_TIMELINE") == nullptr &&
+        program_dense_ok_ && inputs_dense_ok_ &&
+        DenseTimeOk(window.lo().infinite
+                        ? std::optional<Rational>()
+                        : std::optional<Rational>(window.lo().value)) &&
+        DenseTimeOk(window.hi().infinite
+                        ? std::optional<Rational>()
+                        : std::optional<Rational>(window.hi().value));
+    stats->timeline_dense = dense_timeline;
+    dense::DenseScope dense_scope(dense_timeline);
+    ArenaScope arena_scope(arena_alloc_ ? &main_arena_ : nullptr);
+    auto reset_arenas = [&] {
+      if (!arena_alloc_) return;
+      main_arena_.Reset();
+      for (size_t i = 0; i < num_task_arenas_; ++i) task_arenas_[i].Reset();
+    };
+    // Sink holds a reference to its options; op_options_ outlives it.
+    op_options_ = options_;
+    op_options_.min_time = window.lo().infinite
+                               ? std::optional<Rational>()
+                               : std::optional<Rational>(window.lo().value);
+    op_options_.max_time = window.hi().infinite
+                               ? std::optional<Rational>()
+                               : std::optional<Rational>(window.hi().value);
+    uint64_t bulk_at_start = IntervalSet::BulkMergeCount();
+    (void)bulk_at_start;
+
+    stats->stratum_wall_seconds.assign(strat_.num_strata, 0.0);
+    for (int s = 0; s < strat_.num_strata; ++s) {
+      auto stratum_start = std::chrono::steady_clock::now();
+      const std::vector<size_t>& rule_ids = strat_.rule_strata[s];
+      if (rule_ids.empty()) continue;
+
+      // Fast skip: a stratum can only derive something when one of its
+      // rules is flagged for full evaluation or some positive body
+      // predicate carries seed coverage. This is what keeps steady-state
+      // event latency flat: most strata never wake up for a quiet tick.
+      bool any_work = false;
+      if (full_rules != nullptr) {
+        for (size_t id : rule_ids) {
+          if ((*full_rules)[id]) {
+            any_work = true;
+            break;
+          }
+        }
+      }
+      if (!any_work) {
+        for (PredicateId p : stratum_body_preds_[s]) {
+          const Relation* rel = carry->Find(p);
+          if (rel != nullptr && !rel->IsEmpty()) {
+            any_work = true;
+            break;
+          }
+        }
+      }
+      if (!any_work) continue;
+
+      Database delta;
+      Database next_delta;
+      Sink sink(db_, &next_delta, window, op_options_, stats, guard);
+      std::unordered_map<size_t, ChainAccelerator::AllowedCache> chain_caches;
+      for (size_t id : rule_ids) {
+        if (!compiled_[id].is_aggregate() && compiled_[id].chain.has_value()) {
+          chain_caches[id];
+        }
+      }
+      auto emit_for = [&](PredicateId pred) {
+        return [&sink, pred](const Tuple& tuple,
+                             const IntervalSet& extent) -> Status {
+          return sink.Emit(pred, tuple, extent);
+        };
+      };
+      auto refresh_all_memos = [&](const Database& fresh_round) {
+        // Unlike the batch engine (which refreshes only the running
+        // stratum's rules), every rule's memo gets the fresh coverage: a
+        // higher-stratum rule may hold an entry for a leaf this stratum
+        // just grew, and it will read that entry in a *later advance*.
+        RefreshMemosWith(fresh_round);
+      };
+
+      size_t prov_mark =
+          provenance_ != nullptr ? provenance_->size() : 0;
+      auto run_protected = [](auto&& fn) -> Status {
+        try {
+          return fn();
+        } catch (const std::exception& e) {
+          return Status::Internal(
+              std::string("evaluation aborted by exception: ") + e.what());
+        } catch (...) {
+          return Status::Internal(
+              "evaluation aborted by non-standard exception");
+        }
+      };
+      auto fail_round = [&](Status status, size_t round) -> Status {
+        stats->rolled_back_intervals += next_delta.NumIntervals();
+        db_->SubtractCoverage(next_delta);
+        if (provenance_ != nullptr && provenance_->size() > prov_mark) {
+          provenance_->resize(prov_mark);
+        }
+        stats->stopped_stratum = s;
+        stats->stopped_round = round;
+        // The store sits at a sound round barrier, but no longer matches a
+        // cold run at the watermark, and the rollback may have dangled
+        // cached addresses; the next operation rebuilds from the log.
+        needs_rebuild_ = true;
+        return status;
+      };
+
+      // Executes one round's task list, inline or across the pool.
+      auto run_tasks = [&](const std::vector<RoundTask>& tasks,
+                           const Database& delta_db, size_t round,
+                           bool use_pool) -> Status {
+        if (use_pool) {
+          return RunRoundParallel(
+              tasks, compiled_, vms_, memos_, *db_, delta_db, window,
+              op_options_, &*pool_, &chain_caches, round, &sink, stats,
+              guard, dense_timeline,
+              task_arenas_.get());
+        }
+        for (const RoundTask& t : tasks) {
+          const CompiledRule& c = compiled_[t.rule_id];
+          PredicateId head = c.rule().head.predicate;
+          OperatorMemo* memo =
+              memos_.empty() ? nullptr : memos_[t.rule_id].get();
+          RuleVm* vm = vms_.empty() ? nullptr : vms_[t.rule_id].get();
+          if (guard != nullptr) DMTL_RETURN_IF_ERROR(guard->Check());
+          sink.SetContext(t.rule_id, round);
+          stats->rule_evaluations += t.evaluations;
+          if (t.chain) {
+            if (vm != nullptr && vm->has_chain()) {
+              size_t extensions = 0;
+              DMTL_RETURN_IF_ERROR(vm->ExtendChain(
+                  *db_, delta_db, window, emit_for(head),
+                  [&](const Tuple& tuple) {
+                    const IntervalSet* live = nullptr;
+                    if (const Relation* rel = db_->Find(head)) {
+                      live = rel->Find(tuple);
+                    }
+                    return std::make_pair(
+                        live, static_cast<const IntervalSet*>(nullptr));
+                  },
+                  guard, &extensions));
+              stats->chain_extensions += extensions;
+              continue;
+            }
+            DMTL_RETURN_IF_ERROR(ChainAccelerator::Extend(
+                c.rule(), *c.chain, *db_, delta_db, window,
+                &chain_caches[t.rule_id],
+                [&](const Tuple& tuple, const Interval& iv) -> Result<bool> {
+                  ++stats->chain_extensions;
+                  return sink.EmitOne(head, tuple, iv);
+                }));
+            continue;
+          }
+          const auto& eval = std::get<RuleEvaluator>(c.eval);
+          auto emit = emit_for(head);
+          if (t.initial) {
+            DMTL_RETURN_IF_ERROR(
+                vm != nullptr
+                    ? vm->Evaluate(*db_, nullptr, -1, emit, memo, guard)
+                    : eval.Evaluate(*db_, nullptr, -1, emit, memo, guard));
+            continue;
+          }
+          for (int occ : t.delta_occurrences) {
+            DMTL_RETURN_IF_ERROR(
+                vm != nullptr
+                    ? vm->Evaluate(*db_, &delta_db, occ, emit, memo, guard)
+                    : eval.Evaluate(*db_, &delta_db, occ, emit, memo,
+                                    guard));
+          }
+        }
+        return Status::Ok();
+      };
+
+      // Round 0': aggregates first (sequential, exactly like batch round
+      // 0), then the seed round for plain rules - full evaluations for
+      // flagged rules, carry-driven occurrence/chain evaluation otherwise.
+      std::vector<RoundTask> seed_tasks;
+      bool any_initial = false;
+      for (size_t id : rule_ids) {
+        if (compiled_[id].is_aggregate()) continue;
+        const CompiledRule& c = compiled_[id];
+        RoundTask t;
+        t.rule_id = id;
+        if (full_rules != nullptr && (*full_rules)[id]) {
+          t.initial = true;
+          t.evaluations = 1;
+          any_initial = true;
+        } else if (c.chain.has_value()) {
+          bool seeded = false;
+          for (PredicateId p : positive_preds_[id]) {
+            const Relation* rel = carry->Find(p);
+            if (rel != nullptr && !rel->IsEmpty()) {
+              seeded = true;
+              break;
+            }
+          }
+          if (!seeded) continue;
+          t.chain = true;
+          t.evaluations = 1;
+        } else {
+          const auto& eval = std::get<RuleEvaluator>(c.eval);
+          t.delta_occurrences = DeltaOccurrencesAny(c, eval, *carry);
+          if (t.delta_occurrences.empty()) continue;
+          t.evaluations = t.delta_occurrences.size();
+        }
+        seed_tasks.push_back(std::move(t));
+      }
+      const size_t carry_size = carry->NumIntervals();
+      bool seed_pool =
+          pool_.has_value() &&
+          (any_initial ||
+           op_options_.parallel_min_round_intervals == 0 ||
+           carry_size >=
+               op_options_.parallel_min_round_intervals * num_threads_);
+
+      Status round_status = run_protected([&]() -> Status {
+        if (guard != nullptr) DMTL_RETURN_IF_ERROR(guard->Check());
+        DMTL_RETURN_IF_ERROR(FaultInjector::Fire("seminaive.round"));
+        for (size_t id : rule_ids) {
+          if (!compiled_[id].is_aggregate()) continue;
+          bool dirty = full_rules != nullptr && (*full_rules)[id];
+          if (!dirty) {
+            for (PredicateId p : positive_preds_[id]) {
+              const Relation* rel = carry->Find(p);
+              if (rel != nullptr && !rel->IsEmpty()) {
+                dirty = true;
+                break;
+              }
+            }
+          }
+          if (!dirty) continue;
+          ++stats->rule_evaluations;
+          sink.SetContext(id, 0);
+          const auto& agg = std::get<AggregateEvaluator>(compiled_[id].eval);
+          DMTL_RETURN_IF_ERROR(
+              agg.Evaluate(*db_, emit_for(compiled_[id].rule().head.predicate),
+                           memos_.empty() ? nullptr : memos_[id].get()));
+        }
+        DMTL_RETURN_IF_ERROR(run_tasks(seed_tasks, *carry, 0, seed_pool));
+        return guard != nullptr ? guard->Check() : Status::Ok();
+      });
+      if (!round_status.ok()) return fail_round(std::move(round_status), 0);
+      refresh_all_memos(next_delta);
+      carry->MergeFrom(next_delta);
+      delta = std::move(next_delta);
+      next_delta = Database();
+      reset_arenas();
+      prov_mark = provenance_ != nullptr ? provenance_->size() : 0;
+
+      // Fixpoint rounds: standard semi-naive over this stratum's fresh
+      // coverage (the round deltas only ever hold stratum heads, so the
+      // contents filter coincides with the batch engine's stratum filter).
+      size_t rounds = 0;
+      size_t delta_size = delta.NumIntervals();
+      while (delta_size > 0) {
+        if (++rounds > op_options_.max_rounds) {
+          stats->stop_reason = StopReason::kMaxRounds;
+          return fail_round(
+              Status::ResourceExhausted(
+                  "stratum " + std::to_string(s) + " exceeded max_rounds=" +
+                  std::to_string(op_options_.max_rounds)),
+              rounds);
+        }
+        ++stats->rounds;
+        stats->delta_intervals += delta_size;
+        bool use_pool =
+            pool_.has_value() &&
+            (op_options_.parallel_min_round_intervals == 0 ||
+             delta_size >=
+                 op_options_.parallel_min_round_intervals * num_threads_);
+        if (pool_.has_value() && !use_pool) ++stats->sequential_rounds_forced;
+
+        std::vector<RoundTask> tasks;
+        for (size_t id : rule_ids) {
+          if (compiled_[id].is_aggregate()) continue;
+          const CompiledRule& c = compiled_[id];
+          RoundTask t;
+          t.rule_id = id;
+          if (c.chain.has_value()) {
+            t.chain = true;
+            t.evaluations = 1;
+          } else {
+            const auto& eval = std::get<RuleEvaluator>(c.eval);
+            t.delta_occurrences = DeltaOccurrencesAny(c, eval, delta);
+            if (t.delta_occurrences.empty()) continue;
+            t.evaluations = t.delta_occurrences.size();
+          }
+          tasks.push_back(std::move(t));
+        }
+        round_status = run_protected([&]() -> Status {
+          if (guard != nullptr) DMTL_RETURN_IF_ERROR(guard->Check());
+          DMTL_RETURN_IF_ERROR(FaultInjector::Fire("seminaive.round"));
+          DMTL_RETURN_IF_ERROR(run_tasks(tasks, delta, rounds, use_pool));
+          return guard != nullptr ? guard->Check() : Status::Ok();
+        });
+        if (!round_status.ok()) {
+          return fail_round(std::move(round_status), rounds);
+        }
+        refresh_all_memos(next_delta);
+        carry->MergeFrom(next_delta);
+        delta = std::move(next_delta);
+        next_delta = Database();
+        reset_arenas();
+        delta_size = delta.NumIntervals();
+        prov_mark = provenance_ != nullptr ? provenance_->size() : 0;
+      }
+      stats->stratum_wall_seconds[s] =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        stratum_start)
+              .count();
+    }
+    return Status::Ok();
+  }
+
+  Program program_;
+  Database* db_ = nullptr;
+  EngineOptions options_;       // as given at Create (min/max untouched)
+  EngineOptions op_options_;    // per-operation window; referenced by sinks
+  Rational cur_min_;
+  Rational watermark_;
+  Stratification strat_;
+
+  std::vector<CompiledRule> compiled_;
+  std::vector<std::unique_ptr<RuleVm>> vms_;
+  std::vector<std::unique_ptr<OperatorMemo>> memos_;
+  std::optional<ThreadPool> pool_;
+  size_t num_threads_ = 1;
+  RoundArena main_arena_;
+  std::unique_ptr<RoundArena[]> task_arenas_;
+  size_t num_task_arenas_ = 0;
+  bool arena_alloc_ = false;
+  size_t compiled_rule_count_ = 0;
+  size_t vm_fallback_count_ = 0;
+
+  std::vector<std::vector<LitDilation>> rule_dilations_;
+  // pred -> rules whose body references it; drives the memo refresh fan-out.
+  std::unordered_map<PredicateId, std::vector<size_t>> refresh_rules_by_pred_;
+  std::vector<std::set<PredicateId>> positive_preds_;
+  std::vector<std::set<PredicateId>> stratum_body_preds_;
+  Rational reach_;            // max forward reach R over positive atoms
+  bool reach_inf_ = false;
+
+  std::vector<Fact> inputs_;  // the log; clamped by retractions
+  Database pending_fresh_;    // input fresh portions above the watermark
+  // Stored coverage clipped to (watermark - reach, watermark]: the seed
+  // band for the next advance, snapshotted from the previous advance's
+  // carry so steady-state advances never scan the whole store. Invalid
+  // after retraction or heal (those mutate coverage outside any carry).
+  Database band_cache_;
+  bool band_cache_valid_ = false;
+  bool advanced_any_ = false;
+  bool needs_rebuild_ = false;
+  bool program_dense_ok_ = false;
+  bool inputs_dense_ok_ = true;
+  std::vector<DerivationRecord>* provenance_ = nullptr;
+};
+
+IncrementalMaterializer::IncrementalMaterializer() = default;
+IncrementalMaterializer::~IncrementalMaterializer() = default;
+
+Result<std::unique_ptr<IncrementalMaterializer>>
+IncrementalMaterializer::Create(const Program& program, Database* db,
+                                const EngineOptions& options) {
+  if (db == nullptr) {
+    return Status::InvalidArgument("streaming requires a database");
+  }
+  std::unique_ptr<IncrementalMaterializer> out(new IncrementalMaterializer());
+  out->impl_ = std::make_unique<Impl>(program, db, options);
+  DMTL_RETURN_IF_ERROR(out->impl_->Init());
+  return out;
+}
+
+Status IncrementalMaterializer::Push(const Fact& fact) {
+  return impl_->Push(fact);
+}
+Status IncrementalMaterializer::Advance(const Rational& t,
+                                        EngineStats* stats) {
+  return impl_->Advance(t, stats);
+}
+Status IncrementalMaterializer::Retract(const Rational& new_min,
+                                        EngineStats* stats) {
+  return impl_->Retract(new_min, stats);
+}
+const Rational& IncrementalMaterializer::watermark() const {
+  return impl_->watermark();
+}
+const Rational& IncrementalMaterializer::window_min() const {
+  return impl_->window_min();
+}
+const std::vector<Fact>& IncrementalMaterializer::input_log() const {
+  return impl_->input_log();
+}
+bool IncrementalMaterializer::needs_rebuild() const {
+  return impl_->needs_rebuild();
+}
+bool IncrementalMaterializer::reach_unbounded() const {
+  return impl_->reach_unbounded();
+}
+const Rational& IncrementalMaterializer::forward_reach() const {
+  return impl_->forward_reach();
 }
 
 }  // namespace dmtl

@@ -195,6 +195,7 @@ Status RuleVm::Evaluate(const Database& db, const Database* delta,
   ts_points_.resize(eval_.rule().body.size());
   guard_counter_ = 0;
   probes_ = hits_ = pruned_ = 0;
+  memo_isect_ = memo_isect_comps_ = 0;
 
   static const IntervalSet kAll{Interval::All()};
   out_.clear();
@@ -223,6 +224,10 @@ Status RuleVm::Evaluate(const Database& db, const Database* delta,
     stats->index_probes.fetch_add(probes_, std::memory_order_relaxed);
     stats->index_probe_hits.fetch_add(hits_, std::memory_order_relaxed);
     stats->envelope_pruned.fetch_add(pruned_, std::memory_order_relaxed);
+    stats->memo_intersections.fetch_add(memo_isect_,
+                                        std::memory_order_relaxed);
+    stats->memo_intersect_components.fetch_add(memo_isect_comps_,
+                                               std::memory_order_relaxed);
   }
   return status;
 }
@@ -376,9 +381,11 @@ Status RuleVm::Exec(size_t ip, const IntervalSet& cur) {
         // far cheaper than the piecewise intersection sweep.
         const IntervalSet& m = memo_->Lookup(lc.ordinal, lc.path, leaf);
         if (m.IsEmpty()) return Status::Ok();
+        ++memo_isect_;
         if (cur.size() == 1 && cur.begin()->Contains(m.Hull())) {
           slot = m;
         } else {
+          memo_isect_comps_ += cur.size() + m.size();
           slot = cur.Intersect(m);
         }
       } else {

@@ -90,6 +90,25 @@ class RuleVm {
   // against `db`, plus the chain kernel when one exists.
   std::string DumpBytecode(const Database& db);
 
+  // Streaming hooks. A batch Materialize never needs these: relations only
+  // gain coverage and live at stable addresses, so a compiled variant's
+  // Relation/BoundIndex pointers stay valid for the whole run. A streaming
+  // retraction breaks both assumptions (SubtractCoverage/RemoveRegion drop
+  // the bound-signature indexes and may erase relations), so the session
+  // calls these between events.
+  //
+  // Drops every compiled variant; the next dispatch recompiles against the
+  // current store (counted in compiles(), like an adaptive replan). The
+  // slots stay - EnsureCompiled indexes by occurrence into the size fixed
+  // at Create.
+  void InvalidateCompiledState() {
+    for (Variant& v : variants_) v = Variant{};
+  }
+  // Drops the chain kernel's guard-allowed cache. Needed when a guard
+  // predicate's coverage *changes* after the rule already ran - impossible
+  // within one stratified run, routine across streaming advances.
+  void ClearChainCache() { allowed_cache_.clear(); }
+
  private:
   struct RtAtom {
     const Relation* rel = nullptr;
@@ -150,6 +169,7 @@ class RuleVm {
   std::vector<Interval> batch_;
   uint64_t guard_counter_ = 0;
   uint64_t probes_ = 0, hits_ = 0, pruned_ = 0, built_ = 0;
+  uint64_t memo_isect_ = 0, memo_isect_comps_ = 0;
 };
 
 }  // namespace dmtl

@@ -31,7 +31,9 @@ void Relation::RebuildDerived() {
 }
 
 Relation::Relation(const Relation& other)
-    : data_(other.data_), approx_intervals_(other.approx_intervals_) {
+    : data_(other.data_),
+      approx_intervals_(other.approx_intervals_),
+      stored_intervals_(other.stored_intervals_) {
   RebuildDerived();
 }
 
@@ -39,6 +41,7 @@ Relation& Relation::operator=(const Relation& other) {
   if (this == &other) return *this;
   data_ = other.data_;
   approx_intervals_ = other.approx_intervals_;
+  stored_intervals_ = other.stored_intervals_;
   RebuildDerived();
   // Bound-signature indexes point into the *source's* data_; drop them and
   // let the next probe rebuild against our own storage.
@@ -49,20 +52,24 @@ Relation& Relation::operator=(const Relation& other) {
 Relation::Relation(Relation&& other) noexcept
     : data_(std::move(other.data_)),
       approx_intervals_(other.approx_intervals_),
+      stored_intervals_(other.stored_intervals_),
       rows_(std::move(other.rows_)),
       first_arg_index_(std::move(other.first_arg_index_)),
       indexes_(std::move(other.indexes_)) {
   other.approx_intervals_ = 0;
+  other.stored_intervals_ = 0;
 }
 
 Relation& Relation::operator=(Relation&& other) noexcept {
   if (this == &other) return *this;
   data_ = std::move(other.data_);
   approx_intervals_ = other.approx_intervals_;
+  stored_intervals_ = other.stored_intervals_;
   rows_ = std::move(other.rows_);
   first_arg_index_ = std::move(other.first_arg_index_);
   indexes_ = std::move(other.indexes_);
   other.approx_intervals_ = 0;
+  other.stored_intervals_ = 0;
   return *this;
 }
 
@@ -132,8 +139,10 @@ IntervalSet Relation::Insert(const Tuple& tuple, const Interval& iv) {
     if (!it->first.empty()) first_arg_index_[it->first[0]].push_back(&it->first);
     rows_.push_back(ScanEntry{&it->first, &it->second});
   }
+  const size_t before = it->second.size();
   IntervalSet fresh = it->second.Insert(iv);
   approx_intervals_ += fresh.size();
+  stored_intervals_ += it->second.size() - before;
   if (!fresh.IsEmpty() && !indexes_.empty()) {
     // Single-writer contract: no reader runs concurrently with Insert, so
     // the lock is uncontended; it keeps TSan and accidental misuse honest.
@@ -154,8 +163,10 @@ IntervalSet Relation::InsertSet(const Tuple& tuple, const IntervalSet& set) {
     if (!it->first.empty()) first_arg_index_[it->first[0]].push_back(&it->first);
     rows_.push_back(ScanEntry{&it->first, &it->second});
   }
+  const size_t before = it->second.size();
   IntervalSet fresh = it->second.UnionWithDelta(set);
   approx_intervals_ += fresh.size();
+  stored_intervals_ += it->second.size() - before;
   if ((inserted || !fresh.IsEmpty()) && !indexes_.empty()) {
     // Widen envelopes by the hull of what actually changed; a fully covered
     // set (fresh empty, pre-existing tuple) cannot widen anything.
@@ -175,6 +186,8 @@ void Relation::SubtractCoverage(const Relation& fresh) {
     if (it == data_.end()) continue;
     IntervalSet remaining = it->second.Subtract(set);
     approx_intervals_ -= std::min(approx_intervals_, set.size());
+    stored_intervals_ -= it->second.size();
+    stored_intervals_ += remaining.size();
     if (remaining.IsEmpty()) {
       data_.erase(it);
       erased_any = true;
@@ -198,6 +211,8 @@ void Relation::SubtractCoverage(const Tuple& tuple, const IntervalSet& set) {
   if (it == data_.end()) return;
   IntervalSet remaining = it->second.Subtract(set);
   approx_intervals_ -= std::min(approx_intervals_, set.size());
+  stored_intervals_ -= it->second.size();
+  stored_intervals_ += remaining.size();
   bool erased = remaining.IsEmpty();
   if (erased) {
     data_.erase(it);
@@ -209,6 +224,69 @@ void Relation::SubtractCoverage(const Tuple& tuple, const IntervalSet& set) {
     indexes_.clear();
   }
   if (erased) RebuildDerived();
+}
+
+IntervalSet Relation::RemoveSet(const Tuple& tuple, const IntervalSet& set) {
+  auto it = data_.find(tuple);
+  if (it == data_.end() || set.IsEmpty()) return IntervalSet();
+  IntervalSet removed = it->second.Intersect(set);
+  if (removed.IsEmpty()) return removed;
+  removed.MarkPersistent();  // survives the round barrier in caller hands
+  IntervalSet remaining = it->second.Subtract(set);
+  approx_intervals_ -= std::min(approx_intervals_, removed.size());
+  stored_intervals_ -= it->second.size();
+  stored_intervals_ += remaining.size();
+  bool erased = remaining.IsEmpty();
+  if (erased) {
+    data_.erase(it);
+  } else {
+    it->second = std::move(remaining);
+  }
+  {
+    std::lock_guard<std::mutex> lock(index_mutex_);
+    indexes_.clear();
+  }
+  if (erased) RebuildDerived();
+  return removed;
+}
+
+size_t Relation::RemoveRegion(const IntervalSet& region,
+                              std::vector<const IntervalSet*>* shrunk) {
+  if (region.IsEmpty() || data_.empty()) return 0;
+  size_t removed_pieces = 0;
+  bool erased_any = false;
+  for (auto it = data_.begin(); it != data_.end();) {
+    IntervalSet removed = it->second.Intersect(region);
+    if (removed.IsEmpty()) {
+      ++it;
+      continue;
+    }
+    // Record the live extent's address before mutating: memo invalidation
+    // keys on the pointer, and an erased extent's address must still reach
+    // the caller (as an identity, never to be dereferenced).
+    if (shrunk != nullptr) shrunk->push_back(&it->second);
+    removed_pieces += removed.size();
+    approx_intervals_ -= std::min(approx_intervals_, removed.size());
+    IntervalSet remaining = it->second.Subtract(region);
+    stored_intervals_ -= it->second.size();
+    stored_intervals_ += remaining.size();
+    if (remaining.IsEmpty()) {
+      it = data_.erase(it);
+      erased_any = true;
+    } else {
+      it->second = std::move(remaining);
+      ++it;
+    }
+  }
+  if (removed_pieces != 0) {
+    // Entries may reference erased tuples; envelopes stay sound (they only
+    // over-cover after removal) but keeping them alive isn't worth special-
+    // casing - drop and let the next probe rebuild, like SubtractCoverage.
+    std::lock_guard<std::mutex> lock(index_mutex_);
+    indexes_.clear();
+  }
+  if (erased_any) RebuildDerived();
+  return removed_pieces;
 }
 
 const IntervalSet* Relation::Find(const Tuple& tuple) const {
@@ -225,12 +303,6 @@ const std::vector<const Tuple*>* Relation::FindByFirstArg(
 bool Relation::Contains(const Tuple& tuple, const Rational& t) const {
   const IntervalSet* set = Find(tuple);
   return set != nullptr && set->Contains(t);
-}
-
-size_t Relation::NumIntervals() const {
-  size_t n = 0;
-  for (const auto& [tuple, set] : data_) n += set.size();
-  return n;
 }
 
 IntervalSet Database::Insert(const Fact& fact) {
@@ -325,6 +397,36 @@ void Database::SubtractCoverage(PredicateId pred, const Tuple& tuple,
   for (const auto& [p, rel] : relations_) {
     approx_intervals_ += rel.approx_intervals();
   }
+}
+
+IntervalSet Database::RemoveSet(PredicateId pred, const Tuple& tuple,
+                                const IntervalSet& set) {
+  auto it = relations_.find(pred);
+  if (it == relations_.end()) return IntervalSet();
+  IntervalSet removed = it->second.RemoveSet(tuple, set);
+  if (!removed.IsEmpty()) {
+    if (it->second.IsEmpty()) relations_.erase(it);
+    approx_intervals_ = 0;
+    for (const auto& [p, rel] : relations_) {
+      approx_intervals_ += rel.approx_intervals();
+    }
+  }
+  return removed;
+}
+
+size_t Database::RemoveRegion(PredicateId pred, const IntervalSet& region,
+                              std::vector<const IntervalSet*>* shrunk) {
+  auto it = relations_.find(pred);
+  if (it == relations_.end()) return 0;
+  size_t removed = it->second.RemoveRegion(region, shrunk);
+  if (removed != 0) {
+    if (it->second.IsEmpty()) relations_.erase(it);
+    approx_intervals_ = 0;
+    for (const auto& [p, rel] : relations_) {
+      approx_intervals_ += rel.approx_intervals();
+    }
+  }
+  return removed;
 }
 
 void Database::MergeFrom(const Database& other) {

@@ -154,6 +154,22 @@ class Relation {
   // Single-tuple form with the same contract.
   void SubtractCoverage(const Tuple& tuple, const IntervalSet& set);
 
+  // General removal (no fresh-subset requirement, unlike SubtractCoverage):
+  // subtracts `set` from the stored extent of `tuple` - `set` may cover
+  // times the tuple never held. Returns the portion actually removed
+  // (stored extent ∩ set). Same invalidation contract as SubtractCoverage.
+  IntervalSet RemoveSet(const Tuple& tuple, const IntervalSet& set);
+
+  // Bulk sliding-window form: subtracts `region` from every stored extent.
+  // When `shrunk` is non-null, the address of each live extent about to
+  // lose coverage is appended *before* mutation - callers use the pointers
+  // as identity keys for cache invalidation (operator memos key entries by
+  // leaf IntervalSet address). Addresses of extents that end up erased are
+  // included and must not be dereferenced afterwards. Returns the number
+  // of interval pieces removed. Single-writer, like all mutators.
+  size_t RemoveRegion(const IntervalSet& region,
+                      std::vector<const IntervalSet*>* shrunk = nullptr);
+
   // Contiguous scan slab: one (tuple, extent) row per stored tuple, in
   // insertion order. Full scans walk this flat array instead of chasing
   // unordered_map nodes, so enumeration is cache-linear. Maintained
@@ -165,7 +181,9 @@ class Relation {
 
   bool IsEmpty() const { return data_.empty(); }
   size_t NumTuples() const { return data_.size(); }
-  size_t NumIntervals() const;
+  // Exact stored piece count, maintained incrementally by every mutator -
+  // O(1), so per-event streaming stats never pay a full-store scan.
+  size_t NumIntervals() const { return stored_intervals_; }
 
   // Monotone count of inserted interval pieces (an upper bound on the
   // stored count, which coalescing can shrink). O(1); used for join-order
@@ -180,6 +198,7 @@ class Relation {
     rows_.clear();
     indexes_.clear();
     approx_intervals_ = 0;
+    stored_intervals_ = 0;
   }
 
  private:
@@ -194,6 +213,7 @@ class Relation {
 
   Map data_;
   size_t approx_intervals_ = 0;
+  size_t stored_intervals_ = 0;  // exact; see NumIntervals()
   // Contiguous scan slab; see Rows().
   std::vector<ScanEntry> rows_;
   // Secondary index: first argument -> tuples. Updated eagerly by Insert
@@ -261,6 +281,16 @@ class Database {
   // Single-fact form (used to undo one paired insertion on a fault path).
   void SubtractCoverage(PredicateId pred, const Tuple& tuple,
                         const IntervalSet& set);
+
+  // General removal of one fact's coverage; see Relation::RemoveSet.
+  IntervalSet RemoveSet(PredicateId pred, const Tuple& tuple,
+                        const IntervalSet& set);
+
+  // Removes `region` from every extent of `pred` (sliding-window expiry /
+  // retraction frontier wipe); see Relation::RemoveRegion for the `shrunk`
+  // pointer-collection contract. Returns interval pieces removed.
+  size_t RemoveRegion(PredicateId pred, const IntervalSet& region,
+                      std::vector<const IntervalSet*>* shrunk = nullptr);
 
   void Clear() {
     relations_.clear();

@@ -1,0 +1,194 @@
+#include "src/streaming/session.h"
+
+#include <cstdlib>
+#include <utility>
+
+namespace dmtl {
+
+StreamingSession::StreamingSession() = default;
+StreamingSession::~StreamingSession() = default;
+
+Result<std::unique_ptr<StreamingSession>> StreamingSession::Create(
+    const Program& program, const StreamingOptions& options) {
+  if (options.engine.min_time.has_value() ||
+      options.engine.max_time.has_value()) {
+    return Status::InvalidArgument(
+        "engine min_time/max_time are managed by the session; use "
+        "start_time and the watermark");
+  }
+  if (options.engine.provenance != nullptr) {
+    return Status::InvalidArgument(
+        "provenance storage is owned by the session; use track_provenance");
+  }
+  if (options.horizon.has_value() && !(Rational(0) < *options.horizon)) {
+    return Status::InvalidArgument("horizon must be positive");
+  }
+  std::unique_ptr<StreamingSession> out(new StreamingSession());
+  out->program_ = program;
+  out->options_ = options;
+  out->window_min_ = options.start_time;
+  out->watermark_ = options.start_time;
+  out->streaming_ = std::getenv("DMTL_DISABLE_STREAMING") == nullptr;
+
+  EngineOptions engine = options.engine;
+  engine.min_time = options.start_time;
+  engine.provenance =
+      options.track_provenance ? &out->provenance_ : nullptr;
+  // Built in both modes: eligibility (past-directed operators, no head ops,
+  // no since/until...) must not depend on the fallback lane.
+  DMTL_ASSIGN_OR_RETURN(
+      auto inc, IncrementalMaterializer::Create(program, &out->db_, engine));
+  if (out->streaming_) out->inc_ = std::move(inc);
+  return out;
+}
+
+Status StreamingSession::PushFact(const Fact& fact) {
+  if (streaming_) return inc_->Push(fact);
+  if (advanced_any_) {
+    const Bound& lo = fact.interval.lo();
+    const bool above =
+        !lo.infinite &&
+        (watermark_ < lo.value || (lo.value == watermark_ && lo.open));
+    if (!above) {
+      return Status::InvalidArgument(
+          "streamed fact " + fact.ToString() +
+          " reaches at or below the watermark " + watermark_.ToString() +
+          "; push every fact at time t before advancing to t");
+    }
+  }
+  log_.push_back(fact);
+  return Status::Ok();
+}
+
+Status StreamingSession::Push(const Fact& fact) { return PushFact(fact); }
+
+Status StreamingSession::PushStep(PredicateId pred, Tuple args,
+                                  const Rational& t) {
+  auto it = channels_.find(pred);
+  if (it != channels_.end()) {
+    Channel& ch = it->second;
+    if (!(ch.logged_hi < t)) {
+      return Status::InvalidArgument(
+          "step channel " + std::string(PredicateName(pred)) +
+          " already logged through " + ch.logged_hi.ToString() +
+          "; steps must advance in time");
+    }
+    if (ch.args == args) return Status::Ok();  // same value: step continues
+    // Close the outgoing step: its coverage past the last logged piece is
+    // (logged_hi, t) - open at t, where the new value takes over.
+    auto closing =
+        Interval::Make(Bound::Open(ch.logged_hi), Bound::Open(t));
+    if (closing.has_value()) {
+      DMTL_RETURN_IF_ERROR(PushFact(Fact{pred, ch.args, *closing}));
+    }
+  }
+  DMTL_RETURN_IF_ERROR(PushFact(Fact{pred, args, Interval::Point(t)}));
+  channels_[pred] = Channel{std::move(args), t};
+  return Status::Ok();
+}
+
+Status StreamingSession::PushStep(std::string_view pred, Tuple args,
+                                  const Rational& t) {
+  return PushStep(InternPredicate(pred), std::move(args), t);
+}
+
+Status StreamingSession::ExtendChannels(const Rational& t) {
+  for (auto& [pred, ch] : channels_) {
+    if (!(ch.logged_hi < t)) continue;
+    auto piece = Interval::Make(Bound::Open(ch.logged_hi), Bound::Closed(t));
+    DMTL_RETURN_IF_ERROR(PushFact(Fact{pred, ch.args, *piece}));
+    ch.logged_hi = t;
+  }
+  return Status::Ok();
+}
+
+Status StreamingSession::AdvanceTo(const Rational& t, EngineStats* stats) {
+  if (t < watermark()) {
+    return Status::InvalidArgument("advance to " + t.ToString() +
+                                   " precedes the watermark " +
+                                   watermark().ToString());
+  }
+  DMTL_RETURN_IF_ERROR(ExtendChannels(t));
+  if (streaming_) {
+    DMTL_RETURN_IF_ERROR(inc_->Advance(t, stats));
+  } else {
+    watermark_ = t;
+    advanced_any_ = true;
+    DMTL_RETURN_IF_ERROR(RebuildBatch(stats));
+  }
+  if (options_.horizon.has_value()) {
+    Rational new_min = t - *options_.horizon;
+    if (window_min() < new_min) {
+      DMTL_RETURN_IF_ERROR(SlideTo(new_min));
+    }
+  }
+  return Status::Ok();
+}
+
+Status StreamingSession::SlideTo(const Rational& new_min,
+                                 EngineStats* stats) {
+  if (streaming_) return inc_->Retract(new_min, stats);
+  if (!(window_min_ < new_min)) {
+    return Status::InvalidArgument("window minimum must increase (" +
+                                   window_min_.ToString() + " -> " +
+                                   new_min.ToString() + ")");
+  }
+  if (watermark_ < new_min) {
+    return Status::InvalidArgument(
+        "cannot slide the window past the watermark " +
+        watermark_.ToString());
+  }
+  std::vector<Fact> kept;
+  kept.reserve(log_.size());
+  for (const Fact& f : log_) {
+    auto part = f.interval.Intersect(Interval::AtLeast(new_min));
+    if (!part.has_value()) continue;
+    Fact clamped = f;
+    clamped.interval = *part;
+    kept.push_back(std::move(clamped));
+  }
+  log_ = std::move(kept);
+  window_min_ = new_min;
+  return RebuildBatch(stats);
+}
+
+Status StreamingSession::RebuildBatch(EngineStats* stats) {
+  db_.Clear();
+  provenance_.clear();
+  for (const Fact& f : log_) {
+    db_.InsertSet(f.predicate, f.args, IntervalSet(f.interval));
+  }
+  EngineOptions o = options_.engine;
+  o.min_time = window_min_;
+  o.max_time = watermark_;
+  o.provenance = options_.track_provenance ? &provenance_ : nullptr;
+  EngineStats local;
+  return Materialize(program_, &db_, o, stats != nullptr ? stats : &local);
+}
+
+Result<ReplayResult> StreamingSession::ColdReplay() const {
+  ReplayResult out;
+  for (const Fact& f : input_log()) {
+    out.db.InsertSet(f.predicate, f.args, IntervalSet(f.interval));
+  }
+  EngineOptions o = options_.engine;
+  o.min_time = window_min();
+  o.max_time = watermark();
+  o.provenance = options_.track_provenance ? &out.provenance : nullptr;
+  DMTL_RETURN_IF_ERROR(Materialize(program_, &out.db, o, &out.stats));
+  return out;
+}
+
+const Rational& StreamingSession::watermark() const {
+  return streaming_ ? inc_->watermark() : watermark_;
+}
+
+const Rational& StreamingSession::window_min() const {
+  return streaming_ ? inc_->window_min() : window_min_;
+}
+
+const std::vector<Fact>& StreamingSession::input_log() const {
+  return streaming_ ? inc_->input_log() : log_;
+}
+
+}  // namespace dmtl

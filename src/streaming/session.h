@@ -1,0 +1,153 @@
+#ifndef DMTL_STREAMING_SESSION_H_
+#define DMTL_STREAMING_SESSION_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "src/ast/program.h"
+#include "src/common/status.h"
+#include "src/eval/incremental.h"
+#include "src/eval/seminaive.h"
+#include "src/storage/database.h"
+
+namespace dmtl {
+
+// Configuration for a StreamingSession.
+struct StreamingOptions {
+  // Engine knobs (threads, memos, chain acceleration, budgets...).
+  // min_time / max_time / provenance are managed by the session and must be
+  // left unset.
+  EngineOptions engine;
+
+  // Initial window minimum and watermark: the session derives nothing below
+  // this time, and the first AdvanceTo must not precede it.
+  Rational start_time;
+
+  // Sliding-window length. When set, AdvanceTo(t) automatically slides the
+  // window minimum up to t - *horizon, retracting expired coverage. When
+  // unset, the window only moves via explicit SlideTo calls.
+  std::optional<Rational> horizon;
+
+  // Record DerivationRecord provenance (required for Explain and for the
+  // checkpoint provenance-coverage checks; retraction prunes it).
+  bool track_provenance = true;
+};
+
+// A cold batch run over a session's current inputs - the oracle the
+// streaming tests compare against, byte for byte.
+struct ReplayResult {
+  Database db;
+  std::vector<DerivationRecord> provenance;
+  EngineStats stats;
+};
+
+// A live, long-lived materialization session: chain events arrive one at a
+// time through Push / PushStep, AdvanceTo(t) raises the watermark and
+// incrementally derives the new consequences, and SlideTo (or the horizon
+// option) expires old coverage out the back of the window.
+//
+// Invariant (checked by the streaming tests at every checkpoint): after any
+// sequence of operations, db() is byte-identical to ColdReplay().db - one
+// batch Materialize over input_log() with min_time = window_min() and
+// max_time = watermark().
+//
+// Step channels. Chain feeds like the price oracle are step functions: the
+// pushed value holds until the next update, whose time is unknown when the
+// value arrives. PushStep models that without violating watermark finality:
+// the session keeps one open channel per predicate and logs the step's
+// coverage lazily - a point at the step time, an extension piece up to each
+// watermark the channel lives through, and a closing piece when the next
+// step arrives. The logged pieces union to exactly the ClosedOpen step
+// intervals a batch loader would write.
+//
+// When the environment variable DMTL_DISABLE_STREAMING is set, the session
+// keeps the identical external contract but re-runs a cold batch
+// materialization per operation instead of using the incremental engine -
+// the equivalence lane for CI.
+class StreamingSession {
+ public:
+  // Validates the program for streaming eligibility (see
+  // IncrementalMaterializer::Create) and builds the persistent engine
+  // state. Eligibility is enforced even under DMTL_DISABLE_STREAMING so
+  // both lanes accept the same programs.
+  static Result<std::unique_ptr<StreamingSession>> Create(
+      const Program& program, const StreamingOptions& options);
+
+  ~StreamingSession();
+
+  StreamingSession(const StreamingSession&) = delete;
+  StreamingSession& operator=(const StreamingSession&) = delete;
+
+  // Logs and inserts one input fact. After the first AdvanceTo, the fact's
+  // interval must lie strictly above the watermark.
+  Status Push(const Fact& fact);
+
+  // Steps the predicate's channel to `args` at time `t` (strictly after the
+  // channel's previous step / extension). Pushing the same args again is a
+  // no-op: the step simply continues.
+  Status PushStep(PredicateId pred, Tuple args, const Rational& t);
+  Status PushStep(std::string_view pred, Tuple args, const Rational& t);
+
+  // Extends all open step channels through `t`, raises the watermark to `t`
+  // and derives every consequence in the new band. With `horizon` set, then
+  // slides the window minimum up to t - *horizon. Per-operation engine
+  // stats (this event's work only) land in `stats` when given.
+  Status AdvanceTo(const Rational& t, EngineStats* stats = nullptr);
+
+  // Slides the window minimum up to `new_min` (window_min < new_min <=
+  // watermark): expired coverage is retracted, its consequences un-derived,
+  // provenance pruned, and the boundary region re-derived.
+  Status SlideTo(const Rational& new_min, EngineStats* stats = nullptr);
+
+  // Runs a cold batch materialization over input_log() in a fresh database
+  // - the byte-identity oracle for the current checkpoint.
+  Result<ReplayResult> ColdReplay() const;
+
+  const Database& db() const { return db_; }
+  const std::vector<DerivationRecord>& provenance() const {
+    return provenance_;
+  }
+  const Rational& watermark() const;
+  const Rational& window_min() const;
+  // The logged inputs, clamped by past slides (step channels appear as
+  // their logged pieces).
+  const std::vector<Fact>& input_log() const;
+  // False when DMTL_DISABLE_STREAMING forced the cold-replay fallback.
+  bool streaming_enabled() const { return streaming_; }
+
+ private:
+  StreamingSession();
+
+  struct Channel {
+    Tuple args;
+    Rational logged_hi;  // time through which coverage has been logged
+  };
+
+  Status PushFact(const Fact& fact);
+  Status ExtendChannels(const Rational& t);
+  Status RebuildBatch(EngineStats* stats);  // fallback path
+
+  Program program_;
+  StreamingOptions options_;
+  Database db_;
+  std::vector<DerivationRecord> provenance_;
+  std::unique_ptr<IncrementalMaterializer> inc_;
+  bool streaming_ = true;
+
+  // Ordered so channel extensions log in a deterministic order.
+  std::map<PredicateId, Channel> channels_;
+
+  // Fallback-mode state (streaming_ == false); the incremental engine owns
+  // the equivalents otherwise.
+  std::vector<Fact> log_;
+  Rational window_min_;
+  Rational watermark_;
+  bool advanced_any_ = false;
+};
+
+}  // namespace dmtl
+
+#endif  // DMTL_STREAMING_SESSION_H_

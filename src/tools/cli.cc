@@ -2,8 +2,10 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 
 #include "src/analysis/dot_export.h"
 #include "src/analysis/safety.h"
@@ -13,6 +15,7 @@
 #include "src/eval/rule_eval.h"
 #include "src/eval/vm.h"
 #include "src/storage/serialize.h"
+#include "src/streaming/session.h"
 
 namespace dmtl {
 
@@ -49,7 +52,23 @@ constexpr char kUsage[] =
     "  --stats         print engine statistics\n"
     "  --output FILE   write the materialized database to FILE\n"
     "  --explain FACT  run with provenance and print the rule applications\n"
-    "                  deriving FACT, e.g. --explain 'margin(acc, 100.0)@5 .'\n";
+    "                  deriving FACT, e.g. --explain 'margin(acc, 100.0)@5 .'\n"
+    "\n"
+    "streaming (run only):\n"
+    "  --stream FILE   live-session mode: facts in the program files seed\n"
+    "                  the input log, then FILE's events drive a\n"
+    "                  StreamingSession. One NDJSON line per event on\n"
+    "                  stdout: {event, op, t, delta_intervals, latency_us}.\n"
+    "                  FILE lines: fact syntax pushes facts;\n"
+    "                  '@step <fact>@T .' steps a channel;\n"
+    "                  '@advance T' raises the watermark; '@slide T' moves\n"
+    "                  the window minimum; '@checkpoint' verifies the\n"
+    "                  database against a cold replay (mismatch exits 1).\n"
+    "                  --min sets the session start; --max is rejected.\n"
+    "                  --stats adds per-event engine counters; --output\n"
+    "                  writes the final database.\n"
+    "  --horizon T     sliding-window length: advances auto-slide the\n"
+    "                  window minimum to watermark - T\n";
 
 struct CliOptions {
   std::string command;
@@ -62,6 +81,8 @@ struct CliOptions {
   std::optional<std::string> explain;
   bool explain_plan = false;
   bool dump_bytecode = false;
+  std::optional<std::string> stream;
+  std::optional<Rational> horizon;
 };
 
 Result<CliOptions> ParseArgs(const std::vector<std::string>& args) {
@@ -138,6 +159,13 @@ Result<CliOptions> ParseArgs(const std::vector<std::string>& args) {
     } else if (arg == "--explain") {
       DMTL_ASSIGN_OR_RETURN(std::string fact, next());
       options.explain = fact;
+    } else if (arg == "--stream") {
+      DMTL_ASSIGN_OR_RETURN(std::string path, next());
+      options.stream = path;
+    } else if (arg == "--horizon") {
+      DMTL_ASSIGN_OR_RETURN(std::string text, next());
+      DMTL_ASSIGN_OR_RETURN(Rational value, Rational::FromString(text));
+      options.horizon = value;
     } else if (!arg.empty() && arg[0] == '-') {
       return Status::InvalidArgument("unknown option '" + arg + "'");
     } else {
@@ -228,8 +256,149 @@ Result<Parser::ParsedUnit> LoadAll(const std::vector<std::string>& files) {
   return all;
 }
 
+// Live-session mode: one NDJSON line per stream event. Engine failures keep
+// their batch exit-code classes (deadline 3, cancel 4, budget 5); a
+// checkpoint mismatch is an internal error (exit 1).
+Status CommandStream(const CliOptions& options, std::ostream& out,
+                     std::ostream& err) {
+  if (options.engine.max_time.has_value()) {
+    return Status::InvalidArgument(
+        "--max conflicts with --stream: the watermark manages the horizon");
+  }
+  DMTL_ASSIGN_OR_RETURN(Parser::ParsedUnit unit, LoadAll(options.files));
+  std::ifstream in(*options.stream);
+  if (!in) {
+    return Status::InvalidArgument("cannot open stream file '" +
+                                   *options.stream + "'");
+  }
+
+  StreamingOptions sopts;
+  sopts.engine = options.engine;
+  sopts.engine.min_time.reset();
+  sopts.start_time = options.engine.min_time.value_or(Rational(0));
+  sopts.horizon = options.horizon;
+  DMTL_ASSIGN_OR_RETURN(auto session,
+                        StreamingSession::Create(unit.program, sopts));
+
+  auto push_all = [&](const Database& facts) -> Status {
+    for (const auto& [pred, rel] : facts.relations()) {
+      for (const Relation::ScanEntry& row : rel.Rows()) {
+        for (const Interval& iv : *row.extent) {
+          DMTL_RETURN_IF_ERROR(session->Push(Fact{pred, *row.tuple, iv}));
+        }
+      }
+    }
+    return Status::Ok();
+  };
+  // Facts bundled with the program files seed the log pre-watermark.
+  DMTL_RETURN_IF_ERROR(push_all(unit.database));
+
+  size_t event_id = 0;
+  size_t line_no = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++line_no;
+    size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    std::string_view text(line);
+    text.remove_prefix(first);
+    if (text[0] == '%' || text[0] == '#') continue;
+    auto fail_here = [&](const Status& s) {
+      return Status(s.code(), *options.stream + ":" +
+                                  std::to_string(line_no) + ": " +
+                                  s.message());
+    };
+
+    std::string op;
+    size_t before = session->db().NumIntervals();
+    EngineStats stats;
+    bool have_stats = false;
+    bool checkpoint_match = true;
+    auto t0 = std::chrono::steady_clock::now();
+    if (text.rfind("@advance", 0) == 0 || text.rfind("@slide", 0) == 0) {
+      bool advance = text[1] == 'a';
+      op = advance ? "advance" : "slide";
+      std::string arg(text.substr(advance ? 8 : 6));
+      DMTL_ASSIGN_OR_RETURN(Rational t, Rational::FromString(
+                                            arg.substr(arg.find_first_not_of(
+                                                " \t"))));
+      Status step = advance ? session->AdvanceTo(t, &stats)
+                            : session->SlideTo(t, &stats);
+      have_stats = true;
+      if (!step.ok()) {
+        if (stats.stop_reason != StopReason::kCompleted) {
+          err << "dmtl_cli: " << stats.StopDiagnostics() << "\n";
+        }
+        return fail_here(step);
+      }
+    } else if (text.rfind("@checkpoint", 0) == 0) {
+      op = "checkpoint";
+      DMTL_ASSIGN_OR_RETURN(ReplayResult cold, session->ColdReplay());
+      checkpoint_match =
+          SerializeDatabase(session->db()) == SerializeDatabase(cold.db);
+    } else if (text.rfind("@step", 0) == 0) {
+      op = "step";
+      DMTL_ASSIGN_OR_RETURN(Database parsed,
+                            Parser::ParseDatabase(std::string(text.substr(5))));
+      for (const auto& [pred, rel] : parsed.relations()) {
+        for (const Relation::ScanEntry& row : rel.Rows()) {
+          for (const Interval& iv : *row.extent) {
+            if (iv.lo().infinite || iv.hi().infinite ||
+                !(iv.lo().value == iv.hi().value)) {
+              return fail_here(Status::InvalidArgument(
+                  "@step needs point-interval facts (value@T)"));
+            }
+            Status stepped =
+                session->PushStep(pred, *row.tuple, iv.lo().value);
+            if (!stepped.ok()) return fail_here(stepped);
+          }
+        }
+      }
+    } else if (text[0] == '@') {
+      return fail_here(Status::InvalidArgument(
+          "unknown stream directive '" + std::string(text) + "'"));
+    } else {
+      op = "push";
+      DMTL_ASSIGN_OR_RETURN(Database parsed,
+                            Parser::ParseDatabase(std::string(text)));
+      Status pushed = push_all(parsed);
+      if (!pushed.ok()) return fail_here(pushed);
+    }
+    double latency_us = std::chrono::duration<double, std::micro>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    long long delta = static_cast<long long>(session->db().NumIntervals()) -
+                      static_cast<long long>(before);
+    out << "{\"event\":" << event_id++ << ",\"op\":\"" << op << "\""
+        << ",\"watermark\":\"" << session->watermark().ToString() << "\""
+        << ",\"window_min\":\"" << session->window_min().ToString() << "\""
+        << ",\"delta_intervals\":" << delta << ",\"latency_us\":"
+        << latency_us;
+    if (op == "checkpoint") {
+      out << ",\"match\":" << (checkpoint_match ? "true" : "false");
+    }
+    if (options.stats && have_stats) {
+      out << ",\"rounds\":" << stats.rounds
+          << ",\"rule_evaluations\":" << stats.rule_evaluations
+          << ",\"memo_intersections\":" << stats.memo_intersections
+          << ",\"vm_dispatches\":" << stats.vm_dispatches;
+    }
+    out << "}\n";
+    if (!checkpoint_match) {
+      return Status::Internal("checkpoint diverged from cold replay at " +
+                              *options.stream + ":" +
+                              std::to_string(line_no));
+    }
+  }
+  if (options.output.has_value()) {
+    DMTL_RETURN_IF_ERROR(WriteDatabaseFile(session->db(), *options.output));
+  }
+  return Status::Ok();
+}
+
 Status CommandRun(const CliOptions& options, std::ostream& out,
                   std::ostream& err) {
+  if (options.stream.has_value()) return CommandStream(options, out, err);
   DMTL_ASSIGN_OR_RETURN(Parser::ParsedUnit unit, LoadAll(options.files));
   Database db = std::move(unit.database);
   EngineStats stats;

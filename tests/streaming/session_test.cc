@@ -1,0 +1,456 @@
+// Streaming correctness contract: after any sequence of pushes, advances
+// and window slides, the live session's database, Series() output, and
+// per-tuple provenance coverage must be byte-identical to one cold batch
+// materialization over the same logged inputs and window - at every
+// checkpoint, at every thread width. The fuzz lane drives randomized
+// programs through randomized streams with mid-stream retractions; the
+// fault test proves a failed advance heals transparently.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/chain/replayer.h"
+#include "src/chain/workload.h"
+#include "src/common/fault_injector.h"
+#include "src/contracts/eth_perp_program.h"
+#include "src/engine/reasoner.h"
+#include "src/eval/incremental.h"
+#include "src/parser/parser.h"
+#include "src/storage/serialize.h"
+#include "src/streaming/session.h"
+
+namespace dmtl {
+namespace {
+
+// Canonical per-tuple provenance coverage: the records' pieces unioned and
+// printed per (predicate, tuple). Streaming and cold runs derive through
+// different rule/round schedules, so the record lists differ - but the
+// coverage union is part of the equivalence contract.
+std::string ProvenanceCoverage(const std::vector<DerivationRecord>& records) {
+  std::map<std::string, IntervalSet> coverage;
+  for (const DerivationRecord& r : records) {
+    coverage[PredicateName(r.predicate) + TupleToString(r.tuple)].UnionWith(
+        IntervalSet(r.piece));
+  }
+  std::ostringstream out;
+  for (const auto& [key, set] : coverage) {
+    out << key << " @ " << set.ToString() << "\n";
+  }
+  return out.str();
+}
+
+std::string SeriesText(const Database& db, std::string_view pred) {
+  std::ostringstream out;
+  for (const auto& [t, tuple] : Reasoner::Series(db, pred)) {
+    out << t << " " << TupleToString(tuple) << "\n";
+  }
+  return out.str();
+}
+
+void ExpectMatchesColdReplay(const StreamingSession& session,
+                             std::string_view series_pred,
+                             const std::string& label) {
+  auto cold = session.ColdReplay();
+  ASSERT_TRUE(cold.ok()) << label << ": " << cold.status();
+  EXPECT_EQ(SerializeDatabase(session.db()), SerializeDatabase(cold->db))
+      << label << ": database diverged from cold replay";
+  EXPECT_EQ(SeriesText(session.db(), series_pred),
+            SeriesText(cold->db, series_pred))
+      << label << ": Series() diverged from cold replay";
+  EXPECT_EQ(ProvenanceCoverage(session.provenance()),
+            ProvenanceCoverage(cold->provenance))
+      << label << ": provenance coverage diverged from cold replay";
+}
+
+StreamingOptions Opts(int64_t start, int threads = 1) {
+  StreamingOptions options;
+  options.start_time = Rational(start);
+  options.engine.num_threads = threads;
+  return options;
+}
+
+TEST(StreamingSessionTest, IncrementalAdvanceMatchesColdReplay) {
+  auto unit = Parser::Parse(
+      "q(X) :- diamondminus[0,2] p(X) .\n"
+      "r(X) :- boxminus[1,1] q(X), not p(X) .\n");
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  auto session = StreamingSession::Create(unit->program, Opts(0));
+  ASSERT_TRUE(session.ok()) << session.status();
+  StreamingSession& s = **session;
+
+  ASSERT_TRUE(s.Push(Fact::Make("p", {Value::Symbol("a")},
+                                Interval::Closed(Rational(1), Rational(3))))
+                  .ok());
+  ASSERT_TRUE(s.AdvanceTo(Rational(4)).ok());
+  EXPECT_EQ(s.watermark(), Rational(4));
+  EXPECT_EQ(s.window_min(), Rational(0));
+  ExpectMatchesColdReplay(s, "q", "after first advance");
+
+  // q extends 2 past p's end; the advance band must pick that up with no
+  // new inputs at all.
+  ASSERT_TRUE(s.AdvanceTo(Rational(6)).ok());
+  ExpectMatchesColdReplay(s, "q", "advance without fresh input");
+
+  ASSERT_TRUE(s.Push(Fact::Make("p", {Value::Symbol("b")},
+                                Interval::Point(Rational(7))))
+                  .ok());
+  ASSERT_TRUE(s.AdvanceTo(Rational(9)).ok());
+  ExpectMatchesColdReplay(s, "q", "after second fact");
+}
+
+TEST(StreamingSessionTest, RecursiveChainStreamsAcrossAdvances) {
+  // A chain rule extends one step per round; streamed advances must keep
+  // extending it across watermark boundaries exactly as a batch run would.
+  auto unit = Parser::Parse(
+      "d(X) :- p(X) .\n"
+      "d(X) :- diamondminus[2,2] d(X), not stop(X) .\n");
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  auto session = StreamingSession::Create(unit->program, Opts(0));
+  ASSERT_TRUE(session.ok()) << session.status();
+  StreamingSession& s = **session;
+
+  ASSERT_TRUE(s.Push(Fact::Make("p", {Value::Symbol("a")},
+                                Interval::Point(Rational(1))))
+                  .ok());
+  for (int64_t t = 2; t <= 20; t += 3) {
+    ASSERT_TRUE(s.AdvanceTo(Rational(t)).ok()) << "advance to " << t;
+    ExpectMatchesColdReplay(s, "d", "chain at t=" + std::to_string(t));
+  }
+}
+
+TEST(StreamingSessionTest, SlideRetractsAndRederives) {
+  auto unit = Parser::Parse(
+      "q(X) :- diamondminus[0,3] p(X) .\n"
+      "r(X) :- boxminus[1,2] q(X) .\n");
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  auto session = StreamingSession::Create(unit->program, Opts(0));
+  ASSERT_TRUE(session.ok()) << session.status();
+  StreamingSession& s = **session;
+
+  ASSERT_TRUE(s.Push(Fact::Make("p", {Value::Symbol("a")},
+                                Interval::Closed(Rational(1), Rational(2))))
+                  .ok());
+  ASSERT_TRUE(s.Push(Fact::Make("p", {Value::Symbol("b")},
+                                Interval::Point(Rational(6))))
+                  .ok());
+  ASSERT_TRUE(s.AdvanceTo(Rational(10)).ok());
+  ExpectMatchesColdReplay(s, "q", "before slide");
+
+  ASSERT_TRUE(s.SlideTo(Rational(4)).ok());
+  EXPECT_EQ(s.window_min(), Rational(4));
+  // p(a)'s coverage is gone from the log; q/r derived from it must be gone
+  // from the store, including the parts above the new minimum.
+  ExpectMatchesColdReplay(s, "q", "after slide");
+
+  ASSERT_TRUE(s.Push(Fact::Make("p", {Value::Symbol("c")},
+                                Interval::Point(Rational(11))))
+                  .ok());
+  ASSERT_TRUE(s.AdvanceTo(Rational(12)).ok());
+  ExpectMatchesColdReplay(s, "q", "advance after slide");
+}
+
+TEST(StreamingSessionTest, HorizonAutoSlides) {
+  auto unit = Parser::Parse("q(X) :- diamondminus[0,1] p(X) .\n");
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  StreamingOptions options = Opts(0);
+  options.horizon = Rational(5);
+  auto session = StreamingSession::Create(unit->program, options);
+  ASSERT_TRUE(session.ok()) << session.status();
+  StreamingSession& s = **session;
+
+  for (int64_t t = 1; t <= 12; ++t) {
+    ASSERT_TRUE(s.Push(Fact::Make("p", {Value::Symbol("a")},
+                                  Interval::Point(Rational(t))))
+                    .ok());
+    ASSERT_TRUE(s.AdvanceTo(Rational(t)).ok());
+    if (t > 5) {
+      EXPECT_EQ(s.window_min(), Rational(t - 5)) << "at t=" << t;
+    }
+  }
+  ExpectMatchesColdReplay(s, "q", "horizon steady state");
+}
+
+TEST(StreamingSessionTest, StepChannelsMatchBatchStepFunctions) {
+  auto unit = Parser::Parse("q(X) :- diamondminus[0,2] price(X) .\n");
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  auto session = StreamingSession::Create(unit->program, Opts(0));
+  ASSERT_TRUE(session.ok()) << session.status();
+  StreamingSession& s = **session;
+
+  ASSERT_TRUE(s.PushStep("price", {Value::Double(10.0)}, Rational(0)).ok());
+  ASSERT_TRUE(s.AdvanceTo(Rational(3)).ok());
+  ExpectMatchesColdReplay(s, "q", "open channel at first watermark");
+
+  // Same value steps again: the channel just continues.
+  ASSERT_TRUE(s.PushStep("price", {Value::Double(10.0)}, Rational(4)).ok());
+  ASSERT_TRUE(s.PushStep("price", {Value::Double(12.5)}, Rational(5)).ok());
+  ASSERT_TRUE(s.AdvanceTo(Rational(7)).ok());
+  ExpectMatchesColdReplay(s, "q", "after value change");
+
+  // The closed step's coverage is exactly ClosedOpen(0, 5).
+  const Relation* price = s.db().Find("price");
+  ASSERT_NE(price, nullptr);
+  const IntervalSet* old_step = price->Find({Value::Double(10.0)});
+  ASSERT_NE(old_step, nullptr);
+  EXPECT_EQ(*old_step,
+            IntervalSet(Interval::ClosedOpen(Rational(0), Rational(5))));
+
+  // Out-of-order steps are refused.
+  EXPECT_FALSE(s.PushStep("price", {Value::Double(9.0)}, Rational(6)).ok());
+}
+
+TEST(StreamingSessionTest, FlushDisciplineAndWatermarkChecks) {
+  auto unit = Parser::Parse("q(X) :- p(X) .\n");
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  auto session = StreamingSession::Create(unit->program, Opts(0));
+  ASSERT_TRUE(session.ok()) << session.status();
+  StreamingSession& s = **session;
+
+  // Before the first advance, facts anywhere (even sub-window) are fine.
+  ASSERT_TRUE(s.Push(Fact::Make("p", {Value::Symbol("a")},
+                                Interval::Point(Rational(0))))
+                  .ok());
+  ASSERT_TRUE(s.AdvanceTo(Rational(5)).ok());
+  // At or below the watermark: refused (it would change final coverage).
+  EXPECT_FALSE(s.Push(Fact::Make("p", {Value::Symbol("b")},
+                                 Interval::Point(Rational(5))))
+                   .ok());
+  EXPECT_FALSE(s.Push(Fact::Make("p", {Value::Symbol("b")},
+                                 Interval::Closed(Rational(3), Rational(9))))
+                   .ok());
+  // Strictly above: accepted, including an open start at the watermark.
+  ASSERT_TRUE(
+      s.Push(Fact{InternPredicate("p"),
+                  {Value::Symbol("b")},
+                  *Interval::Make(Bound::Open(Rational(5)),
+                                  Bound::Closed(Rational(6)))})
+          .ok());
+  // Advances cannot go backwards; slides cannot pass the watermark.
+  EXPECT_FALSE(s.AdvanceTo(Rational(4)).ok());
+  EXPECT_FALSE(s.SlideTo(Rational(9)).ok());
+  EXPECT_FALSE(s.SlideTo(Rational(0)).ok());
+}
+
+TEST(StreamingSessionTest, IneligibleProgramsAreRefusedAtCreate) {
+  for (const char* text : {
+           // future operator
+           "q(X) :- diamondplus[0,2] p(X) .\n",
+           // since / until
+           "q(X) :- p(X) since[0,3] r(X) .\n",
+           // no positive relational atom
+           "q(X) :- not p(X), X = 1 .\n",
+       }) {
+    auto unit = Parser::Parse(text);
+    if (!unit.ok()) continue;  // parser-level rejection also acceptable
+    auto session = StreamingSession::Create(unit->program, Opts(0));
+    EXPECT_FALSE(session.ok()) << "accepted ineligible program:\n" << text;
+  }
+}
+
+TEST(StreamingSessionTest, FailedAdvanceHealsTransparently) {
+  auto unit = Parser::Parse(
+      "q(X) :- diamondminus[0,2] p(X) .\n"
+      "r(X) :- boxminus[1,1] q(X) .\n");
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  auto session = StreamingSession::Create(unit->program, Opts(0));
+  ASSERT_TRUE(session.ok()) << session.status();
+  StreamingSession& s = **session;
+
+  ASSERT_TRUE(s.Push(Fact::Make("p", {Value::Symbol("a")},
+                                Interval::Closed(Rational(1), Rational(3))))
+                  .ok());
+  ASSERT_TRUE(s.AdvanceTo(Rational(4)).ok());
+
+  ASSERT_TRUE(s.Push(Fact::Make("p", {Value::Symbol("b")},
+                                Interval::Point(Rational(6))))
+                  .ok());
+  FaultInjector::Arm("seminaive.round", 1,
+                     Status::Internal("injected round failure"));
+  Status failed = s.AdvanceTo(Rational(8));
+  FaultInjector::Reset();
+  if (s.streaming_enabled()) {
+    EXPECT_FALSE(failed.ok());
+    // The watermark did not move; the store rolled back to the barrier.
+    EXPECT_EQ(s.watermark(), Rational(4));
+  }
+  // The next operation heals (cold rebuild) and completes normally.
+  ASSERT_TRUE(s.AdvanceTo(Rational(8)).ok());
+  ExpectMatchesColdReplay(s, "q", "after heal");
+}
+
+TEST(StreamingSessionTest, EthPerpSessionStreamMatchesBatchReplay) {
+  auto program = EthPerpProgram();
+  ASSERT_TRUE(program.ok()) << program.status();
+  WorkloadConfig config;
+  config.name = "stream-unit";
+  config.duration_s = 600;
+  config.num_events = 24;
+  config.num_trades = 6;
+  config.seed = 7;
+  auto generated = GenerateSession(config);
+  ASSERT_TRUE(generated.ok()) << generated.status();
+  Session chain_session = *generated;
+
+  StreamingOptions options;
+  options.start_time = Rational(chain_session.start_time);
+  auto session = StreamingSession::Create(*program, options);
+  ASSERT_TRUE(session.ok()) << session.status();
+  ASSERT_TRUE(ReplaySessionStream(chain_session, session->get()).ok());
+
+  Database batch = SessionToDatabase(chain_session);
+  EngineStats stats;
+  ASSERT_TRUE(Materialize(*program, &batch,
+                          SessionEngineOptions(chain_session), &stats)
+                  .ok());
+  EXPECT_EQ(SerializeDatabase((*session)->db()), SerializeDatabase(batch))
+      << "streamed ETH-PERP session diverged from the batch replay";
+  ExpectMatchesColdReplay(**session, "frs", "eth-perp final checkpoint");
+}
+
+// ---------------------------------------------------------------------------
+// Retraction-equivalence fuzz lane: random eligible programs, random fact
+// streams, random horizons. Every K advances is a checkpoint compared
+// byte-for-byte against a cold replay; mid-stream slides exercise
+// retraction. The whole lane re-runs at each thread width, and under the
+// DMTL_DISABLE_RULE_COMPILE / DMTL_DISABLE_DENSE_TIMELINE /
+// DMTL_DISABLE_STREAMING environment lanes in CI.
+// ---------------------------------------------------------------------------
+
+// Same safe fragment the dense/parallel/differential suites fuzz -
+// stratified boxminus/diamondminus recursion with negated guards - which is
+// exactly the streaming-eligible fragment.
+class StreamFuzzer {
+ public:
+  explicit StreamFuzzer(uint64_t seed) : rng_(seed) {}
+
+  std::string GenerateProgram() {
+    std::ostringstream out;
+    int num_edb = 2 + Pick(2);
+    int num_derived = 2 + Pick(3);
+    for (int d = 0; d < num_derived; ++d) {
+      out << "d" << d << "(X) :- " << LowerAtom(d, num_edb) << Guard(num_edb)
+          << " .\n";
+      int step = 1 + Pick(2);
+      const char* op = Pick(2) == 0 ? "boxminus" : "diamondminus";
+      out << "d" << d << "(X) :- " << op << "[" << step << "," << step
+          << "] d" << d << "(X), not p0(X) .\n";
+      if (Pick(2) == 0) {
+        out << "d" << d << "(X) :- diamondminus[0," << (1 + Pick(3)) << "] "
+            << LowerAtom(d, num_edb) << " .\n";
+      }
+    }
+    return out.str();
+  }
+
+  std::vector<Fact> GenerateStream(int horizon) {
+    std::vector<Fact> facts;
+    int num_facts = 8 + Pick(10);
+    for (int f = 0; f < num_facts; ++f) {
+      int lo = 1 + Pick(horizon - 1);
+      int hi = lo + Pick(4);
+      facts.push_back(Fact::Make(
+          "p" + std::to_string(Pick(3)),
+          {Value::Symbol("c" + std::to_string(Pick(3)))},
+          Interval::Closed(Rational(lo), Rational(hi))));
+    }
+    std::sort(facts.begin(), facts.end(), [](const Fact& a, const Fact& b) {
+      return a.interval.lo().value < b.interval.lo().value;
+    });
+    return facts;
+  }
+
+  int Pick(int n) { return static_cast<int>(rng_() % n); }
+
+ private:
+  std::string LowerAtom(int d, int num_edb) {
+    if (d > 0 && Pick(2) == 0) {
+      return "d" + std::to_string(Pick(d)) + "(X)";
+    }
+    return "p" + std::to_string(Pick(num_edb)) + "(X)";
+  }
+
+  std::string Guard(int num_edb) {
+    switch (Pick(3)) {
+      case 0:
+        return "";
+      case 1:
+        return ", not p" + std::to_string(Pick(num_edb)) + "(X)";
+      default:
+        return ", diamondminus[0,2] p" + std::to_string(Pick(num_edb)) +
+               "(X)";
+    }
+  }
+
+  std::mt19937_64 rng_;
+};
+
+class StreamingFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StreamingFuzzTest, CheckpointsMatchColdReplay) {
+  StreamFuzzer fuzzer(GetParam());
+  const int kHorizon = 30;
+  std::string text = fuzzer.GenerateProgram();
+  auto unit = Parser::Parse(text);
+  ASSERT_TRUE(unit.ok()) << unit.status() << "\nprogram:\n" << text;
+  // One shared stream per seed so all thread widths see identical events.
+  std::vector<Fact> stream = fuzzer.GenerateStream(kHorizon);
+
+  for (int threads : {1, 2, 8}) {
+    StreamingOptions options = Opts(0, threads);
+    auto session = StreamingSession::Create(unit->program, options);
+    ASSERT_TRUE(session.ok()) << session.status() << "\nprogram:\n" << text;
+    StreamingSession& s = **session;
+
+    // Deterministic per-width RNG for advance strides and slide points.
+    std::mt19937_64 rng(GetParam() * 977 + threads);
+    size_t next = 0;
+    int advances = 0;
+    int64_t watermark = 0;
+    bool slid = false;
+    while (watermark < kHorizon + 8) {
+      watermark += 1 + static_cast<int>(rng() % 4);
+      while (next < stream.size() &&
+             stream[next].interval.lo().value <= Rational(watermark)) {
+        Status pushed = s.Push(stream[next]);
+        ASSERT_TRUE(pushed.ok()) << pushed << "\nprogram:\n" << text;
+        ++next;
+      }
+      Status advanced = s.AdvanceTo(Rational(watermark));
+      ASSERT_TRUE(advanced.ok()) << advanced << "\nprogram:\n" << text;
+      ++advances;
+      std::string label = "seed=" + std::to_string(GetParam()) +
+                          " threads=" + std::to_string(threads) +
+                          " watermark=" + std::to_string(watermark);
+      if (advances % 3 == 0) {
+        ExpectMatchesColdReplay(s, "d0", label + " (checkpoint)");
+      }
+      // Two mid-stream slides per run, at randomized boundaries.
+      if (watermark > 10 && (!slid || (advances % 5 == 0))) {
+        Rational new_min(watermark - 8 - static_cast<int>(rng() % 3));
+        if (s.window_min() < new_min && !(s.watermark() < new_min)) {
+          Status slide = s.SlideTo(new_min);
+          ASSERT_TRUE(slide.ok()) << slide << "\nprogram:\n" << text;
+          slid = true;
+          ExpectMatchesColdReplay(s, "d0", label + " (post-slide)");
+        }
+      }
+    }
+    ExpectMatchesColdReplay(
+        s, "d0",
+        "seed=" + std::to_string(GetParam()) +
+            " threads=" + std::to_string(threads) + " (final)");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StreamingFuzzTest,
+                         ::testing::Range<uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace dmtl

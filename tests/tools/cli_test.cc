@@ -266,5 +266,57 @@ TEST_F(CliTest, EthPerpArtifactThroughCli) {
   EXPECT_EQ(out, "pnl(abc, 0.0)@[8, 8] .\n");
 }
 
+TEST_F(CliTest, StreamModeEmitsNdjsonPerEvent) {
+  std::string prog = WriteFile("s.dmtl",
+                               "q(X) :- diamondminus[0,2] p(X) .\n"
+                               "p(a)@[1,3] .\n");
+  std::string stream = WriteFile("s.stream",
+                                 "% comment lines are skipped\n"
+                                 "@advance 4\n"
+                                 "@checkpoint\n"
+                                 "@step price(10.0)@5 .\n"
+                                 "p(b)@6 .\n"
+                                 "@advance 7\n"
+                                 "@slide 3\n"
+                                 "@checkpoint\n");
+  auto [status, out] = Run({"run", prog, "--stream", stream, "--stats"});
+  ASSERT_TRUE(status.ok()) << status << "\n" << out;
+  std::istringstream lines(out);
+  std::string line;
+  std::vector<std::string> events;
+  while (std::getline(lines, line)) events.push_back(line);
+  ASSERT_EQ(events.size(), 7u) << out;
+  EXPECT_NE(events[0].find("\"op\":\"advance\""), std::string::npos);
+  EXPECT_NE(events[0].find("\"watermark\":\"4\""), std::string::npos);
+  EXPECT_NE(events[0].find("\"latency_us\":"), std::string::npos);
+  EXPECT_NE(events[0].find("\"delta_intervals\":"), std::string::npos);
+  EXPECT_NE(events[0].find("\"rounds\":"), std::string::npos);
+  EXPECT_NE(events[1].find("\"op\":\"checkpoint\""), std::string::npos);
+  EXPECT_NE(events[1].find("\"match\":true"), std::string::npos);
+  EXPECT_NE(events[2].find("\"op\":\"step\""), std::string::npos);
+  EXPECT_NE(events[3].find("\"op\":\"push\""), std::string::npos);
+  EXPECT_NE(events[5].find("\"op\":\"slide\""), std::string::npos);
+  EXPECT_NE(events[5].find("\"window_min\":\"3\""), std::string::npos);
+  EXPECT_NE(events[6].find("\"match\":true"), std::string::npos);
+}
+
+TEST_F(CliTest, StreamModeRejectsBadInput) {
+  std::string prog = WriteFile("s.dmtl", "q(X) :- p(X) .\n");
+  // --max conflicts with the session-managed horizon.
+  std::string stream = WriteFile("ok.stream", "@advance 1\n");
+  auto [max_status, max_out] =
+      Run({"run", prog, "--stream", stream, "--max", "9"});
+  EXPECT_EQ(ExitCodeForStatus(max_status), 2);
+  // Unknown directives name the offending line.
+  std::string bad = WriteFile("bad.stream", "@advance 1\n@bogus 2\n");
+  auto [status, out] = Run({"run", prog, "--stream", bad});
+  EXPECT_EQ(ExitCodeForStatus(status), 2);
+  EXPECT_NE(status.message().find(":2:"), std::string::npos) << status;
+  // A fact at or below the watermark violates the flush discipline.
+  std::string late = WriteFile("late.stream", "@advance 5\np(a)@2 .\n");
+  auto [late_status, late_out] = Run({"run", prog, "--stream", late});
+  EXPECT_FALSE(late_status.ok());
+}
+
 }  // namespace
 }  // namespace dmtl

@@ -190,8 +190,15 @@ def main():
                 print(f"  same       {path}: {b!r}")
             continue
         if kind == "note":
+            # A JSON null means the metric was undefined for that run (e.g.
+            # speedup when the pool resolved to one thread) - nothing to
+            # compare, not a change worth flagging.
+            if b is None or c is None:
+                continue
             if b != c and not isinstance(b, str):
                 print(f"  note  {path}: {b!r} -> {c!r}")
+            continue
+        if b is None or c is None:
             continue
         if not isinstance(b, (int, float)) or not isinstance(c, (int, float)):
             print(f"  shape mismatch at {path}: baseline={b!r} "
