@@ -192,27 +192,21 @@ inline const char* BuildType() {
 // Emits the provenance context block every BENCH_*.json artifact carries:
 // which revision and build type produced the numbers, whether the runs
 // were timed with an armed ExecutionGuard (deadline/cancel token), and
-// which rule executor ran (compiled VM vs AST walker), so bench_diff.py
-// can refuse like-for-unlike comparisons. bench_diff.py ignores string
-// fields, so these never trip the regression gate.
+// the resolved engine feature set (EngineOptions::WithEnvOverrides - the
+// single point folding the DMTL_DISABLE_* CI lanes into the options), so
+// bench_diff.py can refuse like-for-unlike comparisons. bench_diff.py
+// ignores string fields, so these never trip the regression gate.
 inline void WriteContext(JsonBuilder* json, bool guards_enabled = false,
-                         bool enable_rule_compile =
-                             EngineOptions{}.enable_rule_compile) {
+                         const EngineOptions& resolved =
+                             EngineOptions::FromEnv()) {
   json->BeginObject("context");
   json->Field("git_sha", GitSha());
   json->Field("build_type", BuildType());
   json->Field("guards_enabled", guards_enabled);
-  json->Field("enable_rule_compile", enable_rule_compile);
-  // Memory-architecture flags, as the engine will actually resolve them
-  // (option default folded with the CI env overrides), so a dense-off or
-  // arena-off lane produces artifacts bench_diff.py refuses to compare
-  // against the default lane's baselines.
-  json->Field("enable_dense_timeline",
-              EngineOptions{}.enable_dense_timeline &&
-                  std::getenv("DMTL_DISABLE_DENSE_TIMELINE") == nullptr);
-  json->Field("enable_arena_alloc",
-              EngineOptions{}.enable_arena_alloc &&
-                  std::getenv("DMTL_DISABLE_ARENA_ALLOC") == nullptr);
+  json->Field("enable_rule_compile", resolved.enable_rule_compile);
+  json->Field("enable_dense_timeline", resolved.enable_dense_timeline);
+  json->Field("enable_arena_alloc", resolved.enable_arena_alloc);
+  json->Field("enable_streaming", resolved.enable_streaming);
   json->EndObject();
 }
 

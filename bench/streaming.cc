@@ -1,6 +1,6 @@
 // Streaming materialization benchmark (ISSUE 8 acceptance artifact).
 //
-// Replays paper-scale ETH-PERP sessions through a live StreamingSession -
+// Replays paper-scale ETH-PERP sessions through a live streaming EngineSession -
 // one chain event at a time - and records the per-event latency
 // distribution (p50 / p99 / max) against the amortized cost of the batch
 // replay the repo ran before streaming existed (batch wall / events). The
@@ -22,7 +22,7 @@
 
 #include "src/chain/replayer.h"
 #include "src/common/thread_pool.h"
-#include "src/streaming/session.h"
+#include "src/engine/session.h"
 #include "bench/bench_util.h"
 
 namespace {
@@ -105,9 +105,9 @@ int main() {
     size_t advances = 0;
     size_t stream_intervals = 0;
     for (int rep = 0; rep < kReps; ++rep) {
-      StreamingOptions options;
+      SessionOptions options;
       options.start_time = Rational(chain.start_time);
-      auto session = StreamingSession::Create(program, options);
+      auto session = EngineSession::Create(program, options);
       bench::Check(session.status(), "create streaming session");
       std::vector<double> latencies_us;
       bench::Check(ReplaySessionStream(chain, session->get(), &latencies_us),
@@ -132,10 +132,10 @@ int main() {
     double slide_p50_s = 0.0, slide_p99_s = 0.0;
     size_t slide_intervals = 0;
     for (int rep = 0; rep < kReps; ++rep) {
-      StreamingOptions options;
+      SessionOptions options;
       options.start_time = Rational(chain.start_time);
       options.horizon = Rational(pt.window / 4);
-      auto session = StreamingSession::Create(program, options);
+      auto session = EngineSession::Create(program, options);
       bench::Check(session.status(), "create sliding session");
       std::vector<double> latencies_us;
       bench::Check(ReplaySessionStream(chain, session->get(), &latencies_us),

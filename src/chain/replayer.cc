@@ -54,7 +54,7 @@ EngineOptions SessionEngineOptions(const Session& session) {
   return options;
 }
 
-Status ReplaySessionStream(const Session& session, StreamingSession* stream,
+Status ReplaySessionStream(const Session& session, EngineSession* stream,
                            std::vector<double>* event_latencies_us) {
   Rational start(session.start_time);
   Rational end(session.end_time);
@@ -107,7 +107,7 @@ Status ReplaySessionStream(const Session& session, StreamingSession* stream,
       }
       DMTL_RETURN_IF_ERROR(stream->Push(fact));
     }
-    DMTL_RETURN_IF_ERROR(stream->AdvanceTo(rt));
+    DMTL_RETURN_IF_ERROR(stream->Advance(rt));
     if (event_latencies_us != nullptr) {
       event_latencies_us->push_back(
           std::chrono::duration<double, std::micro>(
@@ -117,7 +117,7 @@ Status ReplaySessionStream(const Session& session, StreamingSession* stream,
   }
   if (stream->watermark() < end) {
     auto t0 = std::chrono::steady_clock::now();
-    DMTL_RETURN_IF_ERROR(stream->AdvanceTo(end));
+    DMTL_RETURN_IF_ERROR(stream->Advance(end));
     if (event_latencies_us != nullptr) {
       event_latencies_us->push_back(
           std::chrono::duration<double, std::micro>(

@@ -4,9 +4,9 @@
 #include <vector>
 
 #include "src/chain/events.h"
+#include "src/engine/session.h"
 #include "src/eval/seminaive.h"
 #include "src/storage/database.h"
-#include "src/streaming/session.h"
 
 namespace dmtl {
 
@@ -19,15 +19,15 @@ Database SessionToDatabase(const Session& session);
 // The matching engine horizon: derivations clamped to the session window.
 EngineOptions SessionEngineOptions(const Session& session);
 
-// Replays a trading session through a live StreamingSession, one chain
+// Replays a trading session through a live EngineSession, one chain
 // event at a time: window marks and initial state first, then - per
 // distinct event time t, in order - the price step and method calls at t
-// followed by AdvanceTo(t), and a final advance to the session end. The
+// followed by Advance(t), and a final advance to the session end. The
 // resulting stream->db() carries the same coverage a batch run over
 // SessionToDatabase derives. When `event_latencies_us` is non-null, one
 // wall-clock latency (the pushes plus the advance, in microseconds) is
 // appended per advance performed.
-Status ReplaySessionStream(const Session& session, StreamingSession* stream,
+Status ReplaySessionStream(const Session& session, EngineSession* stream,
                            std::vector<double>* event_latencies_us = nullptr);
 
 }  // namespace dmtl

@@ -1,0 +1,29 @@
+#include "src/engine/session.h"
+
+#include <utility>
+
+#include "src/streaming/session.h"
+
+namespace dmtl {
+
+// Both factories delegate to StreamingSession, which implements the two
+// non-hosted shapes behind the facade: streaming (default) and batch
+// (enable_streaming = false / DMTL_DISABLE_STREAMING=1). Fleet-hosted
+// sessions wrap one of these per contract (src/fleet/).
+
+Result<std::unique_ptr<EngineSession>> EngineSession::Create(
+    const Program& program, const SessionOptions& options) {
+  DMTL_ASSIGN_OR_RETURN(std::unique_ptr<StreamingSession> session,
+                        StreamingSession::Create(program, options));
+  return std::unique_ptr<EngineSession>(std::move(session));
+}
+
+Result<std::unique_ptr<EngineSession>> EngineSession::Restore(
+    const Program& program, const SessionOptions& options,
+    const SessionSnapshot& snapshot) {
+  DMTL_ASSIGN_OR_RETURN(std::unique_ptr<StreamingSession> session,
+                        StreamingSession::Restore(program, options, snapshot));
+  return std::unique_ptr<EngineSession>(std::move(session));
+}
+
+}  // namespace dmtl

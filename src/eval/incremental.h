@@ -81,6 +81,19 @@ class IncrementalMaterializer {
   static Result<std::unique_ptr<IncrementalMaterializer>> Create(
       const Program& program, Database* db, const EngineOptions& options);
 
+  // Rebuilds a live evaluator from checkpointed session state (see
+  // src/storage/snapshot.h). Unlike Create, `db` must already hold the
+  // snapshot's materialized database; `options.min_time` is the restored
+  // window minimum, `watermark` the restored watermark, and `advanced`
+  // whether the checkpointed session had executed its first Advance (it
+  // gates the push-above-watermark finality check). `input_log` is the
+  // snapshot's clamped log; the pending band is reseeded from it so the
+  // next Advance derives exactly what the uninterrupted session would -
+  // the warm restart is byte-identical, operation for operation.
+  static Result<std::unique_ptr<IncrementalMaterializer>> Restore(
+      const Program& program, Database* db, const EngineOptions& options,
+      std::vector<Fact> input_log, const Rational& watermark, bool advanced);
+
   ~IncrementalMaterializer();
 
   IncrementalMaterializer(const IncrementalMaterializer&) = delete;
@@ -115,6 +128,10 @@ class IncrementalMaterializer {
   // True when a failed operation left the database an under-approximation;
   // the next Push/Advance/Retract heals by a cold rebuild first.
   bool needs_rebuild() const;
+
+  // True once the first Advance has run (checkpointed with the session and
+  // reinstated by Restore).
+  bool advanced() const;
 
   // The program's maximal forward reach R (band width); unbounded when some
   // operator range has an infinite upper bound - legal, but every advance

@@ -448,6 +448,27 @@ std::string DerivationRecord::ToString(const Program& program) const {
   return out;
 }
 
+EngineOptions EngineOptions::WithEnvOverrides() const {
+  EngineOptions out = *this;
+  if (std::getenv("DMTL_DISABLE_RULE_COMPILE") != nullptr) {
+    out.enable_rule_compile = false;
+  }
+  if (std::getenv("DMTL_DISABLE_DENSE_TIMELINE") != nullptr) {
+    out.enable_dense_timeline = false;
+  }
+  if (std::getenv("DMTL_DISABLE_ARENA_ALLOC") != nullptr) {
+    out.enable_arena_alloc = false;
+  }
+  if (std::getenv("DMTL_DISABLE_STREAMING") != nullptr) {
+    out.enable_streaming = false;
+  }
+  return out;
+}
+
+EngineOptions EngineOptions::FromEnv() {
+  return EngineOptions().WithEnvOverrides();
+}
+
 const char* StopReasonToString(StopReason reason) {
   switch (reason) {
     case StopReason::kCompleted:
@@ -590,12 +611,12 @@ Status MaterializeImpl(const Program& program, Database* db,
   // not counted; see RuleCompiler::Declines for the rest) keep the AST
   // walker - both executors emit identical derivations, so they can be
   // mixed freely within one run. DMTL_DISABLE_RULE_COMPILE in the
-  // environment forces the interpreter everywhere - the hook CI's
+  // environment forces the interpreter everywhere (folded into the options
+  // by Materialize's WithEnvOverrides resolution) - the hook CI's
   // compile-off lane uses to re-run the whole suite against the walker
   // without touching call sites.
   std::vector<std::unique_ptr<RuleVm>> vms;
-  const bool compile_rules = options.enable_rule_compile &&
-                             std::getenv("DMTL_DISABLE_RULE_COMPILE") == nullptr;
+  const bool compile_rules = options.enable_rule_compile;
   if (compile_rules) {
     vms.resize(compiled.size());
     for (size_t i = 0; i < compiled.size(); ++i) {
@@ -628,15 +649,13 @@ Status MaterializeImpl(const Program& program, Database* db,
   // Memory architecture (docs/ENGINE.md): select the dense integer-timeline
   // kernels when the whole run is provably integral, and arm round arenas
   // for transient IntervalSet spills. Both are opt-out engine features with
-  // byte-identical output; the env hooks mirror DMTL_DISABLE_RULE_COMPILE
-  // so CI can re-run the full suite down the Rational/heap paths.
-  const bool dense_timeline =
-      options.enable_dense_timeline &&
-      std::getenv("DMTL_DISABLE_DENSE_TIMELINE") == nullptr &&
-      DenseTimelineEligible(program, *db, options);
+  // byte-identical output; the DMTL_DISABLE_* env hooks are folded into the
+  // options once at Materialize entry so CI can re-run the full suite down
+  // the Rational/heap paths.
+  const bool dense_timeline = options.enable_dense_timeline &&
+                              DenseTimelineEligible(program, *db, options);
   stats->timeline_dense = dense_timeline;
-  const bool arena_alloc = options.enable_arena_alloc &&
-                           std::getenv("DMTL_DISABLE_ARENA_ALLOC") == nullptr;
+  const bool arena_alloc = options.enable_arena_alloc;
   RoundArena main_arena;
   // One arena per rule for parallel rounds: a rule is at most one task per
   // round, so tasks never share an arena, and reuse across rounds keeps the
@@ -993,11 +1012,16 @@ Status MaterializeImpl(const Program& program, Database* db,
 }  // namespace
 
 Status Materialize(const Program& program, Database* db,
-                   const EngineOptions& options, EngineStats* stats) {
+                   const EngineOptions& options_in, EngineStats* stats) {
   auto start_time = std::chrono::steady_clock::now();
   EngineStats local_stats;
   if (stats == nullptr) stats = &local_stats;
   *stats = EngineStats();
+
+  // The DMTL_DISABLE_* lanes are resolved exactly here (and at session
+  // creation for the incremental engine); everything downstream reads the
+  // option fields only.
+  const EngineOptions options = options_in.WithEnvOverrides();
 
   // The guard lives here (not in the impl) so every exit path - including
   // validation errors before evaluation starts - finalizes diagnostics the
@@ -1096,6 +1120,10 @@ class IncrementalMaterializer::Impl {
   };
 
   Status Init() {
+    // Env lanes resolve once per session, mirroring Materialize: the
+    // DMTL_DISABLE_* variables are process-stable in every CI lane, so
+    // latching at creation is equivalent to per-operation resolution.
+    options_ = options_.WithEnvOverrides();
     if (!options_.min_time.has_value()) {
       return Status::InvalidArgument(
           "streaming requires min_time (the initial window start)");
@@ -1183,9 +1211,7 @@ class IncrementalMaterializer::Impl {
       }
     }
 
-    const bool compile_rules =
-        options_.enable_rule_compile &&
-        std::getenv("DMTL_DISABLE_RULE_COMPILE") == nullptr;
+    const bool compile_rules = options_.enable_rule_compile;
     if (compile_rules) {
       vms_.resize(compiled_.size());
       for (size_t i = 0; i < compiled_.size(); ++i) {
@@ -1219,8 +1245,7 @@ class IncrementalMaterializer::Impl {
         }
       }
     }
-    arena_alloc_ = options_.enable_arena_alloc &&
-                   std::getenv("DMTL_DISABLE_ARENA_ALLOC") == nullptr;
+    arena_alloc_ = options_.enable_arena_alloc;
     if (arena_alloc_ && pool_.has_value()) {
       num_task_arenas_ = compiled_.size();
       task_arenas_ = std::make_unique<RoundArena[]>(num_task_arenas_);
@@ -1453,9 +1478,52 @@ class IncrementalMaterializer::Impl {
     return status;
   }
 
+  // Reinstates checkpointed session state right after Init: the caller has
+  // already loaded the snapshot's materialized database into db_; this
+  // installs the log and watermark and reseeds the pending band so the next
+  // operation behaves exactly as in the uninterrupted session. Over-seeding
+  // pending coverage is sound (the delta union is idempotent and the sink
+  // only records newly covered pieces); the band cache stays invalid, so
+  // the first post-restore advance falls back to the full-store scan.
+  Status AdoptState(std::vector<Fact> log, const Rational& watermark,
+                    bool advanced) {
+    if (watermark < cur_min_) {
+      return Status::InvalidArgument(
+          "snapshot watermark " + watermark.ToString() +
+          " precedes the window minimum " + cur_min_.ToString());
+    }
+    inputs_ = std::move(log);
+    watermark_ = watermark;
+    advanced_any_ = advanced;
+    inputs_dense_ok_ = true;
+    for (const Fact& f : inputs_) {
+      if (!DenseIntervalOk(f.interval)) inputs_dense_ok_ = false;
+    }
+    pending_fresh_ = Database();
+    auto above = Interval::Make(Bound::Open(watermark_), Bound::Infinite());
+    for (const Fact& f : inputs_) {
+      if (advanced_any_) {
+        // Post-advance sessions only have pending input above the
+        // watermark; everything at or below it is already derived-final.
+        std::optional<Interval> part;
+        if (above.has_value()) part = f.interval.Intersect(*above);
+        if (part.has_value()) {
+          pending_fresh_.InsertSet(f.predicate, f.args, IntervalSet(*part));
+        }
+      } else {
+        // Before the first advance, pushed facts may lie anywhere; they all
+        // must seed the first band.
+        pending_fresh_.InsertSet(f.predicate, f.args,
+                                 IntervalSet(f.interval));
+      }
+    }
+    return Status::Ok();
+  }
+
   const Rational& watermark() const { return watermark_; }
   const Rational& window_min() const { return cur_min_; }
   const std::vector<Fact>& input_log() const { return inputs_; }
+  bool advanced() const { return advanced_any_; }
   bool needs_rebuild() const { return needs_rebuild_; }
   bool reach_unbounded() const { return reach_inf_; }
   const Rational& forward_reach() const { return reach_; }
@@ -1746,7 +1814,6 @@ class IncrementalMaterializer::Impl {
                    const ExecutionGuard* guard) {
     const bool dense_timeline =
         options_.enable_dense_timeline &&
-        std::getenv("DMTL_DISABLE_DENSE_TIMELINE") == nullptr &&
         program_dense_ok_ && inputs_dense_ok_ &&
         DenseTimeOk(window.lo().infinite
                         ? std::optional<Rational>()
@@ -2119,6 +2186,18 @@ IncrementalMaterializer::Create(const Program& program, Database* db,
   return out;
 }
 
+Result<std::unique_ptr<IncrementalMaterializer>>
+IncrementalMaterializer::Restore(const Program& program, Database* db,
+                                 const EngineOptions& options,
+                                 std::vector<Fact> input_log,
+                                 const Rational& watermark, bool advanced) {
+  DMTL_ASSIGN_OR_RETURN(std::unique_ptr<IncrementalMaterializer> out,
+                        Create(program, db, options));
+  DMTL_RETURN_IF_ERROR(
+      out->impl_->AdoptState(std::move(input_log), watermark, advanced));
+  return out;
+}
+
 Status IncrementalMaterializer::Push(const Fact& fact) {
   return impl_->Push(fact);
 }
@@ -2139,6 +2218,7 @@ const Rational& IncrementalMaterializer::window_min() const {
 const std::vector<Fact>& IncrementalMaterializer::input_log() const {
   return impl_->input_log();
 }
+bool IncrementalMaterializer::advanced() const { return impl_->advanced(); }
 bool IncrementalMaterializer::needs_rebuild() const {
   return impl_->needs_rebuild();
 }

@@ -152,6 +152,30 @@ struct EngineOptions {
   // (the explainability the paper argues for, as data). Opt-in: a full
   // trading session derives millions of pieces.
   std::vector<DerivationRecord>* provenance = nullptr;
+
+  // Incremental advances for long-lived sessions (StreamingSession /
+  // EngineSession). Off, a session keeps its external contract but re-runs
+  // a cold batch materialization per operation - the batch one-shot shape
+  // and the CI equivalence lane. Consulted by sessions only; Materialize
+  // ignores it. Env override: DMTL_DISABLE_STREAMING=1.
+  bool enable_streaming = true;
+
+  // The one override point folding the DMTL_DISABLE_* environment lanes
+  // into an option set (docs/ENGINE.md, "Environment flags"):
+  //   DMTL_DISABLE_RULE_COMPILE=1  -> enable_rule_compile = false
+  //   DMTL_DISABLE_DENSE_TIMELINE=1-> enable_dense_timeline = false
+  //   DMTL_DISABLE_ARENA_ALLOC=1   -> enable_arena_alloc = false
+  //   DMTL_DISABLE_STREAMING=1     -> enable_streaming = false
+  // The engine resolves options through this exactly once per run (at
+  // Materialize entry / session creation); nothing else in the codebase
+  // reads those variables. Env can only turn features off, never force one
+  // on that the caller disabled.
+  EngineOptions WithEnvOverrides() const;
+
+  // Defaults resolved against the environment - what a run with default
+  // options will actually execute. Benchmarks record this set in their
+  // context block so bench_diff.py can refuse like-for-unlike comparisons.
+  static EngineOptions FromEnv();
 };
 
 // Why a materialization stopped. Anything but kCompleted comes with the

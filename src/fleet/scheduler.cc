@@ -1,0 +1,80 @@
+#include "src/fleet/scheduler.h"
+
+#include <thread>
+
+namespace dmtl {
+
+WorkStealingScheduler::WorkStealingScheduler(size_t num_items,
+                                             size_t num_workers)
+    : num_workers_(num_workers < 1 ? 1 : num_workers),
+      outstanding_(num_items) {
+  deques_.reserve(num_workers_);
+  for (size_t w = 0; w < num_workers_; ++w) {
+    deques_.push_back(std::make_unique<WorkerDeque>());
+  }
+  for (size_t i = 0; i < num_items; ++i) {
+    deques_[i % num_workers_]->items.push_back(i);
+  }
+}
+
+bool WorkStealingScheduler::PopOwn(size_t worker, size_t* item) {
+  WorkerDeque& dq = *deques_[worker];
+  std::lock_guard<std::mutex> lock(dq.mu);
+  if (dq.items.empty()) return false;
+  *item = dq.items.front();
+  dq.items.pop_front();
+  return true;
+}
+
+bool WorkStealingScheduler::StealFrom(size_t thief, size_t* item) {
+  for (size_t off = 1; off < num_workers_; ++off) {
+    WorkerDeque& dq = *deques_[(thief + off) % num_workers_];
+    std::lock_guard<std::mutex> lock(dq.mu);
+    if (dq.items.empty()) continue;
+    *item = dq.items.back();
+    dq.items.pop_back();
+    return true;
+  }
+  return false;
+}
+
+void WorkStealingScheduler::Requeue(size_t worker, size_t item) {
+  WorkerDeque& dq = *deques_[worker];
+  std::lock_guard<std::mutex> lock(dq.mu);
+  dq.items.push_back(item);
+}
+
+void WorkStealingScheduler::WorkerLoop(size_t worker, const Runner& runner) {
+  while (outstanding_.load(std::memory_order_acquire) > 0) {
+    size_t item = 0;
+    if (!PopOwn(worker, &item) && !StealFrom(worker, &item)) {
+      // Nothing queued, but siblings may still be mid-slice and requeue;
+      // yield instead of spinning hot (slices are materialization work,
+      // milliseconds - the yield loop is a rounding error).
+      std::this_thread::yield();
+      continue;
+    }
+    if (runner(item, worker)) {
+      Requeue(worker, item);
+    } else {
+      outstanding_.fetch_sub(1, std::memory_order_release);
+    }
+  }
+}
+
+void WorkStealingScheduler::Run(ThreadPool* pool, const Runner& runner) {
+  if (outstanding_.load(std::memory_order_acquire) == 0) return;
+  if (pool == nullptr || num_workers_ == 1) {
+    WorkerLoop(0, runner);
+    return;
+  }
+  // One long-lived task per worker; runner failures are the runner's to
+  // record per item (the fleet isolates faults), so the batch Status is
+  // always Ok.
+  (void)pool->ParallelFor(num_workers_, [&](size_t worker) -> Status {
+    WorkerLoop(worker, runner);
+    return Status::Ok();
+  });
+}
+
+}  // namespace dmtl

@@ -1,0 +1,68 @@
+#ifndef DMTL_FLEET_SCHEDULER_H_
+#define DMTL_FLEET_SCHEDULER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+
+namespace dmtl {
+
+// Work-stealing multiplexer for the fleet server: N ready items (hosted
+// sessions with queued operations) are spread round-robin over per-worker
+// deques and driven in slices until every item reports it is done.
+//
+// Each worker pops from the *front* of its own deque and, when empty,
+// steals from the *back* of a sibling's - the classic split that keeps an
+// item hot on its owning worker (session state stays in that core's cache)
+// while idle workers drain the longest-waiting work from elsewhere.
+//
+// Shared-nothing contract: an item lives in at most one deque and is never
+// executed by two workers at once, so the runner may mutate the item's
+// session state without any locking of its own. The deques themselves are
+// mutex-guarded (they are tiny: a steal is one pop under an uncontended
+// lock, orders of magnitude cheaper than the materialization slice it
+// hands over).
+class WorkStealingScheduler {
+ public:
+  // Executes one slice of `item` on `worker`; returns true while the item
+  // has more work (it is requeued on the executing worker's deque - work
+  // follows the thief, which is what balances skewed sessions).
+  using Runner = std::function<bool(size_t item, size_t worker)>;
+
+  // Seeds items 0..num_items-1 round-robin across num_workers deques.
+  WorkStealingScheduler(size_t num_items, size_t num_workers);
+
+  // Drives every item to completion and returns when the fleet is idle.
+  // Workers are hosted on `pool` via ParallelFor (the calling thread
+  // participates, matching the engine's pool contract); a null pool or a
+  // single worker degrades to an inline loop. Not reentrant.
+  void Run(ThreadPool* pool, const Runner& runner);
+
+  size_t num_workers() const { return num_workers_; }
+
+ private:
+  struct WorkerDeque {
+    std::mutex mu;
+    std::deque<size_t> items;
+  };
+
+  bool PopOwn(size_t worker, size_t* item);
+  bool StealFrom(size_t thief, size_t* item);
+  void Requeue(size_t worker, size_t item);
+  void WorkerLoop(size_t worker, const Runner& runner);
+
+  size_t num_workers_;
+  std::vector<std::unique_ptr<WorkerDeque>> deques_;
+  // Items not yet finished (queued or mid-slice); workers exit when zero.
+  std::atomic<size_t> outstanding_;
+};
+
+}  // namespace dmtl
+
+#endif  // DMTL_FLEET_SCHEDULER_H_

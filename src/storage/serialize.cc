@@ -54,26 +54,29 @@ std::string RenderBound(const Bound& b, bool lower) {
 
 }  // namespace
 
+std::string SerializeFactLine(PredicateId pred, const Tuple& args,
+                              const Interval& iv) {
+  std::string line = std::string(PredicateName(pred)) + "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) line += ", ";
+    line += RenderValue(args[i]);
+  }
+  line += ")@";
+  line += iv.lo().open ? '(' : '[';
+  line += RenderBound(iv.lo(), /*lower=*/true);
+  line += ", ";
+  line += RenderBound(iv.hi(), /*lower=*/false);
+  line += iv.hi().open ? ')' : ']';
+  line += " .";
+  return line;
+}
+
 std::string SerializeDatabase(const Database& db) {
   std::vector<std::string> lines;
   for (const auto& [pred, rel] : db.relations()) {
-    const std::string& name = PredicateName(pred);
     for (const auto& [tuple, set] : rel.data()) {
-      std::string head = name + "(";
-      for (size_t i = 0; i < tuple.size(); ++i) {
-        if (i > 0) head += ", ";
-        head += RenderValue(tuple[i]);
-      }
-      head += ")";
       for (const Interval& iv : set) {
-        std::string line = head + "@";
-        line += iv.lo().open ? '(' : '[';
-        line += RenderBound(iv.lo(), /*lower=*/true);
-        line += ", ";
-        line += RenderBound(iv.hi(), /*lower=*/false);
-        line += iv.hi().open ? ')' : ']';
-        line += " .";
-        lines.push_back(std::move(line));
+        lines.push_back(SerializeFactLine(pred, tuple, iv));
       }
     }
   }

@@ -20,6 +20,13 @@ namespace dmtl {
 // reproduces `db`.
 std::string SerializeDatabase(const Database& db);
 
+// Renders one fact as the same parseable statement SerializeDatabase
+// emits ("price(1301.5)@[1664272800, 1664272860) ."), without a trailing
+// newline. The snapshot codec (src/storage/snapshot.h) reuses this so
+// logged inputs and provenance pieces share the database text format.
+std::string SerializeFactLine(PredicateId pred, const Tuple& args,
+                              const Interval& iv);
+
 // File convenience wrappers.
 Status WriteDatabaseFile(const Database& db, const std::string& path);
 Result<Database> ReadDatabaseFile(const std::string& path);

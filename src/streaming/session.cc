@@ -1,15 +1,18 @@
 #include "src/streaming/session.h"
 
-#include <cstdlib>
 #include <utility>
+
+#include "src/parser/parser.h"
+#include "src/storage/serialize.h"
 
 namespace dmtl {
 
 StreamingSession::StreamingSession() = default;
 StreamingSession::~StreamingSession() = default;
 
-Result<std::unique_ptr<StreamingSession>> StreamingSession::Create(
-    const Program& program, const StreamingOptions& options) {
+Result<std::unique_ptr<StreamingSession>> StreamingSession::Build(
+    const Program& program, const SessionOptions& options,
+    const SessionSnapshot* snapshot) {
   if (options.engine.min_time.has_value() ||
       options.engine.max_time.has_value()) {
     return Status::InvalidArgument(
@@ -26,20 +29,76 @@ Result<std::unique_ptr<StreamingSession>> StreamingSession::Create(
   std::unique_ptr<StreamingSession> out(new StreamingSession());
   out->program_ = program;
   out->options_ = options;
-  out->window_min_ = options.start_time;
-  out->watermark_ = options.start_time;
-  out->streaming_ = std::getenv("DMTL_DISABLE_STREAMING") == nullptr;
+  // The one env override point: DMTL_DISABLE_STREAMING folds into the
+  // resolved options here, selecting the batch (cold-replay) shape.
+  out->streaming_ = options.engine.WithEnvOverrides().enable_streaming;
 
-  EngineOptions engine = options.engine;
-  engine.min_time = options.start_time;
+  if (snapshot != nullptr) {
+    if (snapshot->program_fingerprint != ProgramFingerprint(program)) {
+      return Status::InvalidArgument(
+          "snapshot was taken against a different program (fingerprint "
+          "mismatch); restoring it would silently diverge");
+    }
+    // Window position, horizon, and provenance tracking come from the
+    // checkpoint - they are session state, not tuning. Engine knobs stay
+    // the caller's, so a restore may run degraded (fewer threads, no
+    // acceleration) and still be byte-identical.
+    out->options_.start_time = snapshot->window_min;
+    out->options_.horizon = snapshot->horizon;
+    out->options_.track_provenance = snapshot->track_provenance;
+    out->window_min_ = snapshot->window_min;
+    out->watermark_ = snapshot->watermark;
+    out->advanced_any_ = snapshot->advanced;
+    out->provenance_ = snapshot->provenance;
+    out->log_ = snapshot->input_log;
+    for (const SessionSnapshot::Channel& ch : snapshot->channels) {
+      out->channels_[ch.predicate] = Channel{ch.args, ch.logged_hi};
+    }
+    DMTL_ASSIGN_OR_RETURN(out->db_,
+                          Parser::ParseDatabase(snapshot->database_text));
+  } else {
+    out->window_min_ = options.start_time;
+    out->watermark_ = options.start_time;
+  }
+
+  EngineOptions engine = out->options_.engine;
+  engine.min_time = out->options_.start_time;
   engine.provenance =
-      options.track_provenance ? &out->provenance_ : nullptr;
-  // Built in both modes: eligibility (past-directed operators, no head ops,
-  // no since/until...) must not depend on the fallback lane.
-  DMTL_ASSIGN_OR_RETURN(
-      auto inc, IncrementalMaterializer::Create(program, &out->db_, engine));
-  if (out->streaming_) out->inc_ = std::move(inc);
+      out->options_.track_provenance ? &out->provenance_ : nullptr;
+  if (snapshot == nullptr) {
+    // Built in both modes: eligibility (past-directed operators, no head
+    // ops, no since/until...) must not depend on the batch lane.
+    DMTL_ASSIGN_OR_RETURN(auto inc, IncrementalMaterializer::Create(
+                                        program, &out->db_, engine));
+    if (out->streaming_) out->inc_ = std::move(inc);
+  } else if (out->streaming_) {
+    DMTL_ASSIGN_OR_RETURN(
+        out->inc_,
+        IncrementalMaterializer::Restore(program, &out->db_, engine,
+                                         snapshot->input_log,
+                                         snapshot->watermark,
+                                         snapshot->advanced));
+  } else {
+    // Batch restore still validates streaming eligibility, against a
+    // scratch database (Create requires an empty one).
+    Database scratch;
+    EngineOptions check = engine;
+    check.provenance = nullptr;
+    DMTL_RETURN_IF_ERROR(
+        IncrementalMaterializer::Create(program, &scratch, check).status());
+  }
   return out;
+}
+
+Result<std::unique_ptr<StreamingSession>> StreamingSession::Create(
+    const Program& program, const SessionOptions& options) {
+  return Build(program, options, nullptr);
+}
+
+Result<std::unique_ptr<StreamingSession>> StreamingSession::Restore(
+    const Program& program, const SessionOptions& options,
+    const SessionSnapshot& snapshot) {
+  return Build(program, options, &snapshot);
 }
 
 Status StreamingSession::PushFact(const Fact& fact) {
@@ -87,11 +146,6 @@ Status StreamingSession::PushStep(PredicateId pred, Tuple args,
   return Status::Ok();
 }
 
-Status StreamingSession::PushStep(std::string_view pred, Tuple args,
-                                  const Rational& t) {
-  return PushStep(InternPredicate(pred), std::move(args), t);
-}
-
 Status StreamingSession::ExtendChannels(const Rational& t) {
   for (auto& [pred, ch] : channels_) {
     if (!(ch.logged_hi < t)) continue;
@@ -102,7 +156,7 @@ Status StreamingSession::ExtendChannels(const Rational& t) {
   return Status::Ok();
 }
 
-Status StreamingSession::AdvanceTo(const Rational& t, EngineStats* stats) {
+Status StreamingSession::Advance(const Rational& t, EngineStats* stats) {
   if (t < watermark()) {
     return Status::InvalidArgument("advance to " + t.ToString() +
                                    " precedes the watermark " +
@@ -119,14 +173,13 @@ Status StreamingSession::AdvanceTo(const Rational& t, EngineStats* stats) {
   if (options_.horizon.has_value()) {
     Rational new_min = t - *options_.horizon;
     if (window_min() < new_min) {
-      DMTL_RETURN_IF_ERROR(SlideTo(new_min));
+      DMTL_RETURN_IF_ERROR(Slide(new_min));
     }
   }
   return Status::Ok();
 }
 
-Status StreamingSession::SlideTo(const Rational& new_min,
-                                 EngineStats* stats) {
+Status StreamingSession::Slide(const Rational& new_min, EngineStats* stats) {
   if (streaming_) return inc_->Retract(new_min, stats);
   if (!(window_min_ < new_min)) {
     return Status::InvalidArgument("window minimum must increase (" +
@@ -150,6 +203,29 @@ Status StreamingSession::SlideTo(const Rational& new_min,
   log_ = std::move(kept);
   window_min_ = new_min;
   return RebuildBatch(stats);
+}
+
+Result<SessionSnapshot> StreamingSession::Snapshot() const {
+  if (needs_rebuild()) {
+    return Status::InvalidArgument(
+        "snapshot refused: a failed operation left the database an "
+        "under-approximation; the next operation heals it first");
+  }
+  SessionSnapshot snap;
+  snap.program_fingerprint = ProgramFingerprint(program_);
+  snap.watermark = watermark();
+  snap.window_min = window_min();
+  snap.horizon = options_.horizon;
+  snap.advanced = streaming_ ? inc_->advanced() : advanced_any_;
+  snap.track_provenance = options_.track_provenance;
+  for (const auto& [pred, ch] : channels_) {
+    snap.channels.push_back(
+        SessionSnapshot::Channel{pred, ch.args, ch.logged_hi});
+  }
+  snap.input_log = input_log();
+  snap.database_text = SerializeDatabase(db_);
+  snap.provenance = provenance_;
+  return snap;
 }
 
 Status StreamingSession::RebuildBatch(EngineStats* stats) {

@@ -9,32 +9,17 @@
 
 #include "src/ast/program.h"
 #include "src/common/status.h"
+#include "src/engine/session.h"
 #include "src/eval/incremental.h"
 #include "src/eval/seminaive.h"
 #include "src/storage/database.h"
+#include "src/storage/snapshot.h"
 
 namespace dmtl {
 
-// Configuration for a StreamingSession.
-struct StreamingOptions {
-  // Engine knobs (threads, memos, chain acceleration, budgets...).
-  // min_time / max_time / provenance are managed by the session and must be
-  // left unset.
-  EngineOptions engine;
-
-  // Initial window minimum and watermark: the session derives nothing below
-  // this time, and the first AdvanceTo must not precede it.
-  Rational start_time;
-
-  // Sliding-window length. When set, AdvanceTo(t) automatically slides the
-  // window minimum up to t - *horizon, retracting expired coverage. When
-  // unset, the window only moves via explicit SlideTo calls.
-  std::optional<Rational> horizon;
-
-  // Record DerivationRecord provenance (required for Explain and for the
-  // checkpoint provenance-coverage checks; retraction prunes it).
-  bool track_provenance = true;
-};
+// Pre-facade name of the shared session configuration; kept as an alias
+// for one PR while callers migrate to SessionOptions.
+using StreamingOptions = SessionOptions;
 
 // A cold batch run over a session's current inputs - the oracle the
 // streaming tests compare against, byte for byte.
@@ -45,9 +30,18 @@ struct ReplayResult {
 };
 
 // A live, long-lived materialization session: chain events arrive one at a
-// time through Push / PushStep, AdvanceTo(t) raises the watermark and
-// incrementally derives the new consequences, and SlideTo (or the horizon
+// time through Push / PushStep, Advance(t) raises the watermark and
+// incrementally derives the new consequences, and Slide (or the horizon
 // option) expires old coverage out the back of the window.
+//
+// This is the engine's implementation of the unified EngineSession surface
+// (src/engine/session.h); it provides both session shapes behind that API:
+//
+//  * streaming (default): the persistent IncrementalMaterializer derives
+//    only the new band per advance;
+//  * batch (engine.enable_streaming = false, or DMTL_DISABLE_STREAMING=1):
+//    the identical external contract, re-derived by a cold batch
+//    materialization per operation - the equivalence lane for CI.
 //
 // Invariant (checked by the streaming tests at every checkpoint): after any
 // sequence of operations, db() is byte-identical to ColdReplay().db - one
@@ -62,60 +56,70 @@ struct ReplayResult {
 // watermark the channel lives through, and a closing piece when the next
 // step arrives. The logged pieces union to exactly the ClosedOpen step
 // intervals a batch loader would write.
-//
-// When the environment variable DMTL_DISABLE_STREAMING is set, the session
-// keeps the identical external contract but re-runs a cold batch
-// materialization per operation instead of using the incremental engine -
-// the equivalence lane for CI.
-class StreamingSession {
+class StreamingSession : public EngineSession {
  public:
   // Validates the program for streaming eligibility (see
   // IncrementalMaterializer::Create) and builds the persistent engine
-  // state. Eligibility is enforced even under DMTL_DISABLE_STREAMING so
-  // both lanes accept the same programs.
+  // state. Eligibility is enforced even in batch mode so both lanes accept
+  // the same programs.
   static Result<std::unique_ptr<StreamingSession>> Create(
-      const Program& program, const StreamingOptions& options);
+      const Program& program, const SessionOptions& options);
 
-  ~StreamingSession();
+  // Rebuilds a session warm from a checkpoint; see EngineSession::Restore
+  // for the precedence and byte-identity contract.
+  static Result<std::unique_ptr<StreamingSession>> Restore(
+      const Program& program, const SessionOptions& options,
+      const SessionSnapshot& snapshot);
 
-  StreamingSession(const StreamingSession&) = delete;
-  StreamingSession& operator=(const StreamingSession&) = delete;
+  ~StreamingSession() override;
 
-  // Logs and inserts one input fact. After the first AdvanceTo, the fact's
+  // Logs and inserts one input fact. After the first Advance, the fact's
   // interval must lie strictly above the watermark.
-  Status Push(const Fact& fact);
+  Status Push(const Fact& fact) override;
 
   // Steps the predicate's channel to `args` at time `t` (strictly after the
   // channel's previous step / extension). Pushing the same args again is a
   // no-op: the step simply continues.
-  Status PushStep(PredicateId pred, Tuple args, const Rational& t);
-  Status PushStep(std::string_view pred, Tuple args, const Rational& t);
+  Status PushStep(PredicateId pred, Tuple args, const Rational& t) override;
+  using EngineSession::PushStep;
 
   // Extends all open step channels through `t`, raises the watermark to `t`
   // and derives every consequence in the new band. With `horizon` set, then
   // slides the window minimum up to t - *horizon. Per-operation engine
   // stats (this event's work only) land in `stats` when given.
-  Status AdvanceTo(const Rational& t, EngineStats* stats = nullptr);
+  Status Advance(const Rational& t, EngineStats* stats = nullptr) override;
 
   // Slides the window minimum up to `new_min` (window_min < new_min <=
   // watermark): expired coverage is retracted, its consequences un-derived,
   // provenance pruned, and the boundary region re-derived.
-  Status SlideTo(const Rational& new_min, EngineStats* stats = nullptr);
+  Status Slide(const Rational& new_min, EngineStats* stats = nullptr) override;
+
+  // Checkpoints the session at the current round barrier; refused after a
+  // failed operation until the next operation heals the store.
+  Result<SessionSnapshot> Snapshot() const override;
+
+  // Thin compatibility aliases for the pre-facade vocabulary (one PR).
+  Status AdvanceTo(const Rational& t, EngineStats* stats = nullptr) {
+    return Advance(t, stats);
+  }
+  Status SlideTo(const Rational& new_min, EngineStats* stats = nullptr) {
+    return Slide(new_min, stats);
+  }
 
   // Runs a cold batch materialization over input_log() in a fresh database
   // - the byte-identity oracle for the current checkpoint.
   Result<ReplayResult> ColdReplay() const;
 
-  const Database& db() const { return db_; }
-  const std::vector<DerivationRecord>& provenance() const {
+  const Database& db() const override { return db_; }
+  const std::vector<DerivationRecord>& provenance() const override {
     return provenance_;
   }
-  const Rational& watermark() const;
-  const Rational& window_min() const;
+  const Rational& watermark() const override;
+  const Rational& window_min() const override;
   // The logged inputs, clamped by past slides (step channels appear as
   // their logged pieces).
-  const std::vector<Fact>& input_log() const;
-  // False when DMTL_DISABLE_STREAMING forced the cold-replay fallback.
+  const std::vector<Fact>& input_log() const override;
+  // False when the resolved options selected the batch (cold-replay) shape.
   bool streaming_enabled() const { return streaming_; }
 
  private:
@@ -126,12 +130,19 @@ class StreamingSession {
     Rational logged_hi;  // time through which coverage has been logged
   };
 
+  static Result<std::unique_ptr<StreamingSession>> Build(
+      const Program& program, const SessionOptions& options,
+      const SessionSnapshot* snapshot);
+
   Status PushFact(const Fact& fact);
   Status ExtendChannels(const Rational& t);
-  Status RebuildBatch(EngineStats* stats);  // fallback path
+  Status RebuildBatch(EngineStats* stats);  // batch path
+  bool needs_rebuild() const {
+    return streaming_ && inc_->needs_rebuild();
+  }
 
   Program program_;
-  StreamingOptions options_;
+  SessionOptions options_;
   Database db_;
   std::vector<DerivationRecord> provenance_;
   std::unique_ptr<IncrementalMaterializer> inc_;
@@ -140,7 +151,7 @@ class StreamingSession {
   // Ordered so channel extensions log in a deterministic order.
   std::map<PredicateId, Channel> channels_;
 
-  // Fallback-mode state (streaming_ == false); the incremental engine owns
+  // Batch-mode state (streaming_ == false); the incremental engine owns
   // the equivalents otherwise.
   std::vector<Fact> log_;
   Rational window_min_;

@@ -1,5 +1,6 @@
 #include "src/tools/cli.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
@@ -10,12 +11,18 @@
 #include "src/analysis/dot_export.h"
 #include "src/analysis/safety.h"
 #include "src/analysis/stratifier.h"
+#include "src/chain/workload.h"
+#include "src/contracts/eth_perp_program.h"
 #include "src/engine/reasoner.h"
 #include "src/eval/chain_accel.h"
 #include "src/eval/rule_eval.h"
 #include "src/eval/vm.h"
+#include "src/fleet/server.h"
+#include "src/fleet/workload.h"
 #include "src/storage/serialize.h"
+#include "src/storage/snapshot.h"
 #include "src/streaming/session.h"
+#include "src/validation/parallel_sessions.h"
 
 namespace dmtl {
 
@@ -63,12 +70,27 @@ constexpr char kUsage[] =
     "                  '@step <fact>@T .' steps a channel;\n"
     "                  '@advance T' raises the watermark; '@slide T' moves\n"
     "                  the window minimum; '@checkpoint' verifies the\n"
-    "                  database against a cold replay (mismatch exits 1).\n"
+    "                  database against a cold replay (mismatch exits 1);\n"
+    "                  '@snapshot FILE' checkpoints the session to FILE.\n"
     "                  --min sets the session start; --max is rejected.\n"
     "                  --stats adds per-event engine counters; --output\n"
     "                  writes the final database.\n"
+    "  --restore FILE  start the stream session warm from a snapshot file\n"
+    "                  written by '@snapshot' instead of fresh (the\n"
+    "                  program files supply only rules; facts already live\n"
+    "                  in the snapshot's input log)\n"
     "  --horizon T     sliding-window length: advances auto-slide the\n"
-    "                  window minimum to watermark - T\n";
+    "                  window minimum to watermark - T\n"
+    "\n"
+    "fleet (run only, takes no FILE arguments):\n"
+    "  --fleet N       host N account-sharded ETH-PERP trading sessions on\n"
+    "                  the in-process fleet server (work-stealing scheduler,\n"
+    "                  per-session admission control, snapshot warm\n"
+    "                  restarts). Prints one NDJSON line per session plus an\n"
+    "                  aggregate line. --threads sets scheduler workers;\n"
+    "                  --deadline-ms becomes the per-operation session\n"
+    "                  deadline; --horizon gives every session a sliding\n"
+    "                  window.\n";
 
 struct CliOptions {
   std::string command;
@@ -82,7 +104,9 @@ struct CliOptions {
   bool explain_plan = false;
   bool dump_bytecode = false;
   std::optional<std::string> stream;
+  std::optional<std::string> restore;
   std::optional<Rational> horizon;
+  int fleet = 0;
 };
 
 Result<CliOptions> ParseArgs(const std::vector<std::string>& args) {
@@ -162,6 +186,18 @@ Result<CliOptions> ParseArgs(const std::vector<std::string>& args) {
     } else if (arg == "--stream") {
       DMTL_ASSIGN_OR_RETURN(std::string path, next());
       options.stream = path;
+    } else if (arg == "--restore") {
+      DMTL_ASSIGN_OR_RETURN(std::string path, next());
+      options.restore = path;
+    } else if (arg == "--fleet") {
+      DMTL_ASSIGN_OR_RETURN(std::string text, next());
+      char* end = nullptr;
+      long value = std::strtol(text.c_str(), &end, 10);
+      if (end == text.c_str() || *end != '\0' || value <= 0) {
+        return Status::InvalidArgument("--fleet needs a positive int, got '" +
+                                       text + "'");
+      }
+      options.fleet = static_cast<int>(value);
     } else if (arg == "--horizon") {
       DMTL_ASSIGN_OR_RETURN(std::string text, next());
       DMTL_ASSIGN_OR_RETURN(Rational value, Rational::FromString(text));
@@ -172,7 +208,9 @@ Result<CliOptions> ParseArgs(const std::vector<std::string>& args) {
       options.files.push_back(arg);
     }
   }
-  if (options.files.empty()) {
+  // Fleet mode generates its own workload against the built-in program, so
+  // it is the one command shape that takes no input files.
+  if (options.files.empty() && options.fleet == 0) {
     return Status::InvalidArgument("no input files");
   }
   return options;
@@ -272,13 +310,33 @@ Status CommandStream(const CliOptions& options, std::ostream& out,
                                    *options.stream + "'");
   }
 
-  StreamingOptions sopts;
+  SessionOptions sopts;
   sopts.engine = options.engine;
   sopts.engine.min_time.reset();
   sopts.start_time = options.engine.min_time.value_or(Rational(0));
   sopts.horizon = options.horizon;
-  DMTL_ASSIGN_OR_RETURN(auto session,
-                        StreamingSession::Create(unit.program, sopts));
+  // The concrete StreamingSession (not the EngineSession facade) only for
+  // ColdReplay, which backs the @checkpoint directive; everything else goes
+  // through the unified Push/Advance/Slide/Snapshot surface.
+  std::unique_ptr<StreamingSession> session;
+  if (options.restore.has_value()) {
+    if (options.engine.min_time.has_value()) {
+      return Status::InvalidArgument(
+          "--min conflicts with --restore: the snapshot fixes the window");
+    }
+    if (unit.database.NumIntervals() > 0) {
+      return Status::InvalidArgument(
+          "--restore takes rule-only program files: the facts already live "
+          "in the snapshot's input log");
+    }
+    DMTL_ASSIGN_OR_RETURN(SessionSnapshot snap,
+                          ReadSnapshotFile(*options.restore));
+    DMTL_ASSIGN_OR_RETURN(
+        session, StreamingSession::Restore(unit.program, sopts, snap));
+  } else {
+    DMTL_ASSIGN_OR_RETURN(session,
+                          StreamingSession::Create(unit.program, sopts));
+  }
 
   auto push_all = [&](const Database& facts) -> Status {
     for (const auto& [pred, rel] : facts.relations()) {
@@ -322,8 +380,8 @@ Status CommandStream(const CliOptions& options, std::ostream& out,
       DMTL_ASSIGN_OR_RETURN(Rational t, Rational::FromString(
                                             arg.substr(arg.find_first_not_of(
                                                 " \t"))));
-      Status step = advance ? session->AdvanceTo(t, &stats)
-                            : session->SlideTo(t, &stats);
+      Status step = advance ? session->Advance(t, &stats)
+                            : session->Slide(t, &stats);
       have_stats = true;
       if (!step.ok()) {
         if (stats.stop_reason != StopReason::kCompleted) {
@@ -336,6 +394,21 @@ Status CommandStream(const CliOptions& options, std::ostream& out,
       DMTL_ASSIGN_OR_RETURN(ReplayResult cold, session->ColdReplay());
       checkpoint_match =
           SerializeDatabase(session->db()) == SerializeDatabase(cold.db);
+    } else if (text.rfind("@snapshot", 0) == 0) {
+      op = "snapshot";
+      std::string path(text.substr(9));
+      size_t lead = path.find_first_not_of(" \t");
+      path = lead == std::string::npos ? std::string() : path.substr(lead);
+      size_t trail = path.find_last_not_of(" \t\r");
+      if (trail != std::string::npos) path = path.substr(0, trail + 1);
+      if (path.empty()) {
+        return fail_here(
+            Status::InvalidArgument("@snapshot needs a file path"));
+      }
+      Result<SessionSnapshot> snap = session->Snapshot();
+      if (!snap.ok()) return fail_here(snap.status());
+      Status written = WriteSnapshotFile(snap.value(), path);
+      if (!written.ok()) return fail_here(written);
     } else if (text.rfind("@step", 0) == 0) {
       op = "step";
       DMTL_ASSIGN_OR_RETURN(Database parsed,
@@ -396,8 +469,115 @@ Status CommandStream(const CliOptions& options, std::ostream& out,
   return Status::Ok();
 }
 
+// Fleet mode: generate N account-sharded ETH-PERP sessions, host them all
+// on an in-process FleetServer, drain, and print NDJSON - one line per
+// session, then one aggregate line. Any failed session exits non-zero
+// after the full report.
+Status CommandFleet(const CliOptions& options, std::ostream& out,
+                    std::ostream& err) {
+  if (!options.files.empty()) {
+    return Status::InvalidArgument(
+        "--fleet generates its own workload; FILE arguments are not "
+        "accepted");
+  }
+  if (options.stream.has_value()) {
+    return Status::InvalidArgument("--fleet conflicts with --stream");
+  }
+  if (options.engine.min_time.has_value() ||
+      options.engine.max_time.has_value()) {
+    return Status::InvalidArgument(
+        "--min/--max conflict with --fleet: every hosted session manages "
+        "its own window");
+  }
+  DMTL_ASSIGN_OR_RETURN(Program program, EthPerpProgram());
+
+  FleetOptions fopts;
+  fopts.num_threads = options.engine.num_threads;
+  fopts.engine = options.engine;
+  // --deadline-ms is admission control here: a per-operation budget for
+  // each hosted session, not one deadline for the whole drain.
+  fopts.session_deadline = options.engine.deadline;
+  fopts.engine.deadline.reset();
+  DMTL_ASSIGN_OR_RETURN(std::unique_ptr<FleetServer> server,
+                        FleetServer::Create(fopts));
+  DMTL_RETURN_IF_ERROR(server->RegisterProgram("eth-perp", program));
+
+  // Small per-session windows: the fleet's scale axis is session count.
+  WorkloadConfig base;
+  base.name = "fleet";
+  base.duration_s = 600;
+  base.num_events = 8;
+  base.num_trades = 2;
+  base.price.update_interval_s = 60;
+  size_t total_ops = 0;
+  for (const WorkloadConfig& config : ShardConfigs(base, options.fleet)) {
+    DMTL_ASSIGN_OR_RETURN(Session session, GenerateSession(config));
+    SessionKey key{"eth-perp", 0, config.name};
+    DMTL_RETURN_IF_ERROR(
+        server->Open(key, Rational(session.start_time), options.horizon));
+    std::vector<FleetOp> ops = SessionToOps(session);
+    total_ops += ops.size();
+    DMTL_RETURN_IF_ERROR(server->Enqueue(key, std::move(ops)));
+  }
+
+  auto t0 = std::chrono::steady_clock::now();
+  DMTL_ASSIGN_OR_RETURN(std::vector<SessionReport> reports, server->Drain());
+  double wall_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+
+  size_t failed = 0;
+  size_t retried = 0;
+  size_t advances = 0;
+  size_t derived = 0;
+  size_t snapshots = 0;
+  std::vector<double> latencies;
+  for (const SessionReport& r : reports) {
+    out << "{\"session\":\"" << r.key.ToString() << "\""
+        << ",\"ok\":" << (r.ok() ? "true" : "false")
+        << ",\"ops\":" << r.ops_executed << ",\"advances\":" << r.advances
+        << ",\"derived_intervals\":" << r.derived_intervals
+        << ",\"snapshots\":" << r.snapshots_taken
+        << ",\"retried\":" << (r.retried ? "true" : "false") << "}\n";
+    if (!r.ok()) {
+      ++failed;
+      err << "dmtl_cli: " << r.key.ToString() << ": " << r.status.ToString()
+          << "\n";
+    }
+    if (r.retried) ++retried;
+    advances += r.advances;
+    derived += r.derived_intervals;
+    snapshots += r.snapshots_taken;
+    latencies.insert(latencies.end(), r.advance_latencies_us.begin(),
+                     r.advance_latencies_us.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  auto percentile = [&](double p) -> double {
+    if (latencies.empty()) return 0.0;
+    size_t idx = static_cast<size_t>(p * (latencies.size() - 1));
+    return latencies[idx];
+  };
+  out << "{\"fleet\":" << reports.size()
+      << ",\"workers\":" << ThreadPool::ResolveThreads(fopts.num_threads)
+      << ",\"failed\":" << failed << ",\"retried\":" << retried
+      << ",\"ops\":" << total_ops << ",\"advances\":" << advances
+      << ",\"derived_intervals\":" << derived
+      << ",\"snapshots\":" << snapshots << ",\"wall_s\":" << wall_s
+      << ",\"sessions_per_sec\":"
+      << (wall_s > 0 ? static_cast<double>(reports.size()) / wall_s : 0.0)
+      << ",\"advance_p50_us\":" << percentile(0.5)
+      << ",\"advance_p99_us\":" << percentile(0.99) << "}\n";
+  if (failed > 0) {
+    return Status::Internal(std::to_string(failed) + " of " +
+                            std::to_string(reports.size()) +
+                            " fleet sessions failed");
+  }
+  return Status::Ok();
+}
+
 Status CommandRun(const CliOptions& options, std::ostream& out,
                   std::ostream& err) {
+  if (options.fleet > 0) return CommandFleet(options, out, err);
   if (options.stream.has_value()) return CommandStream(options, out, err);
   DMTL_ASSIGN_OR_RETURN(Parser::ParsedUnit unit, LoadAll(options.files));
   Database db = std::move(unit.database);

@@ -18,13 +18,12 @@ namespace {
 Status MaterializeShard(const Program& program, const EngineOptions& base,
                         SessionShardResult* out) {
   out->db = SessionToDatabase(out->session);
+  // RunParallelSessions already rejected caller-set min/max/provenance, so
+  // installing the shard-local horizon here overrides nothing.
   EngineOptions engine = base;
   EngineOptions horizon = SessionEngineOptions(out->session);
   engine.min_time = horizon.min_time;
   engine.max_time = horizon.max_time;
-  // A caller-supplied provenance vector would be appended to from every
-  // shard at once; shard-level provenance is not supported.
-  engine.provenance = nullptr;
   DMTL_RETURN_IF_ERROR(FaultInjector::Fire("parallel_sessions.shard"));
   return Materialize(program, &out->db, engine, &out->stats);
 }
@@ -97,6 +96,20 @@ std::vector<WorkloadConfig> ShardConfigs(const WorkloadConfig& base,
 Result<std::vector<SessionShardResult>> RunParallelSessions(
     const std::vector<WorkloadConfig>& shards,
     const ParallelSessionsOptions& options) {
+  // These used to be silently overridden per shard; make the conflict loud
+  // so a caller who expected a global window or provenance finds out.
+  if (options.engine.min_time.has_value() ||
+      options.engine.max_time.has_value()) {
+    return Status::InvalidArgument(
+        "ParallelSessionsOptions.engine min_time/max_time must be unset: "
+        "every shard materializes over its own session window");
+  }
+  if (options.engine.provenance != nullptr) {
+    return Status::InvalidArgument(
+        "ParallelSessionsOptions.engine.provenance must be null: a shared "
+        "record vector cannot be appended to concurrently across shards");
+  }
+
   std::vector<SessionShardResult> results(shards.size());
   if (shards.empty()) return results;
 

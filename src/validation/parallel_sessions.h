@@ -46,12 +46,13 @@ struct ParallelSessionsOptions {
   // shards sequentially on the calling thread.
   int num_threads = 0;
   MarketParams params;
-  // Per-shard engine options. The session horizon (min_time/max_time) is
-  // always overwritten from each shard's own window, and `provenance` is
-  // ignored (a shared record vector cannot be appended to concurrently).
-  // Defaults to the sequential engine inside each shard - the shard loop is
-  // the outer parallelism axis; set engine.num_threads > 1 only for few,
-  // huge shards.
+  // Per-shard engine options. min_time/max_time must be unset (each shard
+  // materializes over its own session window) and `provenance` must be null
+  // (a shared record vector cannot be appended to from every shard at
+  // once); RunParallelSessions rejects either with InvalidArgument instead
+  // of silently overriding them. Defaults to the sequential engine inside
+  // each shard - the shard loop is the outer parallelism axis; set
+  // engine.num_threads > 1 only for few, huge shards.
   EngineOptions engine;
 
   // One-shot degraded retry for failed shards: rebuild the shard database

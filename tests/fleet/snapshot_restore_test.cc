@@ -1,0 +1,212 @@
+// Snapshot round-trip property: a session serialized mid-stream at a
+// checkpoint, decoded fresh, and continued over the same schedule must end
+// byte-identical - database text, Series() output, and provenance coverage
+// - to an uninterrupted twin. Enforced at thread widths 1, 2, and 8, with a
+// sliding window in play, and across the encode/decode text codec (not just
+// the in-memory struct). A degraded restore (different engine knobs than
+// the twin) must not change a single byte either.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/chain/workload.h"
+#include "src/contracts/eth_perp_program.h"
+#include "src/engine/reasoner.h"
+#include "src/engine/session.h"
+#include "src/fleet/workload.h"
+#include "src/parser/parser.h"
+#include "src/storage/serialize.h"
+#include "src/storage/snapshot.h"
+
+namespace dmtl {
+namespace {
+
+std::string ProvenanceCoverage(const std::vector<DerivationRecord>& records) {
+  std::map<std::string, IntervalSet> coverage;
+  for (const DerivationRecord& r : records) {
+    coverage[PredicateName(r.predicate) + TupleToString(r.tuple)].UnionWith(
+        IntervalSet(r.piece));
+  }
+  std::ostringstream out;
+  for (const auto& [key, set] : coverage) {
+    out << key << " @ " << set.ToString() << "\n";
+  }
+  return out.str();
+}
+
+std::string SeriesText(const Database& db, std::string_view pred) {
+  std::ostringstream out;
+  for (const auto& [t, tuple] : Reasoner::Series(db, pred)) {
+    out << t << " " << TupleToString(tuple) << "\n";
+  }
+  return out.str();
+}
+
+Status Apply(EngineSession* s, const FleetOp& op) {
+  switch (op.kind) {
+    case FleetOp::Kind::kPush:
+      return s->Push(op.fact);
+    case FleetOp::Kind::kStep:
+      return s->PushStep(op.predicate, op.args, op.t);
+    case FleetOp::Kind::kAdvance:
+      return s->Advance(op.t);
+    case FleetOp::Kind::kSlide:
+      return s->Slide(op.t);
+  }
+  return Status::Internal("unknown op");
+}
+
+// Runs the interrupted/uninterrupted comparison: drive `ops` through one
+// session straight, and through another that is snapshotted at `cut`,
+// round-tripped through the text codec, restored under `restore_options`,
+// and continued. Both must land on identical bytes.
+void ExpectRestartIsInvisible(const Program& program,
+                              const std::vector<FleetOp>& ops, size_t cut,
+                              const SessionOptions& options,
+                              const SessionOptions& restore_options,
+                              std::string_view series_pred,
+                              const std::string& label) {
+  auto twin = EngineSession::Create(program, options);
+  ASSERT_TRUE(twin.ok()) << label << ": " << twin.status();
+  for (const FleetOp& op : ops) {
+    ASSERT_TRUE(Apply(twin->get(), op).ok()) << label;
+  }
+
+  auto first = EngineSession::Create(program, options);
+  ASSERT_TRUE(first.ok()) << label << ": " << first.status();
+  for (size_t i = 0; i < cut; ++i) {
+    ASSERT_TRUE(Apply(first->get(), ops[i]).ok()) << label;
+  }
+  auto snap = (*first)->Snapshot();
+  ASSERT_TRUE(snap.ok()) << label << ": " << snap.status();
+  // Through the codec: what restarts see is the decoded text, never the
+  // live struct.
+  auto decoded = DecodeSnapshot(EncodeSnapshot(*snap));
+  ASSERT_TRUE(decoded.ok()) << label << ": " << decoded.status();
+
+  auto restored = EngineSession::Restore(program, restore_options, *decoded);
+  ASSERT_TRUE(restored.ok()) << label << ": " << restored.status();
+  for (size_t i = cut; i < ops.size(); ++i) {
+    ASSERT_TRUE(Apply(restored->get(), ops[i]).ok()) << label;
+  }
+
+  EXPECT_EQ(SerializeDatabase((*restored)->db()),
+            SerializeDatabase((*twin)->db()))
+      << label << ": database diverged after warm restart";
+  EXPECT_EQ(SeriesText((*restored)->db(), series_pred),
+            SeriesText((*twin)->db(), series_pred))
+      << label << ": Series() diverged after warm restart";
+  EXPECT_EQ(ProvenanceCoverage((*restored)->provenance()),
+            ProvenanceCoverage((*twin)->provenance()))
+      << label << ": provenance coverage diverged after warm restart";
+  EXPECT_EQ((*restored)->watermark(), (*twin)->watermark()) << label;
+  EXPECT_EQ((*restored)->window_min(), (*twin)->window_min()) << label;
+}
+
+TEST(SnapshotRestoreTest, EthPerpMidStreamRestartAtEveryThreadWidth) {
+  auto program = EthPerpProgram();
+  ASSERT_TRUE(program.ok()) << program.status();
+  WorkloadConfig config;
+  config.name = "restore-unit";
+  config.duration_s = 600;
+  config.num_events = 24;
+  config.num_trades = 6;
+  config.seed = 7;
+  auto session = GenerateSession(config);
+  ASSERT_TRUE(session.ok()) << session.status();
+  std::vector<FleetOp> ops = SessionToOps(*session);
+  ASSERT_GT(ops.size(), 8u);
+
+  for (int threads : {1, 2, 8}) {
+    SessionOptions options;
+    options.start_time = Rational(session->start_time);
+    options.engine.num_threads = threads;
+    for (size_t cut : {ops.size() / 3, ops.size() / 2, ops.size() - 1}) {
+      ExpectRestartIsInvisible(
+          program.value(), ops, cut, options, options, "frs",
+          "eth-perp threads=" + std::to_string(threads) +
+              " cut=" + std::to_string(cut));
+    }
+  }
+}
+
+TEST(SnapshotRestoreTest, DegradedRestoreIsStillByteIdentical) {
+  // The eviction path restores with conservative engine knobs; bytes must
+  // not care.
+  auto program = EthPerpProgram();
+  ASSERT_TRUE(program.ok()) << program.status();
+  WorkloadConfig config;
+  config.name = "restore-degraded";
+  config.duration_s = 600;
+  config.num_events = 16;
+  config.num_trades = 4;
+  config.seed = 11;
+  auto session = GenerateSession(config);
+  ASSERT_TRUE(session.ok()) << session.status();
+  std::vector<FleetOp> ops = SessionToOps(*session);
+
+  SessionOptions fast;
+  fast.start_time = Rational(session->start_time);
+  fast.engine.num_threads = 8;
+  SessionOptions degraded = fast;
+  degraded.engine.num_threads = 1;
+  degraded.engine.enable_chain_acceleration = false;
+  ExpectRestartIsInvisible(program.value(), ops, ops.size() / 2, fast,
+                           degraded, "frs", "degraded restore");
+}
+
+TEST(SnapshotRestoreTest, SlidingWindowRestartRetainsRetraction) {
+  // Snapshot after the window has slid: the restored session must keep the
+  // clamped log and retracted coverage, and keep sliding identically.
+  auto unit = Parser::Parse(
+      "q(X) :- diamondminus[0,2] p(X) .\n"
+      "r(X) :- boxminus[1,1] q(X), not p(X) .\n");
+  ASSERT_TRUE(unit.ok()) << unit.status();
+
+  std::vector<FleetOp> ops;
+  for (int t = 1; t <= 12; ++t) {
+    ops.push_back(FleetOp::Push(Fact::Make(
+        "p", {Value::Symbol(t % 2 == 0 ? "a" : "b")},
+        Interval::Closed(Rational(t), Rational(t + 1)))));
+    // Advance only to t: each push stays strictly above the watermark.
+    ops.push_back(FleetOp::Advance(Rational(t)));
+  }
+
+  for (int threads : {1, 2, 8}) {
+    SessionOptions options;
+    options.start_time = Rational(0);
+    options.horizon = Rational(4);  // auto-slide: retraction in play
+    options.engine.num_threads = threads;
+    for (size_t cut : {size_t{7}, size_t{15}, ops.size() - 2}) {
+      ExpectRestartIsInvisible(
+          unit->program, ops, cut, options, options, "q",
+          "sliding threads=" + std::to_string(threads) +
+              " cut=" + std::to_string(cut));
+    }
+  }
+}
+
+TEST(SnapshotRestoreTest, BatchModeSessionsRoundTripToo) {
+  // The facade's batch shape honors the same snapshot contract.
+  auto unit = Parser::Parse("q(X) :- diamondminus[0,2] p(X) .\n");
+  ASSERT_TRUE(unit.ok()) << unit.status();
+  std::vector<FleetOp> ops;
+  for (int t = 1; t <= 6; ++t) {
+    ops.push_back(FleetOp::Push(
+        Fact::Make("p", {Value::Symbol("a")}, Interval::Point(Rational(t)))));
+    ops.push_back(FleetOp::Advance(Rational(t)));
+  }
+  SessionOptions options;
+  options.start_time = Rational(0);
+  options.engine.enable_streaming = false;
+  ExpectRestartIsInvisible(unit->program, ops, ops.size() / 2, options,
+                           options, "q", "batch shape");
+}
+
+}  // namespace
+}  // namespace dmtl

@@ -161,5 +161,34 @@ TEST(ParallelSessionsTest, EmptyShardListIsOk) {
   EXPECT_TRUE(results->empty());
 }
 
+// Regression: these engine fields used to be silently overridden per shard
+// (min/max from each shard's window, provenance nulled); now the conflict
+// is an explicit error so callers learn their request cannot be honored.
+TEST(ParallelSessionsTest, CallerWindowOverridesAreRejectedLoudly) {
+  std::vector<WorkloadConfig> shards = ShardConfigs(SmallBase(), 1);
+
+  ParallelSessionsOptions with_min;
+  with_min.engine.min_time = Rational(0);
+  auto min_result = RunParallelSessions(shards, with_min);
+  ASSERT_FALSE(min_result.ok());
+  EXPECT_EQ(min_result.status().code(), StatusCode::kInvalidArgument);
+
+  ParallelSessionsOptions with_max;
+  with_max.engine.max_time = Rational(100);
+  auto max_result = RunParallelSessions(shards, with_max);
+  ASSERT_FALSE(max_result.ok());
+  EXPECT_EQ(max_result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParallelSessionsTest, CallerProvenanceIsRejectedLoudly) {
+  std::vector<WorkloadConfig> shards = ShardConfigs(SmallBase(), 1);
+  std::vector<DerivationRecord> records;
+  ParallelSessionsOptions options;
+  options.engine.provenance = &records;
+  auto results = RunParallelSessions(shards, options);
+  ASSERT_FALSE(results.ok());
+  EXPECT_EQ(results.status().code(), StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace dmtl

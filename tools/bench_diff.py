@@ -27,7 +27,8 @@ import sys
 # order. A point's pairing key is the tuple of values of every identity
 # key it carries.
 IDENTITY_KEYS = ("name", "run_name", "pattern", "events", "window_s",
-                 "trades", "depth", "facts", "timeline", "shards")
+                 "trades", "depth", "facts", "timeline", "shards",
+                 "sessions")
 
 # Per-point counters that must be bit-identical between comparable runs:
 # they count derivation work, so a mismatch means the engines computed
@@ -115,34 +116,24 @@ def check_comparable(base, cand):
         return (f"baseline guards_enabled={bg} but candidate "
                 f"guards_enabled={cg} (guarded and unguarded timings are "
                 f"not like-with-like)")
-    # Same for the rule compiler: the VM and the AST walker are different
-    # executors, so a compile-on run against a compile-off run measures
-    # the executor change, not a regression. Artifacts from before the
-    # field existed are only compared when the other side doesn't name it
-    # either (legacy-vs-legacy).
-    bc = base_ctx.get("enable_rule_compile")
-    cc = cand_ctx.get("enable_rule_compile")
-    if bc is not None and cc is not None and bc != cc:
-        return (f"baseline enable_rule_compile={bc} but candidate "
-                f"enable_rule_compile={cc} (VM and AST-walker timings are "
-                f"not like-with-like; re-run one side with the matching "
-                f"setting)")
-    if (bc is None) != (cc is None):
-        print(f"  note  enable_rule_compile: baseline={bc!r} "
-              f"candidate={cc!r} (one artifact predates the field)")
-    # Memory-architecture flags: the dense integer-timeline kernels and the
-    # round arenas change the per-operation cost profile, so cross-lane
-    # timings measure the feature toggle, not a regression.
-    for flag, what in (("enable_dense_timeline",
-                        "dense and rational timeline kernels"),
-                       ("enable_arena_alloc",
-                        "arena and heap allocation")):
+    # Every engine feature flag the benches record (enable_rule_compile,
+    # enable_dense_timeline, enable_arena_alloc, enable_streaming, and any
+    # future enable_* the context grows) selects a different execution
+    # path, so cross-flag timings measure the feature toggle, not a
+    # regression. The check is generic: a new flag added to the context is
+    # automatically part of the like-with-like contract, no edit here.
+    # Artifacts from before a flag existed are only compared when the other
+    # side doesn't name it either (legacy-vs-legacy).
+    flags = sorted(k for k in set(base_ctx) | set(cand_ctx)
+                   if k.startswith("enable_"))
+    for flag in flags:
         bv = base_ctx.get(flag)
         cv = cand_ctx.get(flag)
         if bv is not None and cv is not None and bv != cv:
             return (f"baseline {flag}={bv} but candidate {flag}={cv} "
-                    f"({what} timings are not like-with-like; re-run one "
-                    f"side with the matching setting)")
+                    f"(runs with different engine feature flags are not "
+                    f"like-with-like; re-run one side with the matching "
+                    f"setting)")
         if (bv is None) != (cv is None):
             print(f"  note  {flag}: baseline={bv!r} candidate={cv!r} "
                   f"(one artifact predates the field)")
